@@ -1,0 +1,132 @@
+// Package repro's top-level benchmarks regenerate each table and figure of
+// the paper's evaluation at reduced scale (one benchmark per table/figure;
+// run the cmd/compi-experiments binary for the full-scale versions).
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/target"
+	_ "repro/internal/targets/hpl"
+	_ "repro/internal/targets/imb"
+	_ "repro/internal/targets/skeleton"
+	"repro/internal/targets/susy"
+)
+
+// benchScale keeps each regeneration to a benchmark-friendly size.
+var benchScale = experiments.Scale{
+	Reps: 1, Iters: 60, Fig4Iters: 60, FixedRuns: 2,
+	Fig6MaxN: 300, RunTimeout: 30 * time.Second, Budget: 5 * time.Second,
+}
+
+func benchTables(b *testing.B, run func(s experiments.Scale) []*experiments.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		for _, t := range run(benchScale) {
+			t.Fprint(io.Discard)
+		}
+	}
+}
+
+// BenchmarkTable3Complexity regenerates Table III (program complexity).
+func BenchmarkTable3Complexity(b *testing.B) {
+	benchTables(b, func(s experiments.Scale) []*experiments.Table {
+		return []*experiments.Table{experiments.TableIII(s)}
+	})
+}
+
+// BenchmarkFig4SearchStrategies regenerates Figure 4 (HPL coverage under the
+// four search strategies).
+func BenchmarkFig4SearchStrategies(b *testing.B) {
+	benchTables(b, func(s experiments.Scale) []*experiments.Table {
+		return []*experiments.Table{experiments.Fig4(s)}
+	})
+}
+
+// BenchmarkFig6MatrixSize regenerates Figure 6 (HPL cost and coverage vs. N).
+func BenchmarkFig6MatrixSize(b *testing.B) {
+	benchTables(b, func(s experiments.Scale) []*experiments.Table {
+		return []*experiments.Table{experiments.Fig6(s)}
+	})
+}
+
+// BenchmarkBugHunt regenerates §VI-A (the four SUSY-HMC bugs).
+func BenchmarkBugHunt(b *testing.B) {
+	benchTables(b, func(s experiments.Scale) []*experiments.Table {
+		return []*experiments.Table{experiments.Bugs(s)}
+	})
+}
+
+// BenchmarkFig8InputCapping regenerates Figure 8 (caps vs. time/coverage).
+func BenchmarkFig8InputCapping(b *testing.B) {
+	benchTables(b, func(s experiments.Scale) []*experiments.Table {
+		return []*experiments.Table{experiments.Fig8(s)}
+	})
+}
+
+// BenchmarkTable4TwoWay regenerates Table IV (one-way vs. two-way
+// instrumentation).
+func BenchmarkTable4TwoWay(b *testing.B) {
+	benchTables(b, func(s experiments.Scale) []*experiments.Table {
+		return []*experiments.Table{experiments.TableIV(s)}
+	})
+}
+
+// BenchmarkTable5Reduction regenerates Table V and Figure 9 (constraint set
+// reduction and set-size distributions; the two share campaigns).
+func BenchmarkTable5Reduction(b *testing.B) {
+	benchTables(b, func(s experiments.Scale) []*experiments.Table {
+		t5, f9 := experiments.TableVFig9(s)
+		return []*experiments.Table{t5, f9}
+	})
+}
+
+// BenchmarkFig9SetSizes is an alias target for Figure 9 (same campaigns as
+// Table V).
+func BenchmarkFig9SetSizes(b *testing.B) {
+	benchTables(b, func(s experiments.Scale) []*experiments.Table {
+		t5, f9 := experiments.TableVFig9(s)
+		return []*experiments.Table{f9, t5}
+	})
+}
+
+// BenchmarkTable6Framework regenerates Table VI (Fwk vs No_Fwk vs Random).
+func BenchmarkTable6Framework(b *testing.B) {
+	benchTables(b, func(s experiments.Scale) []*experiments.Table {
+		return []*experiments.Table{experiments.TableVI(s)}
+	})
+}
+
+// BenchmarkCampaignIteration measures the per-iteration cost of the engine
+// itself on the skeleton program (launch + solve + setup).
+func BenchmarkCampaignIteration(b *testing.B) {
+	prog, _ := target.Lookup("skeleton")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.NewEngine(core.Config{
+			Program: prog, Iterations: 10, Reduction: true,
+			Framework: true, Seed: int64(i),
+		}).Run()
+	}
+}
+
+// BenchmarkSUSYTrajectory measures one fixed-input SUSY-HMC execution (the
+// target-program side of the harness).
+func BenchmarkSUSYTrajectory(b *testing.B) {
+	susy.FixAll()
+	defer susy.UnfixAll()
+	prog, _ := target.Lookup("susy-hmc")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.NewEngine(core.Config{
+			Program: prog, Iterations: 3, Reduction: true,
+			Framework: true, Seed: 9,
+		}).Run()
+	}
+}

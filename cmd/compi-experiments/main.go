@@ -1,0 +1,58 @@
+// Command compi-experiments regenerates the tables and figures of the COMPI
+// paper's evaluation (§VI) on the Go reproduction.
+//
+// Usage:
+//
+//	compi-experiments                 # run everything at full scale
+//	compi-experiments -exp fig4       # one experiment
+//	compi-experiments -quick          # reduced budgets (CI-sized)
+//	compi-experiments -list           # available experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment ID (default: all); see -list")
+		quick  = flag.Bool("quick", false, "use reduced budgets")
+		list   = flag.Bool("list", false, "list experiment IDs")
+		csvOut = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	if *exp == "" {
+		experiments.RunAll(os.Stdout, scale)
+		return
+	}
+	runner, ok := experiments.Registry()[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n",
+			*exp, strings.Join(experiments.IDs(), ", "))
+		os.Exit(2)
+	}
+	for _, t := range runner(scale) {
+		if *csvOut {
+			if err := t.CSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		t.Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,200 @@
+// Command compi runs a COMPI testing campaign against one of the bundled
+// target programs.
+//
+// Usage:
+//
+//	compi -target hpl -iters 500
+//	compi -target susy-hmc -bugs            # leave the seeded bugs live
+//	compi -target imb-mpi1 -strategy random-branch
+//	compi -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/target"
+	_ "repro/internal/targets/hpl"
+	_ "repro/internal/targets/imb"
+	_ "repro/internal/targets/skeleton"
+	"repro/internal/targets/stencil"
+	"repro/internal/targets/susy"
+)
+
+func main() {
+	var (
+		name     = flag.String("target", "skeleton", "program under test")
+		iters    = flag.Int("iters", 200, "test iterations (program executions)")
+		seed     = flag.Int64("seed", 1, "campaign seed")
+		strategy = flag.String("strategy", "compi", "compi | bounded-dfs | random-branch | uniform-random | cfg")
+		bound    = flag.Int("bound", 0, "explicit DFS depth bound (0 = derive)")
+		dfsPhase = flag.Int("dfs-phase", 50, "pure-DFS executions before BoundedDFS")
+		procs    = flag.Int("np", 8, "initial number of processes")
+		maxProcs = flag.Int("max-np", 16, "process-count cap")
+		noRed    = flag.Bool("no-reduction", false, "disable constraint set reduction")
+		oneWay   = flag.Bool("one-way", false, "disable two-way instrumentation")
+		noFwk    = flag.Bool("no-framework", false, "disable the MPI framework")
+		random   = flag.Bool("random", false, "pure random testing baseline")
+		bugs     = flag.Bool("bugs", false, "leave the seeded SUSY-HMC bugs live")
+		budget   = flag.Duration("budget", 0, "wall-clock budget (0 = none)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-execution watchdog")
+		verbose  = flag.Bool("v", false, "per-iteration trace")
+		list     = flag.Bool("list", false, "list targets")
+		replay   = flag.String("replay", "", `replay one input set, e.g. "x=100,y=50" (skips the campaign)`)
+		state    = flag.String("state", "", "campaign state file: loaded if present, saved after the run")
+		errlog   = flag.String("errlog", "", "append error-inducing inputs as JSON lines to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(target.Names(), "\n"))
+		return
+	}
+	prog, ok := target.Lookup(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown target %q; available: %s\n",
+			*name, strings.Join(target.Names(), ", "))
+		os.Exit(2)
+	}
+	if !*bugs {
+		susy.FixAll()
+		stencil.FixAll()
+	}
+
+	if *replay != "" {
+		rec := core.ErrorRecord{NProcs: *procs, Focus: 0, Inputs: map[string]int64{}}
+		for _, kv := range strings.Split(*replay, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "bad -replay entry %q\n", kv)
+				os.Exit(2)
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -replay value %q: %v\n", kv, err)
+				os.Exit(2)
+			}
+			rec.Inputs[k] = n
+		}
+		res := core.Replay(prog, rec, *timeout)
+		for _, rr := range res.Ranks {
+			fmt.Printf("rank %d: %v", rr.Rank, rr.Status)
+			if rr.Err != nil {
+				fmt.Printf("  %v", rr.Err)
+			} else if rr.Exit != 0 {
+				fmt.Printf("  exit=%d", rr.Exit)
+			}
+			fmt.Println()
+		}
+		if res.Failed() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg := core.Config{
+		Program:      prog,
+		Iterations:   *iters,
+		TimeBudget:   *budget,
+		InitialProcs: *procs,
+		MaxProcs:     *maxProcs,
+		Reduction:    !*noRed,
+		DepthBound:   *bound,
+		DFSPhase:     *dfsPhase,
+		OneWay:       *oneWay,
+		Framework:    !*noFwk,
+		PureRandom:   *random,
+		Seed:         *seed,
+		RunTimeout:   *timeout,
+	}
+	if *errlog != "" {
+		f, err := os.OpenFile(*errlog, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening %s: %v\n", *errlog, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.ErrorLog = f
+	}
+	if *verbose {
+		cfg.Trace = func(it core.IterationStat) {
+			fmt.Printf("iter %4d  np=%-2d focus=%-2d covered=%-5d set=%-5d %s\n",
+				it.Iter, it.NProcs, it.Focus, it.Covered, it.PathLen,
+				map[bool]string{true: "FAILED", false: ""}[it.Failed])
+		}
+	}
+	eng := core.NewEngine(cfg)
+	switch *strategy {
+	case "compi":
+		// Default two-phase DFS; already configured.
+	case "bounded-dfs":
+		b := *bound
+		if b == 0 {
+			b = core.Unbounded
+		}
+		eng.SetStrategy(core.NewBoundedDFS(b))
+	case "random-branch":
+		eng.SetStrategy(core.NewRandomBranch(*seed))
+	case "uniform-random":
+		eng.SetStrategy(core.NewUniformRandom(*seed))
+	case "cfg":
+		eng.SetStrategy(core.NewCFG(prog, eng.Coverage()))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	if *state != "" {
+		if f, err := os.Open(*state); err == nil {
+			snap, err := core.LoadSnapshot(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loading %s: %v\n", *state, err)
+				os.Exit(1)
+			}
+			if snap.Program != prog.Name {
+				fmt.Fprintf(os.Stderr, "state file is for %q, not %q\n", snap.Program, prog.Name)
+				os.Exit(1)
+			}
+			eng.Restore(snap)
+			fmt.Printf("resumed campaign: %d branches already covered\n", eng.Coverage().Count())
+		}
+	}
+
+	res := eng.Run()
+
+	if *state != "" {
+		f, err := os.Create(*state)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "saving %s: %v\n", *state, err)
+			os.Exit(1)
+		}
+		if err := eng.Snapshot().Save(f); err != nil {
+			fmt.Fprintf(os.Stderr, "saving %s: %v\n", *state, err)
+		}
+		f.Close()
+	}
+
+	reach := prog.ReachableBranches(res.Coverage.Funcs())
+	fmt.Printf("\ntarget          %s\n", prog.Name)
+	fmt.Printf("iterations      %d (restarts %d)\n", len(res.Iterations), res.Restarts)
+	fmt.Printf("elapsed         %s\n", res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("covered         %d branches (total %d, reachable est. %d)\n",
+		res.Coverage.Count(), prog.TotalBranches(), reach)
+	fmt.Printf("coverage rate   %.1f%% of reachable\n", 100*res.CoverageRate(prog))
+	fmt.Printf("solver calls    %d (%d unsat)\n", res.SolverCall, res.UnsatCalls)
+
+	distinct := res.DistinctErrors()
+	fmt.Printf("error kinds     %d\n", len(distinct))
+	for msg, recs := range distinct {
+		r := recs[0]
+		fmt.Printf("  [%s] %s\n", r.Status, msg)
+		fmt.Printf("      first at iter %d, np=%d focus=%d inputs=%v\n",
+			r.Iter, r.NProcs, r.Focus, r.Inputs)
+	}
+}

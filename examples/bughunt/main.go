@@ -1,0 +1,83 @@
+// bughunt: reproducing the paper's SUSY-HMC bug hunt (§VI-A).
+//
+// The mini SUSY-HMC ships with the four bugs COMPI found in the real code:
+// three wrong-malloc segfaults and a division by zero that only manifests
+// when the job runs with exactly 2·nsrc processes (2 or 4 for small nsrc —
+// never 1 or 3). This example hunts them the way a developer would: test,
+// triage the crash, apply the fix, keep testing.
+//
+//	go run ./examples/bughunt
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/target"
+	"repro/internal/targets/susy"
+)
+
+func main() {
+	prog, _ := target.Lookup("susy-hmc")
+	susy.UnfixAll()
+
+	fixes := []struct {
+		name  string
+		apply func()
+		done  func() bool
+	}{
+		{"setup_rhmc wrong malloc", func() { susy.Applied.RHMC = true }, func() bool { return susy.Applied.RHMC }},
+		{"ploop wrong malloc", func() { susy.Applied.Ploop = true }, func() bool { return susy.Applied.Ploop }},
+		{"congrad wrong malloc", func() { susy.Applied.Congrad = true }, func() bool { return susy.Applied.Congrad }},
+		{"update_h divide-by-zero", func() { susy.Applied.DivZero = true }, func() bool { return susy.Applied.DivZero }},
+	}
+
+	for round := 1; ; round++ {
+		res := core.NewEngine(core.Config{
+			Program:    prog,
+			Iterations: 150,
+			Reduction:  true,
+			Framework:  true,
+			Seed:       int64(round * 37),
+			DFSPhase:   30,
+			RunTimeout: 15 * time.Second,
+		}).Run()
+
+		var crash *core.ErrorRecord
+		for i, rec := range res.Errors {
+			if strings.Contains(rec.Msg, "out of range") ||
+				strings.Contains(rec.Msg, "divide by zero") {
+				crash = &res.Errors[i]
+				break
+			}
+		}
+		if crash == nil {
+			fmt.Printf("round %d: no crashes left — all bugs fixed\n", round)
+			break
+		}
+		fmt.Printf("round %d: crash at iteration %d on %d processes\n",
+			round, crash.Iter, crash.NProcs)
+		fmt.Printf("  %s\n", crash.Msg)
+		fmt.Printf("  error-inducing inputs: %v\n", crash.Inputs)
+
+		// Triage: the first still-live bug matching the signature.
+		for _, f := range fixes {
+			if f.done() {
+				continue
+			}
+			isDiv := strings.Contains(crash.Msg, "divide by zero")
+			if isDiv != (f.name == "update_h divide-by-zero") {
+				continue
+			}
+			fmt.Printf("  -> developer fixes: %s\n\n", f.name)
+			f.apply()
+			break
+		}
+		if round > 10 {
+			fmt.Println("giving up")
+			break
+		}
+	}
+}

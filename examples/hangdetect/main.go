@@ -1,0 +1,70 @@
+// hangdetect: exposing an infinite-loop bug via COMPI's per-test timeout.
+//
+// The stencil solver supports maxiter=0, meaning "iterate until
+// convergence". With tol=0 that never happens — a non-terminating
+// configuration the engine exposes by deriving maxiter=0 from the
+// "run-to-convergence" branch and a zero tolerance from the symbolic
+// convergence check, then reporting the stuck execution as a hang when the
+// watchdog fires. The recorded triggering condition is replayed afterwards,
+// the way the paper's authors handed bug conditions to the SUSY developers.
+//
+//	go run ./examples/hangdetect
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/target"
+	"repro/internal/targets/stencil"
+)
+
+func main() {
+	prog, _ := target.Lookup("stencil")
+	stencil.UnfixAll()
+
+	fmt.Println("hunting for non-terminating configurations of the stencil solver...")
+	var hang *core.ErrorRecord
+	for round := 0; round < 8 && hang == nil; round++ {
+		res := core.NewEngine(core.Config{
+			Program:    prog,
+			Iterations: 150,
+			Reduction:  true,
+			Framework:  true,
+			Seed:       int64(41 + 19*round),
+			DFSPhase:   40,
+			RunTimeout: 2 * time.Second, // the per-test timeout COMPI exposes
+			MaxTicks:   1_500_000,
+		}).Run()
+		for i, rec := range res.Errors {
+			if rec.Status == mpi.StatusHang {
+				hang = &res.Errors[i]
+				break
+			}
+		}
+	}
+	if hang == nil {
+		fmt.Println("no hang found in this budget — rerun with more iterations")
+		return
+	}
+
+	fmt.Printf("\nhang found at campaign iteration %d on %d processes\n", hang.Iter, hang.NProcs)
+	fmt.Printf("triggering inputs: %v\n", hang.Inputs)
+
+	fmt.Println("\nreplaying the triggering condition (developer reproduction)...")
+	rerun := core.Replay(prog, *hang, 2*time.Second)
+	fe, _ := rerun.FirstError()
+	fmt.Printf("replay outcome: %v\n", fe.Status)
+
+	fmt.Println("\napplying the developer fix and replaying again...")
+	stencil.FixAll()
+	rerun = core.Replay(prog, *hang, 5*time.Second)
+	if fe, bad := rerun.FirstError(); bad {
+		fmt.Printf("fixed program outcome: %v exit=%d (cleanly rejects the config)\n",
+			fe.Status, fe.Exit)
+	} else {
+		fmt.Println("fixed program ran cleanly")
+	}
+}

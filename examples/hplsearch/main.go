@@ -1,0 +1,58 @@
+// hplsearch: why search strategy choice matters for MPI programs (Figure 4).
+//
+// Mini-HPL validates 28 input parameters before it will factorize anything.
+// Only a systematic strategy (BoundedDFS) negates the sanity checks in
+// execution order and gets through; random and CFG-directed search keep
+// re-breaking the top of the chain and never reach the solver.
+//
+//	go run ./examples/hplsearch
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/target"
+	_ "repro/internal/targets/hpl"
+)
+
+func main() {
+	prog, _ := target.Lookup("hpl")
+
+	run := func(label string, strat func(e *core.Engine) core.Strategy) {
+		eng := core.NewEngine(core.Config{
+			Program:    prog,
+			Iterations: 300,
+			Reduction:  true,
+			Framework:  true,
+			Seed:       11,
+			RunTimeout: 30 * time.Second,
+		})
+		eng.SetStrategy(strat(eng))
+		res := eng.Run()
+		_, reachedSolver := res.Coverage.Funcs()["pdgesv"]
+		verdict := "stuck in the sanity check"
+		if reachedSolver {
+			verdict = "passed the sanity check and tested the solver"
+		}
+		fmt.Printf("%-26s %4d branches covered  (%s)\n",
+			label, res.Coverage.Count(), verdict)
+	}
+
+	run("bounded-dfs (default)", func(e *core.Engine) core.Strategy {
+		return core.NewBoundedDFS(core.Unbounded)
+	})
+	run("bounded-dfs (bound 100)", func(e *core.Engine) core.Strategy {
+		return core.NewBoundedDFS(100)
+	})
+	run("random-branch", func(e *core.Engine) core.Strategy {
+		return core.NewRandomBranch(11)
+	})
+	run("uniform-random", func(e *core.Engine) core.Strategy {
+		return core.NewUniformRandom(11)
+	})
+	run("cfg-directed", func(e *core.Engine) core.Strategy {
+		return core.NewCFG(prog, e.Coverage())
+	})
+}

@@ -1,0 +1,52 @@
+// Quickstart: concolic testing of the paper's running example (Figure 2).
+//
+// The skeleton program reads two inputs, sanity-checks them, branches on the
+// MPI rank, and hides a bug behind x == 100. COMPI finds the bug and reaches
+// full branch coverage in well under a hundred test iterations — including
+// the branches that need a different focus process (y >= 100 on rank != 0)
+// and a different process count (nprocs < 4).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/target"
+	_ "repro/internal/targets/skeleton"
+)
+
+func main() {
+	prog, _ := target.Lookup("skeleton")
+
+	eng := core.NewEngine(core.Config{
+		Program:    prog,
+		Iterations: 100,
+		Reduction:  true,
+		Framework:  true,
+		Seed:       1,
+		RunTimeout: 10 * time.Second,
+		Trace: func(it core.IterationStat) {
+			marker := ""
+			if it.Failed {
+				marker = "  <- error-inducing input logged"
+			}
+			fmt.Printf("iter %3d: np=%d focus=%d covered=%2d/%d%s\n",
+				it.Iter, it.NProcs, it.Focus, it.Covered, prog.TotalBranches(), marker)
+		},
+	})
+	res := eng.Run()
+
+	fmt.Printf("\ncovered %d of %d branches in %s\n",
+		res.Coverage.Count(), prog.TotalBranches(), res.Elapsed.Round(time.Millisecond))
+	for msg, recs := range res.DistinctErrors() {
+		r := recs[0]
+		if r.Status == mpi.StatusCrash || r.Status == mpi.StatusHang {
+			fmt.Printf("bug: %s\n     first triggered at iteration %d with inputs %v on %d processes\n",
+				msg, r.Iter, r.Inputs, r.NProcs)
+		}
+	}
+}

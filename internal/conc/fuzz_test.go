@@ -1,0 +1,31 @@
+package conc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecode checks that the log decoder neither panics nor over-allocates
+// on arbitrary input, and that valid logs re-encode to an equivalent form.
+func FuzzDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 8; i++ {
+		f.Add(randLog(rng).Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A successfully decoded log must round-trip through Encode/Decode.
+		again, err := Decode(l.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again.Covered) != len(l.Covered) || len(again.Path) != len(l.Path) {
+			t.Fatal("re-decode changed shape")
+		}
+	})
+}

@@ -1,0 +1,275 @@
+package conc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// Log is what one process writes at the end of a test execution and the
+// testing framework reads back — the I/O channel whose volume the two-way
+// instrumentation experiment (Table IV) measures. Light processes carry only
+// the covered-branch set; the Heavy (focus) process additionally carries the
+// constraint path, variable observations, and the local→global rank mapping.
+type Log struct {
+	Mode     Mode
+	Rank     int
+	Covered  []BranchBit
+	Funcs    []string
+	RawCount int64 // constraints generated before reduction (statistics)
+	Path     []PathEntry
+	Obs      []VarObs
+	Mapping  [][]int32
+	// Trace is the complete ordered branch-event log of a Heavy process
+	// (CREST's execution file). Its size scales with the work the program
+	// did, which is why one-way instrumentation makes every rank's log
+	// balloon (Table IV).
+	Trace []BranchBit
+}
+
+var errTruncated = errors.New("conc: truncated log")
+
+// Encode serializes l to the on-disk format. The byte count of the result is
+// the "log size" reported in the instrumentation experiments.
+func (l *Log) Encode() []byte {
+	var b []byte
+	b = append(b, byte(l.Mode))
+	b = binary.AppendUvarint(b, uint64(l.Rank))
+	b = binary.AppendUvarint(b, uint64(len(l.Covered)))
+	prev := uint64(0)
+	for _, c := range l.Covered {
+		// Delta-encode the sorted branch set.
+		b = binary.AppendUvarint(b, uint64(c)-prev)
+		prev = uint64(c)
+	}
+	b = binary.AppendUvarint(b, uint64(len(l.Funcs)))
+	for _, f := range l.Funcs {
+		b = appendString(b, f)
+	}
+	b = binary.AppendVarint(b, l.RawCount)
+	b = binary.AppendUvarint(b, uint64(len(l.Path)))
+	for _, e := range l.Path {
+		b = binary.AppendVarint(b, int64(e.Site))
+		if e.Outcome {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendPred(b, e.Pred)
+	}
+	b = binary.AppendUvarint(b, uint64(len(l.Obs)))
+	for _, o := range l.Obs {
+		b = binary.AppendUvarint(b, uint64(o.V))
+		b = appendString(b, o.Name)
+		b = binary.AppendVarint(b, o.Val)
+		b = append(b, byte(o.Kind))
+		if o.HasCap {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.AppendVarint(b, o.Cap)
+		b = binary.AppendVarint(b, int64(o.CommIdx))
+		b = binary.AppendVarint(b, o.CommSize)
+	}
+	b = binary.AppendUvarint(b, uint64(len(l.Mapping)))
+	for _, row := range l.Mapping {
+		b = binary.AppendUvarint(b, uint64(len(row)))
+		for _, g := range row {
+			b = binary.AppendVarint(b, int64(g))
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(l.Trace)))
+	for _, e := range l.Trace {
+		b = binary.AppendUvarint(b, uint64(e))
+	}
+	return b
+}
+
+// Decode parses a log written by Encode.
+func Decode(b []byte) (*Log, error) {
+	d := &decoder{b: b}
+	l := &Log{}
+	l.Mode = Mode(d.byte())
+	l.Rank = int(d.uvarint())
+	n := d.count()
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		prev += d.uvarint()
+		l.Covered = append(l.Covered, BranchBit(prev))
+	}
+	n = d.count()
+	for i := uint64(0); i < n; i++ {
+		l.Funcs = append(l.Funcs, d.str())
+	}
+	l.RawCount = d.varint()
+	n = d.count()
+	for i := uint64(0); i < n; i++ {
+		var e PathEntry
+		e.Site = CondID(d.varint())
+		e.Outcome = d.byte() == 1
+		e.Pred = d.pred()
+		l.Path = append(l.Path, e)
+	}
+	n = d.count()
+	for i := uint64(0); i < n; i++ {
+		var o VarObs
+		o.V = expr.Var(d.uvarint())
+		o.Name = d.str()
+		o.Val = d.varint()
+		o.Kind = VarKind(d.byte())
+		o.HasCap = d.byte() == 1
+		o.Cap = d.varint()
+		o.CommIdx = int32(d.varint())
+		o.CommSize = d.varint()
+		l.Obs = append(l.Obs, o)
+	}
+	n = d.count()
+	for i := uint64(0); i < n; i++ {
+		m := d.count()
+		row := make([]int32, m)
+		for j := range row {
+			row[j] = int32(d.varint())
+		}
+		l.Mapping = append(l.Mapping, row)
+	}
+	n = d.count()
+	for i := uint64(0); i < n; i++ {
+		l.Trace = append(l.Trace, BranchBit(d.uvarint()))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return l, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendPred(b []byte, p expr.Pred) []byte {
+	b = append(b, byte(p.Rel))
+	return appendExpr(b, p.E)
+}
+
+// appendExpr writes e in preorder.
+func appendExpr(b []byte, e *expr.Expr) []byte {
+	b = append(b, byte(e.Op))
+	switch e.Op {
+	case expr.OpConst:
+		return binary.AppendVarint(b, e.K)
+	case expr.OpVar:
+		return binary.AppendUvarint(b, uint64(e.V))
+	case expr.OpNeg:
+		return appendExpr(b, e.L)
+	default:
+		b = appendExpr(b, e.L)
+		return appendExpr(b, e.R)
+	}
+}
+
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = errTruncated
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || len(d.b) == 0 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// count reads a collection length and bounds it by the remaining bytes
+// (every element costs at least one byte), so corrupt input cannot force
+// huge allocations.
+func (d *decoder) count() uint64 {
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.b)) {
+		d.fail()
+		return 0
+	}
+	return n
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.count()
+	if d.err != nil || uint64(len(d.b)) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *decoder) pred() expr.Pred {
+	rel := expr.Rel(d.byte())
+	e := d.expr(0)
+	return expr.Pred{E: e, Rel: rel}
+}
+
+const maxExprDepth = 10000
+
+func (d *decoder) expr(depth int) *expr.Expr {
+	if d.err != nil || depth > maxExprDepth {
+		d.fail()
+		return expr.Const(0)
+	}
+	op := expr.Op(d.byte())
+	switch op {
+	case expr.OpConst:
+		return expr.Const(d.varint())
+	case expr.OpVar:
+		return expr.VarRef(expr.Var(d.uvarint()))
+	case expr.OpNeg:
+		return &expr.Expr{Op: expr.OpNeg, L: d.expr(depth + 1)}
+	case expr.OpAdd, expr.OpSub, expr.OpMul, expr.OpDiv, expr.OpMod:
+		l := d.expr(depth + 1)
+		r := d.expr(depth + 1)
+		return &expr.Expr{Op: op, L: l, R: r}
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("conc: bad expr op %d", op)
+		}
+		return expr.Const(0)
+	}
+}

@@ -1,0 +1,75 @@
+package conc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestHeavyRecordsTrace(t *testing.T) {
+	vs := NewVarSpace()
+	p := NewProc(0, vs, map[string]int64{"x": 1}, Config{Mode: Heavy, Reduction: true, Seed: 1})
+	x := p.InputInt("x")
+	p.Branch(CondID(1), LT(x, K(10)))
+	p.Branch(CondID(2), GT(x, K(10)))
+	p.Branch(CondID(1), LT(x, K(10))) // repeated event stays in the trace
+	log := p.Log()
+	want := []BranchBit{Bit(1, true), Bit(2, false), Bit(1, true)}
+	if !reflect.DeepEqual(log.Trace, want) {
+		t.Fatalf("trace: %v want %v", log.Trace, want)
+	}
+	// Reduction prunes the constraint path but never the trace.
+	if len(log.Path) >= len(log.Trace) {
+		t.Fatalf("path %d should be shorter than trace %d", len(log.Path), len(log.Trace))
+	}
+}
+
+func TestLightRecordsNoTrace(t *testing.T) {
+	p := NewProc(1, nil, nil, Config{Mode: Light, Seed: 1})
+	p.Branch(CondID(1), True(true))
+	if len(p.Log().Trace) != 0 {
+		t.Fatal("light mode recorded a trace")
+	}
+}
+
+func TestTraceRoundTripsThroughEncode(t *testing.T) {
+	vs := NewVarSpace()
+	p := NewProc(0, vs, nil, Config{Mode: Heavy, Seed: 1})
+	for i := 0; i < 100; i++ {
+		p.Branch(CondID(i%7), True(i%3 == 0))
+	}
+	log := p.Log()
+	got, err := Decode(log.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Trace, log.Trace) {
+		t.Fatal("trace lost in encode/decode")
+	}
+}
+
+func TestExprsOnlyCostsHeavy(t *testing.T) {
+	vs := NewVarSpace()
+	heavy := NewProc(0, vs, nil, Config{Mode: Heavy, Seed: 1})
+	light := NewProc(1, nil, nil, Config{Mode: Light, Seed: 1})
+	heavy.Exprs(1000)
+	light.Exprs(1000)
+	if heavy.ExprOps() != 1000 {
+		t.Fatalf("heavy ops: %d", heavy.ExprOps())
+	}
+	if light.ExprOps() != 0 {
+		t.Fatalf("light ops: %d", light.ExprOps())
+	}
+}
+
+func TestExprsAdvancesWatchdog(t *testing.T) {
+	p := NewProc(0, NewVarSpace(), nil, Config{Mode: Heavy, Seed: 1, MaxTicks: 100})
+	defer func() {
+		if _, ok := recover().(*ErrHang); !ok {
+			t.Fatal("expected hang")
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		p.Exprs(6400) // 6400/64 = 100 ticks per call
+	}
+	t.Fatal("unreachable")
+}

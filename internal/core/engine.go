@@ -1,0 +1,449 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/conc"
+	"repro/internal/coverage"
+	"repro/internal/expr"
+	"repro/internal/mpi"
+	"repro/internal/solver"
+	"repro/internal/target"
+)
+
+// Config parameterizes a testing campaign.
+type Config struct {
+	Program  *target.Program
+	Strategy Strategy // nil selects COMPI's default two-phase DFS
+
+	// Iterations is the test budget (program executions). TimeBudget, when
+	// non-zero, additionally stops the campaign on wall-clock time, which is
+	// how the paper's fixed-budget comparisons are run.
+	Iterations int
+	TimeBudget time.Duration
+
+	// InitialProcs and InitialFocus seed the first launch (the paper uses 8
+	// processes with focus 0). MaxProcs caps the derived process count via
+	// input capping (the paper restricts it to 16).
+	InitialProcs int
+	InitialFocus int
+	MaxProcs     int
+
+	// Reduction enables constraint set reduction (§IV-C); COMPI default on.
+	// DepthBound, when non-zero, is an explicit BoundedDFS bound for the
+	// default strategy's second phase. DFSPhase is the number of pure-DFS
+	// executions before the switch (§II-B).
+	Reduction  bool
+	DepthBound int
+	DFSPhase   int
+
+	// OneWay disables two-way instrumentation: every rank runs Heavy
+	// (§IV-B ablation).
+	OneWay bool
+
+	// Framework false disables the MPI framework (§VI-E No_Fwk): the focus
+	// and process count stay fixed, and coverage is recorded from the focus
+	// process only.
+	Framework bool
+
+	// PureRandom replaces concolic input generation with random testing
+	// under the same caps (§VI-E Random).
+	PureRandom bool
+
+	Seed       int64
+	RunTimeout time.Duration // per-iteration watchdog (default 10s)
+	MaxTicks   int64         // per-rank instrumentation-event budget (default 5e6)
+
+	// SolverMaxNodes overrides the constraint-solver search budget.
+	SolverMaxNodes int
+
+	// Trace, when non-nil, receives each iteration's statistics as they are
+	// produced (live progress for the CLI).
+	Trace func(it IterationStat)
+
+	// ErrorLog, when non-nil, receives each error-inducing input as one
+	// JSON line the moment it is recorded — the persistent bug log COMPI
+	// writes for later analysis and replay.
+	ErrorLog io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Strategy == nil {
+		c.Strategy = NewTwoPhase(c.DFSPhase, c.DepthBound)
+	}
+	if c.InitialProcs == 0 {
+		c.InitialProcs = 8
+	}
+	if c.MaxProcs == 0 {
+		c.MaxProcs = 16
+	}
+	if c.RunTimeout == 0 {
+		c.RunTimeout = 10 * time.Second
+	}
+	if c.MaxTicks == 0 {
+		c.MaxTicks = 5_000_000
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 100
+	}
+	if c.InitialFocus < 0 || c.InitialFocus >= c.InitialProcs {
+		c.InitialFocus = 0
+	}
+	return c
+}
+
+// IterationStat records one test iteration for the experiment harness.
+type IterationStat struct {
+	Iter      int
+	NProcs    int
+	Focus     int
+	Covered   int           // cumulative branches covered
+	PathLen   int           // constraint set size of this execution
+	RawCount  int64         // constraints before reduction
+	Elapsed   time.Duration // cumulative campaign time
+	RunTime   time.Duration
+	LogBytes  int // total serialized log bytes this iteration
+	FocusLog  int // focus log bytes
+	OtherLog  int // max non-focus log bytes
+	Failed    bool
+	Restarted bool
+}
+
+// ErrorRecord is one error-inducing input COMPI logs for bug analysis.
+type ErrorRecord struct {
+	Iter   int
+	NProcs int
+	Focus  int
+	Status mpi.RankStatus
+	Rank   int
+	Msg    string
+	Inputs map[string]int64
+}
+
+// Result is the outcome of a campaign.
+type Result struct {
+	Coverage   *coverage.Tracker
+	Iterations []IterationStat
+	Errors     []ErrorRecord
+	Elapsed    time.Duration
+	Restarts   int
+	SolverCall int
+	UnsatCalls int
+}
+
+// CoverageRate returns covered / reachable-branch estimate.
+func (r Result) CoverageRate(prog *target.Program) float64 {
+	reach := prog.ReachableBranches(r.Coverage.Funcs())
+	return r.Coverage.Rate(reach)
+}
+
+// DistinctErrors groups the error records by message, the way a developer
+// triages COMPI's error log into distinct bugs.
+func (r Result) DistinctErrors() map[string][]ErrorRecord {
+	out := map[string][]ErrorRecord{}
+	for _, e := range r.Errors {
+		out[e.Msg] = append(out[e.Msg], e)
+	}
+	return out
+}
+
+// Engine drives the iterative testing of one program.
+type Engine struct {
+	cfg    Config
+	vars   *conc.VarSpace
+	cov    *coverage.Tracker
+	rng    *rand.Rand
+	inputs map[string]int64
+	caps   map[string]capInfo
+	prev   map[expr.Var]int64
+	cur    setup
+}
+
+type capInfo struct {
+	cap    int64
+	hasCap bool
+}
+
+// NewEngine prepares a campaign.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:    cfg,
+		vars:   conc.NewVarSpace(),
+		cov:    coverage.New(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		inputs: map[string]int64{},
+		caps:   map[string]capInfo{},
+		prev:   map[expr.Var]int64{},
+		cur:    setup{nprocs: cfg.InitialProcs, focus: cfg.InitialFocus},
+	}
+}
+
+// Coverage exposes the live tracker (the CFG strategy consults it).
+func (e *Engine) Coverage() *coverage.Tracker { return e.cov }
+
+// SetStrategy replaces the search strategy before Run. The Figure 4
+// comparison uses it to construct CFG search against the engine's own live
+// coverage tracker.
+func (e *Engine) SetStrategy(s Strategy) { e.cfg.Strategy = s }
+
+// Run executes the campaign and returns its result.
+func (e *Engine) Run() Result {
+	res := Result{Coverage: e.cov}
+	start := time.Now()
+	for it := 0; it < e.cfg.Iterations; it++ {
+		if e.cfg.TimeBudget > 0 && time.Since(start) > e.cfg.TimeBudget {
+			break
+		}
+		stat := e.iterate(it, &res)
+		stat.Iter = it
+		stat.Elapsed = time.Since(start)
+		stat.Covered = e.cov.Count()
+		res.Iterations = append(res.Iterations, stat)
+		if e.cfg.Trace != nil {
+			e.cfg.Trace(stat)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// iterate performs one launch + one input-generation step.
+func (e *Engine) iterate(it int, res *Result) IterationStat {
+	stat := IterationStat{NProcs: e.cur.nprocs, Focus: e.cur.focus}
+
+	run := e.launch(it)
+	stat.RunTime = run.Elapsed
+	stat.Failed = run.Failed()
+
+	// Merge coverage: all recorders with the framework on, focus only with
+	// it off (§VI-E).
+	for _, rr := range run.Ranks {
+		if rr.Log == nil {
+			continue
+		}
+		if e.cfg.Framework || rr.Rank == e.cur.focus {
+			e.cov.AddLog(rr.Log)
+		}
+		stat.LogBytes += rr.LogBytes
+		if rr.Rank == e.cur.focus {
+			stat.FocusLog = rr.LogBytes
+		} else if rr.LogBytes > stat.OtherLog {
+			stat.OtherLog = rr.LogBytes
+		}
+	}
+
+	// Log error-inducing inputs.
+	if fe, bad := run.FirstError(); bad {
+		msg := fmt.Sprintf("exit=%d", fe.Exit)
+		if fe.Err != nil {
+			msg = fe.Err.Error()
+		}
+		rec := ErrorRecord{
+			Iter: it, NProcs: e.cur.nprocs, Focus: e.cur.focus,
+			Status: fe.Status, Rank: fe.Rank, Msg: msg,
+			Inputs: cloneInputs(e.inputs),
+		}
+		res.Errors = append(res.Errors, rec)
+		if e.cfg.ErrorLog != nil {
+			if b, err := json.Marshal(rec); err == nil {
+				fmt.Fprintf(e.cfg.ErrorLog, "%s\n", b)
+			}
+		}
+	}
+
+	focusLog := run.Ranks[e.cur.focus].Log
+	if focusLog == nil || focusLog.Mode != conc.Heavy {
+		// The focus leaked (hard hang): restart from fresh inputs.
+		e.restart(it, res)
+		stat.Restarted = true
+		return stat
+	}
+	stat.PathLen = len(focusLog.Path)
+	stat.RawCount = focusLog.RawCount
+
+	// Learn the values actually used this run.
+	for _, o := range focusLog.Obs {
+		e.prev[o.V] = o.Val
+		if o.Kind == conc.KindInput {
+			e.inputs[o.Name] = o.Val
+			e.caps[o.Name] = capInfo{cap: o.Cap, hasCap: o.HasCap}
+		}
+	}
+
+	if e.cfg.PureRandom {
+		e.randomizeAll()
+		return stat
+	}
+
+	// Concolic step: pick a constraint to negate and solve.
+	e.cfg.Strategy.Observe(focusLog.Path)
+	for {
+		path, idx, ok := e.cfg.Strategy.Propose()
+		if !ok {
+			e.restart(it, res)
+			stat.Restarted = true
+			return stat
+		}
+		preds := e.constraintSet(focusLog.Obs, path, idx)
+		res.SolverCall++
+		sol, sat := solver.SolveIncremental(preds, e.prev, solver.Options{
+			Seed:     e.cfg.Seed + int64(it)*7919,
+			MaxNodes: e.cfg.SolverMaxNodes,
+		})
+		if !sat {
+			res.UnsatCalls++
+			e.cfg.Strategy.Reject()
+			continue
+		}
+		e.cfg.Strategy.Accept()
+		e.apply(focusLog, sol)
+		return stat
+	}
+}
+
+// constraintSet assembles [semantics, path prefix, negated constraint]; the
+// negated constraint is last, which seeds the solver's incremental
+// dependency partition.
+func (e *Engine) constraintSet(obs []conc.VarObs, path []conc.PathEntry, idx int) []expr.Pred {
+	preds := semanticConstraints(obs, int64(e.cfg.MaxProcs))
+	for i := 0; i < idx; i++ {
+		preds = append(preds, path[i].Pred)
+	}
+	preds = append(preds, path[idx].Pred.Negate())
+	return preds
+}
+
+// apply installs the solved assignment: next inputs, process count and focus
+// (with conflict resolution), and the stale-value memory.
+func (e *Engine) apply(focusLog *conc.Log, sol solver.Result) {
+	for v, x := range sol.Values {
+		e.prev[v] = x
+	}
+	for _, o := range focusLog.Obs {
+		if o.Kind != conc.KindInput {
+			continue
+		}
+		if v, ok := sol.Values[o.V]; ok {
+			e.inputs[o.Name] = v
+		}
+	}
+	if e.cfg.Framework {
+		e.cur = resolveSetup(e.cur, focusLog.Obs, focusLog.Mapping, sol, e.cfg.MaxProcs)
+	}
+}
+
+// restart begins a fresh exploration from random inputs (the paper redoes
+// the testing when exploration gets stuck or the tree is exhausted).
+func (e *Engine) restart(it int, res *Result) {
+	res.Restarts++
+	e.cfg.Strategy.Reset()
+	e.randomizeAll()
+	if e.cfg.Framework {
+		e.cur = setup{nprocs: e.cfg.InitialProcs, focus: e.cfg.InitialFocus}
+		if e.cur.focus >= e.cur.nprocs {
+			e.cur.focus = 0
+		}
+	}
+	_ = it
+}
+
+// randomizeAll draws fresh random values for every known input under its cap
+// (both the Random baseline and restarts use this).
+func (e *Engine) randomizeAll() {
+	names := make([]string, 0, len(e.inputs))
+	for n := range e.inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ci := e.caps[n]
+		lo, hi := int64(-10), int64(100)
+		if ci.hasCap {
+			hi = ci.cap
+		}
+		e.inputs[n] = lo + e.rng.Int63n(hi-lo+1)
+	}
+	if e.cfg.PureRandom && e.cfg.Framework {
+		e.cur = setup{nprocs: 1 + e.rng.Intn(e.cfg.MaxProcs)}
+		e.cur.focus = e.rng.Intn(e.cur.nprocs)
+	}
+}
+
+// launch runs one MPMD test: Heavy at the focus, Light elsewhere (or Heavy
+// everywhere under the one-way ablation).
+func (e *Engine) launch(it int) mpi.RunResult {
+	seed := e.cfg.Seed + int64(it)
+	deadline := time.Now().Add(e.cfg.RunTimeout)
+	focus := e.cur.focus
+	return mpi.Launch(mpi.Spec{
+		NProcs: e.cur.nprocs,
+		Main:   e.cfg.Program.Main,
+		Vars:   e.vars,
+		VarsFor: func(rank int) *conc.VarSpace {
+			if rank == focus {
+				return e.vars
+			}
+			// One-way instrumentation: non-focus Heavy ranks do the full
+			// symbolic work against private spaces.
+			return conc.NewVarSpace()
+		},
+		Inputs: cloneInputs(e.inputs),
+		Conc: func(rank int) conc.Config {
+			mode := conc.Light
+			if rank == focus || e.cfg.OneWay {
+				mode = conc.Heavy
+			}
+			return conc.Config{
+				Mode:      mode,
+				Reduction: e.cfg.Reduction,
+				Seed:      seed,
+				Deadline:  deadline,
+				MaxTicks:  e.cfg.MaxTicks,
+			}
+		},
+		Timeout: e.cfg.RunTimeout,
+	})
+}
+
+func cloneInputs(in map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// Replay re-executes one error-inducing input exactly as the campaign ran
+// it: same process count, same focus, same inputs — the triggering condition
+// COMPI hands to developers for bug confirmation (§VI-A). The returned run
+// carries the per-rank statuses for triage.
+func Replay(prog *target.Program, rec ErrorRecord, timeout time.Duration) mpi.RunResult {
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	vars := conc.NewVarSpace()
+	return mpi.Launch(mpi.Spec{
+		NProcs: rec.NProcs,
+		Main:   prog.Main,
+		Vars:   vars,
+		Inputs: cloneInputs(rec.Inputs),
+		Conc: func(rank int) conc.Config {
+			mode := conc.Light
+			if rank == rec.Focus {
+				mode = conc.Heavy
+			}
+			return conc.Config{
+				Mode: mode, Reduction: true, Seed: 1,
+				Deadline: deadline, MaxTicks: 50_000_000,
+			}
+		},
+		Timeout: timeout,
+	})
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/conc"
+	"repro/internal/mpi"
+	"repro/internal/target"
+)
+
+// crashy is a test program whose every post-sanity execution crashes,
+// exercising the engine's restart-after-stuck behavior ("the testing can be
+// constrained to a very short shallow path due to an error... we just redo
+// the testing").
+var crashyOnce = func() conc.CondID {
+	b := target.NewBuilder("crashy-test", 10)
+	c := b.Cond("main", "x > 5")
+	b.Call("main", "main")
+	target.Register(b.Build(func(p *mpi.Proc) int {
+		x := p.In("x")
+		if p.If(c, conc.GT(x, conc.K(5))) {
+			panic("boom")
+		}
+		return 0
+	}))
+	return c
+}()
+
+func TestEngineSurvivesCrashLoops(t *testing.T) {
+	prog, _ := target.Lookup("crashy-test")
+	res := NewEngine(Config{
+		Program: prog, Iterations: 30, Reduction: true, Framework: true,
+		Seed: 1, RunTimeout: 5 * time.Second,
+	}).Run()
+	if len(res.Iterations) != 30 {
+		t.Fatalf("iterations: %d", len(res.Iterations))
+	}
+	// Both sides of the single conditional must get covered despite the
+	// crashes (partial logs still carry coverage).
+	if !res.Coverage.Covered(conc.Bit(crashyOnce, true)) ||
+		!res.Coverage.Covered(conc.Bit(crashyOnce, false)) {
+		t.Fatal("crash loop blocked coverage")
+	}
+	if len(res.Errors) == 0 {
+		t.Fatal("crashes not logged")
+	}
+}
+
+func TestSingleProcessCampaign(t *testing.T) {
+	res := runCampaign(t, Config{
+		Iterations: 40, Reduction: true, Seed: 2,
+		InitialProcs: 1, MaxProcs: 1,
+	})
+	for _, it := range res.Iterations {
+		if it.NProcs != 1 || it.Focus != 0 {
+			t.Fatalf("iteration escaped the 1-process cap: %+v", it)
+		}
+	}
+	if res.Coverage.Count() == 0 {
+		t.Fatal("no coverage")
+	}
+}
+
+func TestOneWayRandomCombo(t *testing.T) {
+	res := runCampaign(t, Config{
+		Iterations: 20, Reduction: true, Seed: 3,
+		OneWay: true, PureRandom: true,
+	})
+	if res.SolverCall != 0 {
+		t.Fatal("random mode called the solver")
+	}
+	if res.Coverage.Count() == 0 {
+		t.Fatal("no coverage")
+	}
+}
+
+func TestTraceCallbackInvoked(t *testing.T) {
+	var calls int
+	runCampaign(t, Config{
+		Iterations: 5, Reduction: true, Seed: 4,
+		Trace: func(it IterationStat) {
+			if it.Iter != calls {
+				t.Errorf("trace order: got %d want %d", it.Iter, calls)
+			}
+			calls++
+		},
+	})
+	if calls != 5 {
+		t.Fatalf("trace calls: %d", calls)
+	}
+}
+
+func TestErrorRecordsCarrySnapshotOfInputs(t *testing.T) {
+	res := runCampaign(t, Config{Iterations: 60, Reduction: true, Seed: 1})
+	for _, e := range res.Errors {
+		if e.Inputs == nil {
+			t.Fatal("error record without inputs")
+		}
+	}
+	// Records must be snapshots, not aliases: mutate one and re-check
+	// another from the same campaign.
+	if len(res.Errors) >= 2 {
+		res.Errors[0].Inputs["x"] = -999
+		if res.Errors[1].Inputs["x"] == -999 {
+			t.Fatal("error records share the inputs map")
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/conc"
+	"repro/internal/target"
+	_ "repro/internal/targets/skeleton"
+)
+
+func skeletonProg(t *testing.T) *target.Program {
+	t.Helper()
+	p, ok := target.Lookup("skeleton")
+	if !ok {
+		t.Fatal("skeleton not registered")
+	}
+	return p
+}
+
+func runCampaign(t *testing.T, cfg Config) Result {
+	t.Helper()
+	if cfg.Program == nil {
+		cfg.Program = skeletonProg(t)
+	}
+	if cfg.RunTimeout == 0 {
+		cfg.RunTimeout = 5 * time.Second
+	}
+	cfg.Framework = true
+	return NewEngine(cfg).Run()
+}
+
+func TestEngineFindsHiddenBug(t *testing.T) {
+	res := runCampaign(t, Config{
+		Iterations: 60,
+		Reduction:  true,
+		Seed:       1,
+	})
+	found := false
+	for msg := range res.DistinctErrors() {
+		if strings.Contains(msg, "hidden bug") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("the x==100 bug was not found in 60 iterations; errors: %v",
+			res.DistinctErrors())
+	}
+	// The error record must carry the triggering inputs for replay.
+	for _, recs := range res.DistinctErrors() {
+		for _, r := range recs {
+			if strings.Contains(r.Msg, "hidden bug") && r.Inputs["x"] != 100 {
+				t.Fatalf("error record inputs: %+v", r.Inputs)
+			}
+		}
+	}
+}
+
+func TestEngineFullCoverageOnSkeleton(t *testing.T) {
+	prog := skeletonProg(t)
+	res := runCampaign(t, Config{
+		Iterations: 120,
+		Reduction:  true,
+		Seed:       3,
+	})
+	total := prog.TotalBranches()
+	got := res.Coverage.Count()
+	// Every branch of the skeleton is coverable; allow one branch of slack
+	// for the loop exit corner.
+	if got < total-2 {
+		var missing []string
+		for _, c := range prog.Conds() {
+			for _, dir := range []bool{true, false} {
+				if !res.Coverage.Covered(conc.Bit(c.ID, dir)) {
+					missing = append(missing, c.Func+"/"+c.Label)
+				}
+			}
+		}
+		t.Fatalf("covered %d/%d branches; missing: %v", got, total, missing)
+	}
+}
+
+func TestEngineCoversRankAndSizeBranches(t *testing.T) {
+	prog := skeletonProg(t)
+	res := runCampaign(t, Config{
+		Iterations: 120,
+		Reduction:  true,
+		Seed:       5,
+	})
+	// cBigY (site 5) true/false is only executed on rank != 0: the "all
+	// recorders" framework must have covered it. cManyPrc (site 6) false
+	// requires launching with fewer than 4 processes: the framework must
+	// have varied the process count.
+	var bigY, manyPrc conc.CondID
+	for _, c := range prog.Conds() {
+		switch c.Label {
+		case "y >= 100":
+			bigY = c.ID
+		case "nprocs >= 4":
+			manyPrc = c.ID
+		}
+	}
+	if !res.Coverage.Covered(conc.Bit(bigY, true)) || !res.Coverage.Covered(conc.Bit(bigY, false)) {
+		t.Fatal("rank-dependent branch not fully covered")
+	}
+	if !res.Coverage.Covered(conc.Bit(manyPrc, false)) {
+		t.Fatal("process-count-dependent branch not covered: framework did not vary nprocs")
+	}
+}
+
+func TestNoFrameworkMissesMPIBranches(t *testing.T) {
+	prog := skeletonProg(t)
+	cfg := Config{
+		Program:    prog,
+		Iterations: 120,
+		Reduction:  true,
+		Seed:       5,
+		RunTimeout: 5 * time.Second,
+		Framework:  false, // No_Fwk: fixed focus 0, fixed 8 procs, focus-only recording
+	}
+	res := NewEngine(cfg).Run()
+	var bigY, manyPrc conc.CondID
+	for _, c := range prog.Conds() {
+		switch c.Label {
+		case "y >= 100":
+			bigY = c.ID
+		case "nprocs >= 4":
+			manyPrc = c.ID
+		}
+	}
+	if res.Coverage.Covered(conc.Bit(bigY, true)) {
+		t.Fatal("No_Fwk recorded a branch only non-focus ranks execute")
+	}
+	if res.Coverage.Covered(conc.Bit(manyPrc, false)) {
+		t.Fatal("No_Fwk varied the process count")
+	}
+	if res.Coverage.Count() == 0 {
+		t.Fatal("No_Fwk should still cover focus branches")
+	}
+}
+
+func TestFrameworkBeatsNoFramework(t *testing.T) {
+	prog := skeletonProg(t)
+	fwk := runCampaign(t, Config{Iterations: 100, Reduction: true, Seed: 9})
+	nofwk := NewEngine(Config{
+		Program: prog, Iterations: 100, Reduction: true, Seed: 9,
+		RunTimeout: 5 * time.Second, Framework: false,
+	}).Run()
+	if fwk.Coverage.Count() <= nofwk.Coverage.Count() {
+		t.Fatalf("Fwk %d <= No_Fwk %d", fwk.Coverage.Count(), nofwk.Coverage.Count())
+	}
+}
+
+func TestPureRandomBaseline(t *testing.T) {
+	res := runCampaign(t, Config{
+		Iterations: 60,
+		Reduction:  true,
+		Seed:       7,
+		PureRandom: true,
+	})
+	if res.Coverage.Count() == 0 {
+		t.Fatal("random testing covered nothing")
+	}
+	if res.SolverCall != 0 {
+		t.Fatal("random testing must not call the solver")
+	}
+}
+
+func TestConcolicBeatsRandomOnSkeleton(t *testing.T) {
+	compi := runCampaign(t, Config{Iterations: 80, Reduction: true, Seed: 11})
+	random := runCampaign(t, Config{Iterations: 80, Reduction: true, Seed: 11, PureRandom: true})
+	if compi.Coverage.Count() <= random.Coverage.Count() {
+		t.Fatalf("COMPI %d <= Random %d", compi.Coverage.Count(), random.Coverage.Count())
+	}
+}
+
+func TestOneWayInstrumentationStillWorks(t *testing.T) {
+	res := runCampaign(t, Config{
+		Iterations: 40,
+		Reduction:  true,
+		Seed:       13,
+		OneWay:     true,
+	})
+	if res.Coverage.Count() == 0 {
+		t.Fatal("one-way campaign covered nothing")
+	}
+	// Under one-way instrumentation, non-focus logs are heavy too, so the
+	// largest non-focus log should rival the focus log somewhere.
+	sawBig := false
+	for _, it := range res.Iterations {
+		if it.OtherLog*4 > it.FocusLog && it.FocusLog > 0 {
+			sawBig = true
+		}
+	}
+	if !sawBig {
+		t.Fatal("one-way non-focus logs stayed tiny")
+	}
+}
+
+func TestTwoWayLogsSmaller(t *testing.T) {
+	oneWay := runCampaign(t, Config{Iterations: 30, Reduction: true, Seed: 17, OneWay: true})
+	twoWay := runCampaign(t, Config{Iterations: 30, Reduction: true, Seed: 17})
+	var one, two int
+	for _, it := range oneWay.Iterations {
+		one += it.LogBytes
+	}
+	for _, it := range twoWay.Iterations {
+		two += it.LogBytes
+	}
+	if two >= one {
+		t.Fatalf("two-way logs (%dB) not smaller than one-way (%dB)", two, one)
+	}
+}
+
+func TestReductionShrinksConstraintSets(t *testing.T) {
+	with := runCampaign(t, Config{Iterations: 40, Reduction: true, Seed: 19})
+	without := runCampaign(t, Config{Iterations: 40, Reduction: false, Seed: 19})
+	maxWith, maxWithout := 0, 0
+	for _, it := range with.Iterations {
+		if it.PathLen > maxWith {
+			maxWith = it.PathLen
+		}
+	}
+	for _, it := range without.Iterations {
+		if it.PathLen > maxWithout {
+			maxWithout = it.PathLen
+		}
+	}
+	if maxWith >= maxWithout {
+		t.Fatalf("reduction max set %d >= non-reduction %d", maxWith, maxWithout)
+	}
+}
+
+func TestTimeBudgetStopsEarly(t *testing.T) {
+	res := runCampaign(t, Config{
+		Iterations: 100000,
+		Reduction:  true,
+		Seed:       23,
+		TimeBudget: 300 * time.Millisecond,
+	})
+	if res.Elapsed > 5*time.Second {
+		t.Fatalf("time budget ignored: %v", res.Elapsed)
+	}
+	if len(res.Iterations) == 0 {
+		t.Fatal("no iterations ran")
+	}
+}
+
+func TestDeterministicCampaigns(t *testing.T) {
+	a := runCampaign(t, Config{Iterations: 30, Reduction: true, Seed: 31})
+	b := runCampaign(t, Config{Iterations: 30, Reduction: true, Seed: 31})
+	if a.Coverage.Count() != b.Coverage.Count() {
+		t.Fatalf("coverage differs across identical campaigns: %d vs %d",
+			a.Coverage.Count(), b.Coverage.Count())
+	}
+	if len(a.Iterations) != len(b.Iterations) {
+		t.Fatal("iteration counts differ")
+	}
+	for i := range a.Iterations {
+		if a.Iterations[i].NProcs != b.Iterations[i].NProcs ||
+			a.Iterations[i].Focus != b.Iterations[i].Focus ||
+			a.Iterations[i].PathLen != b.Iterations[i].PathLen {
+			t.Fatalf("iteration %d differs", i)
+		}
+	}
+}
+
+func TestCoverageRateUsesReachableEstimate(t *testing.T) {
+	prog := skeletonProg(t)
+	res := runCampaign(t, Config{Iterations: 40, Reduction: true, Seed: 37})
+	rate := res.CoverageRate(prog)
+	if rate <= 0 || rate > 1 {
+		t.Fatalf("rate = %f", rate)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/target"
+	_ "repro/internal/targets/hpl"
+	_ "repro/internal/targets/imb"
+	"repro/internal/targets/susy"
+)
+
+func prog(t *testing.T, name string) *target.Program {
+	t.Helper()
+	p, ok := target.Lookup(name)
+	if !ok {
+		t.Fatalf("%s not registered", name)
+	}
+	return p
+}
+
+// TestHPLCampaignPassesSanityCheck is the crux of Figure 4: BoundedDFS must
+// get through the 28-parameter sanity chain and reach the solver.
+func TestHPLCampaignPassesSanityCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	p := prog(t, "hpl")
+	res := NewEngine(Config{
+		Program: p, Iterations: 250, Reduction: true, Framework: true,
+		Seed: 1, DFSPhase: 40, RunTimeout: 20 * time.Second,
+	}).Run()
+	funcs := res.Coverage.Funcs()
+	if _, ok := funcs["pdgesv"]; !ok {
+		t.Fatalf("never reached the solver; functions: %v", keys(funcs))
+	}
+	rate := res.CoverageRate(p)
+	if rate < 0.4 {
+		t.Fatalf("coverage rate %.2f too low; covered %d", rate, res.Coverage.Count())
+	}
+	t.Logf("hpl: %d branches, rate %.2f, %d iterations, %d restarts",
+		res.Coverage.Count(), rate, len(res.Iterations), res.Restarts)
+}
+
+// TestSUSYBugHunt reproduces §VI-A end to end: with all bugs live the engine
+// finds a crash; applying fixes one at a time surfaces the rest, including
+// the division by zero that needs 2 or 4 processes.
+func TestSUSYBugHunt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	p := prog(t, "susy-hmc")
+	susy.UnfixAll()
+	t.Cleanup(susy.UnfixAll)
+
+	found := map[string]bool{}
+	fixSteps := []func(){
+		func() { susy.Applied.RHMC = true },
+		func() { susy.Applied.Ploop = true },
+		func() { susy.Applied.Congrad = true },
+		func() { susy.Applied.DivZero = true },
+	}
+	for step := 0; step < len(fixSteps); step++ {
+		res := NewEngine(Config{
+			Program: p, Iterations: 120, Reduction: true, Framework: true,
+			Seed: int64(100 + step), DFSPhase: 30, RunTimeout: 15 * time.Second,
+		}).Run()
+		for msg := range res.DistinctErrors() {
+			switch {
+			case strings.Contains(msg, "out of range"):
+				found["segfault"] = true
+			case strings.Contains(msg, "divide by zero"):
+				found["fpe"] = true
+			}
+		}
+		fixSteps[step]()
+	}
+	if !found["segfault"] {
+		t.Fatal("no wrong-malloc segfault found")
+	}
+	if !found["fpe"] {
+		t.Fatal("division-by-zero bug not found")
+	}
+}
+
+// TestSUSYCoverageCampaign checks that with the bugs fixed the engine covers
+// the trajectory loop, not just the sanity check.
+func TestSUSYCoverageCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	susy.FixAll()
+	t.Cleanup(susy.UnfixAll)
+	p := prog(t, "susy-hmc")
+	res := NewEngine(Config{
+		Program: p, Iterations: 150, Reduction: true, Framework: true,
+		Seed: 5, DFSPhase: 30, RunTimeout: 15 * time.Second,
+	}).Run()
+	for _, fn := range []string{"update", "congrad", "measure"} {
+		if _, ok := res.Coverage.Funcs()[fn]; !ok {
+			t.Fatalf("function %s never reached; funcs: %v", fn, keys(res.Coverage.Funcs()))
+		}
+	}
+	rate := res.CoverageRate(p)
+	if rate < 0.5 {
+		t.Fatalf("coverage rate %.2f too low", rate)
+	}
+	t.Logf("susy: %d branches, rate %.2f", res.Coverage.Count(), rate)
+}
+
+func TestIMBCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	p := prog(t, "imb-mpi1")
+	res := NewEngine(Config{
+		Program: p, Iterations: 150, Reduction: true, Framework: true,
+		Seed: 7, DFSPhase: 30, RunTimeout: 15 * time.Second,
+	}).Run()
+	if _, ok := res.Coverage.Funcs()["driver"]; !ok {
+		t.Fatal("never reached the driver")
+	}
+	rate := res.CoverageRate(p)
+	if rate < 0.4 {
+		t.Fatalf("coverage rate %.2f too low", rate)
+	}
+	t.Logf("imb: %d branches, rate %.2f", res.Coverage.Count(), rate)
+}
+
+func keys(m map[string]struct{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"repro/internal/conc"
+	"repro/internal/expr"
+	"repro/internal/solver"
+)
+
+// semanticConstraints builds the inherent MPI-semantics constraints of §III-B
+// from the focus process's variable observations, plus the input-cap
+// constraints of §IV-A and the process-count cap:
+//
+//	⋃ {x0 - xi = 0}          all rw variables are the same rank
+//	⋃ {z0 - zi = 0}          all sw variables are the same size
+//	{x0 - z0 < 0}            rank < size
+//	⋃ {yi - si < 0}          local rank < its communicator's concrete size
+//	⋃ {yi ≥ 0}, {x0 ≥ 0}, {z0 ≥ 1}
+//	⋃ {v ≤ cap}              developer input caps
+//	{z0 ≤ maxProcs}          the testing platform's process cap
+func semanticConstraints(obs []conc.VarObs, maxProcs int64) []expr.Pred {
+	var rw, sw []conc.VarObs
+	var rc []conc.VarObs
+	var preds []expr.Pred
+	for _, o := range obs {
+		switch o.Kind {
+		case conc.KindRankWorld:
+			rw = append(rw, o)
+		case conc.KindSizeWorld:
+			sw = append(sw, o)
+		case conc.KindRankLocal:
+			rc = append(rc, o)
+		case conc.KindInput:
+			if o.HasCap {
+				preds = append(preds, expr.Compare(expr.VarRef(o.V), expr.Const(o.Cap), expr.LE))
+			}
+		}
+	}
+	for i := 1; i < len(rw); i++ {
+		preds = append(preds, expr.Compare(expr.VarRef(rw[0].V), expr.VarRef(rw[i].V), expr.EQ))
+	}
+	for i := 1; i < len(sw); i++ {
+		preds = append(preds, expr.Compare(expr.VarRef(sw[0].V), expr.VarRef(sw[i].V), expr.EQ))
+	}
+	if len(rw) > 0 && len(sw) > 0 {
+		preds = append(preds, expr.Compare(expr.VarRef(rw[0].V), expr.VarRef(sw[0].V), expr.LT))
+	}
+	for _, o := range rc {
+		preds = append(preds,
+			expr.Compare(expr.VarRef(o.V), expr.Const(o.CommSize), expr.LT),
+			expr.Compare(expr.VarRef(o.V), expr.Const(0), expr.GE))
+	}
+	if len(rw) > 0 {
+		preds = append(preds, expr.Compare(expr.VarRef(rw[0].V), expr.Const(0), expr.GE))
+	}
+	if len(sw) > 0 {
+		preds = append(preds,
+			expr.Compare(expr.VarRef(sw[0].V), expr.Const(1), expr.GE),
+			expr.Compare(expr.VarRef(sw[0].V), expr.Const(maxProcs), expr.LE))
+	}
+	return preds
+}
+
+// setup is the derived launch configuration for the next test (§III-D).
+type setup struct {
+	nprocs int
+	focus  int
+}
+
+// resolveSetup applies conflict resolution (§III-C) and test setup (§III-D):
+// the number of processes becomes the solved sw value; the focus moves when a
+// rank variable changed, using the most up-to-date value — directly for rw,
+// through the local→global mapping table for rc.
+func resolveSetup(prev setup, obs []conc.VarObs, mapping [][]int32, res solver.Result, maxProcs int) setup {
+	next := prev
+
+	// Number of processes from the first sw observation.
+	for _, o := range obs {
+		if o.Kind == conc.KindSizeWorld {
+			if v, ok := res.Values[o.V]; ok {
+				next.nprocs = int(v)
+			}
+			break
+		}
+	}
+	if next.nprocs < 1 {
+		next.nprocs = 1
+	}
+	if next.nprocs > maxProcs {
+		next.nprocs = maxProcs
+	}
+
+	// Focus: the most up-to-date rank value wins. rw beats rc because its
+	// value *is* a global rank; a changed rc translates through the mapping.
+	focusSet := false
+	for _, o := range obs {
+		if o.Kind == conc.KindRankWorld && res.Changed[o.V] {
+			next.focus = int(res.Values[o.V])
+			focusSet = true
+			break
+		}
+	}
+	if !focusSet {
+		for _, o := range obs {
+			if o.Kind != conc.KindRankLocal || !res.Changed[o.V] {
+				continue
+			}
+			local := int(res.Values[o.V])
+			ci := int(o.CommIdx)
+			if ci >= 0 && ci < len(mapping) && local >= 0 && local < len(mapping[ci]) {
+				next.focus = int(mapping[ci][local])
+				focusSet = true
+			}
+			break
+		}
+	}
+	_ = focusSet
+
+	// Keep the launch valid: the focus must exist among nprocs ranks.
+	if next.focus >= next.nprocs {
+		next.focus = next.nprocs - 1
+	}
+	if next.focus < 0 {
+		next.focus = 0
+	}
+	return next
+}

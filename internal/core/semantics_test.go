@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/conc"
+	"repro/internal/expr"
+	"repro/internal/solver"
+)
+
+func obsFixture() []conc.VarObs {
+	return []conc.VarObs{
+		{V: 0, Name: "rw:a", Val: 0, Kind: conc.KindRankWorld},
+		{V: 1, Name: "rw:b", Val: 0, Kind: conc.KindRankWorld},
+		{V: 2, Name: "sw:a", Val: 8, Kind: conc.KindSizeWorld},
+		{V: 3, Name: "rc:x", Val: 0, Kind: conc.KindRankLocal, CommIdx: 0, CommSize: 3},
+		{V: 4, Name: "n", Val: 100, Kind: conc.KindInput, HasCap: true, Cap: 300},
+		{V: 5, Name: "m", Val: 5, Kind: conc.KindInput},
+	}
+}
+
+func TestSemanticConstraintsShape(t *testing.T) {
+	preds := semanticConstraints(obsFixture(), 16)
+	// Expected: 1 rw-equality, 1 rw<sw, 2 rc bounds, 1 rw>=0,
+	// 2 sw bounds, 1 input cap = 8 predicates.
+	if len(preds) != 8 {
+		for _, p := range preds {
+			t.Logf("  %s", p)
+		}
+		t.Fatalf("got %d predicates, want 8", len(preds))
+	}
+	// The observed values must satisfy every constraint.
+	vals := map[expr.Var]int64{0: 0, 1: 0, 2: 8, 3: 0, 4: 100, 5: 5}
+	for _, p := range preds {
+		hold, ok := p.Eval(func(v expr.Var) int64 { return vals[v] })
+		if !ok || !hold {
+			t.Fatalf("observed values violate %s", p)
+		}
+	}
+	// rw >= sw must be excluded by the constraints.
+	vals[0], vals[1] = 9, 9
+	violated := false
+	for _, p := range preds {
+		if hold, ok := p.Eval(func(v expr.Var) int64 { return vals[v] }); ok && !hold {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("rank=9 size=8 must violate the semantics")
+	}
+}
+
+func TestSemanticConstraintsSolvable(t *testing.T) {
+	obs := obsFixture()
+	preds := semanticConstraints(obs, 16)
+	// Negate "rank != 3" on top of the semantics.
+	preds = append(preds, expr.Compare(expr.VarRef(0), expr.Const(3), expr.EQ))
+	prev := map[expr.Var]int64{0: 0, 1: 0, 2: 8, 3: 0, 4: 100, 5: 5}
+	res, ok := solver.SolveIncremental(preds, prev, solver.Options{Seed: 1})
+	if !ok {
+		t.Fatal("unsat")
+	}
+	if res.Values[0] != 3 || res.Values[1] != 3 {
+		t.Fatalf("rw equivalence broken: %v", res.Values)
+	}
+	if res.Values[2] < 4 || res.Values[2] > 16 {
+		t.Fatalf("sw out of range: %d", res.Values[2])
+	}
+}
+
+func TestResolveSetupFocusFromRW(t *testing.T) {
+	obs := obsFixture()
+	res := solver.Result{
+		Values:  map[expr.Var]int64{0: 3, 1: 3, 2: 8},
+		Changed: map[expr.Var]bool{0: true, 1: true},
+	}
+	s := resolveSetup(setup{nprocs: 8, focus: 0}, obs, nil, res, 16)
+	if s.focus != 3 || s.nprocs != 8 {
+		t.Fatalf("setup = %+v", s)
+	}
+}
+
+// TestResolveSetupFigure5 reproduces the paper's Figure 5: three processes,
+// focus at global rank 0 residing in two local communicators; negating
+// y0 = 0 yields y0 ← 1, whose communicator maps local rank 1 to global rank
+// 2, so the focus must move to 2.
+func TestResolveSetupFigure5(t *testing.T) {
+	obs := []conc.VarObs{
+		{V: 0, Name: "rw:a", Val: 0, Kind: conc.KindRankWorld},
+		{V: 1, Name: "rc:0", Val: 0, Kind: conc.KindRankLocal, CommIdx: 0, CommSize: 2},
+		{V: 2, Name: "rc:1", Val: 0, Kind: conc.KindRankLocal, CommIdx: 1, CommSize: 2},
+		{V: 3, Name: "sw:a", Val: 3, Kind: conc.KindSizeWorld},
+	}
+	mapping := [][]int32{
+		{0, 2}, // local comm 0: local rank 1 is global rank 2
+		{0, 1}, // local comm 1
+	}
+	res := solver.Result{
+		Values:  map[expr.Var]int64{0: 0, 1: 1, 2: 0, 3: 3},
+		Changed: map[expr.Var]bool{1: true}, // only y0 is up to date
+	}
+	s := resolveSetup(setup{nprocs: 3, focus: 0}, obs, mapping, res, 16)
+	if s.focus != 2 {
+		t.Fatalf("focus = %d, want 2 (via mapping)", s.focus)
+	}
+}
+
+func TestResolveSetupRWBeatsRC(t *testing.T) {
+	obs := []conc.VarObs{
+		{V: 0, Name: "rw:a", Val: 0, Kind: conc.KindRankWorld},
+		{V: 1, Name: "rc:0", Val: 0, Kind: conc.KindRankLocal, CommIdx: 0, CommSize: 2},
+		{V: 3, Name: "sw:a", Val: 4, Kind: conc.KindSizeWorld},
+	}
+	res := solver.Result{
+		Values:  map[expr.Var]int64{0: 1, 1: 1, 3: 4},
+		Changed: map[expr.Var]bool{0: true, 1: true},
+	}
+	s := resolveSetup(setup{nprocs: 4, focus: 0}, obs, [][]int32{{0, 3}}, res, 16)
+	if s.focus != 1 {
+		t.Fatalf("focus = %d, want rw value 1", s.focus)
+	}
+}
+
+func TestResolveSetupNoChangeKeepsFocus(t *testing.T) {
+	obs := obsFixture()
+	res := solver.Result{
+		Values:  map[expr.Var]int64{0: 0, 2: 8},
+		Changed: map[expr.Var]bool{4: true}, // only an input changed
+	}
+	s := resolveSetup(setup{nprocs: 8, focus: 5}, obs, nil, res, 16)
+	if s.focus != 5 || s.nprocs != 8 {
+		t.Fatalf("setup = %+v, want unchanged", s)
+	}
+}
+
+func TestResolveSetupClampsProcsAndFocus(t *testing.T) {
+	obs := []conc.VarObs{
+		{V: 0, Name: "rw:a", Val: 7, Kind: conc.KindRankWorld},
+		{V: 2, Name: "sw:a", Val: 8, Kind: conc.KindSizeWorld},
+	}
+	res := solver.Result{
+		Values:  map[expr.Var]int64{0: 7, 2: 2},
+		Changed: map[expr.Var]bool{2: true},
+	}
+	s := resolveSetup(setup{nprocs: 8, focus: 7}, obs, nil, res, 16)
+	if s.nprocs != 2 || s.focus != 1 {
+		t.Fatalf("setup = %+v, want nprocs=2 focus=1", s)
+	}
+	// Oversized sw gets clamped to the platform cap.
+	res.Values[2] = 500000
+	s = resolveSetup(setup{nprocs: 8, focus: 0}, obs, nil, res, 16)
+	if s.nprocs != 16 {
+		t.Fatalf("nprocs = %d, want clamped 16", s.nprocs)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"repro/internal/conc"
+)
+
+// Snapshot is the persistent campaign state. COMPI itself operates through
+// files between executions; Snapshot captures the equivalent cross-iteration
+// state — learned inputs and caps, previous variable values, the launch
+// configuration, accumulated coverage, and the error log — so a campaign can
+// stop and resume across engine instances (search-strategy position is not
+// preserved; exploration restarts from the saved inputs).
+type Snapshot struct {
+	Program string           `json:"program"`
+	Inputs  map[string]int64 `json:"inputs"`
+	Caps    map[string]int64 `json:"caps,omitempty"`
+	Prev    map[string]int64 `json:"prev"` // keyed by variable name
+	NProcs  int              `json:"nprocs"`
+	Focus   int              `json:"focus"`
+	Covered []conc.BranchBit `json:"covered"`
+	Funcs   []string         `json:"funcs"`
+	Errors  []ErrorRecord    `json:"errors,omitempty"`
+}
+
+// Snapshot captures the engine's current persistent state.
+func (e *Engine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Program: e.cfg.Program.Name,
+		Inputs:  cloneInputs(e.inputs),
+		Caps:    map[string]int64{},
+		Prev:    map[string]int64{},
+		NProcs:  e.cur.nprocs,
+		Focus:   e.cur.focus,
+		Covered: e.cov.Branches(),
+	}
+	for name, ci := range e.caps {
+		if ci.hasCap {
+			s.Caps[name] = ci.cap
+		}
+	}
+	for v, x := range e.prev {
+		if name := e.vars.Name(v); name != "" {
+			s.Prev[name] = x
+		}
+	}
+	for f := range e.cov.Funcs() {
+		s.Funcs = append(s.Funcs, f)
+	}
+	sort.Strings(s.Funcs)
+	return s
+}
+
+// Restore loads a snapshot into a fresh engine. The snapshot must come from
+// a campaign over the same program.
+func (e *Engine) Restore(s *Snapshot) {
+	e.inputs = cloneInputs(s.Inputs)
+	for name, cap := range s.Caps {
+		e.caps[name] = capInfo{cap: cap, hasCap: true}
+	}
+	for name, x := range s.Prev {
+		e.prev[e.vars.Of(name)] = x
+	}
+	e.cur = setup{nprocs: s.NProcs, focus: s.Focus}
+	if e.cur.nprocs < 1 {
+		e.cur.nprocs = e.cfg.InitialProcs
+	}
+	if e.cur.focus >= e.cur.nprocs || e.cur.focus < 0 {
+		e.cur.focus = 0
+	}
+	for _, b := range s.Covered {
+		e.cov.AddBranch(b)
+	}
+	for _, f := range s.Funcs {
+		e.cov.AddFunc(f)
+	}
+}
+
+// Save writes the snapshot as JSON.
+func (s *Snapshot) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// LoadSnapshot reads a snapshot written by Save.
+func LoadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

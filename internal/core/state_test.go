@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	e1 := NewEngine(Config{
+		Program: skeletonProg(t), Iterations: 40, Reduction: true,
+		Framework: true, Seed: 5, RunTimeout: 5 * time.Second,
+	})
+	res1 := e1.Run()
+	snap := e1.Snapshot()
+
+	if snap.Program != "skeleton" {
+		t.Fatalf("program: %s", snap.Program)
+	}
+	if len(snap.Covered) != res1.Coverage.Count() {
+		t.Fatal("snapshot coverage incomplete")
+	}
+	if len(snap.Inputs) == 0 || len(snap.Prev) == 0 {
+		t.Fatalf("snapshot missing inputs/prev: %+v", snap)
+	}
+	if snap.Caps["x"] != 200 || snap.Caps["y"] != 100 {
+		t.Fatalf("caps not captured: %v", snap.Caps)
+	}
+
+	var buf bytes.Buffer
+	if err := snap.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NProcs != snap.NProcs || len(loaded.Covered) != len(snap.Covered) {
+		t.Fatal("JSON round trip lost state")
+	}
+
+	// Resume in a new engine: coverage must be monotone over the resumed
+	// campaign, and the learned inputs carry over.
+	e2 := NewEngine(Config{
+		Program: skeletonProg(t), Iterations: 40, Reduction: true,
+		Framework: true, Seed: 6, RunTimeout: 5 * time.Second,
+	})
+	e2.Restore(loaded)
+	if e2.Coverage().Count() != res1.Coverage.Count() {
+		t.Fatal("restored coverage mismatch")
+	}
+	res2 := e2.Run()
+	if res2.Coverage.Count() < res1.Coverage.Count() {
+		t.Fatal("coverage regressed after resume")
+	}
+}
+
+func TestErrorLogWritesJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	NewEngine(Config{
+		Program: skeletonProg(t), Iterations: 60, Reduction: true,
+		Framework: true, Seed: 1, RunTimeout: 5 * time.Second,
+		ErrorLog: &buf,
+	}).Run()
+	lines := 0
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var rec ErrorRecord
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("bad JSONL: %v", err)
+		}
+		if rec.Inputs == nil {
+			t.Fatal("record without inputs")
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("no error records written")
+	}
+}
+
+func TestRestoreSanitizesLaunch(t *testing.T) {
+	e := NewEngine(Config{Program: skeletonProg(t), Iterations: 1, Framework: true, Seed: 1})
+	e.Restore(&Snapshot{NProcs: 4, Focus: 9, Inputs: map[string]int64{}, Prev: map[string]int64{}})
+	if e.cur.focus != 0 {
+		t.Fatalf("focus not clamped: %d", e.cur.focus)
+	}
+	e.Restore(&Snapshot{NProcs: 0, Focus: 0, Inputs: map[string]int64{}, Prev: map[string]int64{}})
+	if e.cur.nprocs < 1 {
+		t.Fatalf("nprocs not defaulted: %d", e.cur.nprocs)
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/targets/stencil"
+)
+
+// TestStencilHangDiscovery shows the engine exposing the infinite-loop bug
+// class the paper claims COMPI handles via per-test timeouts: the stencil's
+// "run to convergence" mode (maxiter=0) never terminates when tol=0, and the
+// campaign must log it as a hang.
+func TestStencilHangDiscovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	stencil.UnfixAll()
+	t.Cleanup(stencil.UnfixAll)
+	p := prog(t, "stencil")
+
+	var hang *ErrorRecord
+	for round := 0; round < 6 && hang == nil; round++ {
+		res := NewEngine(Config{
+			Program: p, Iterations: 150, Reduction: true, Framework: true,
+			Seed: int64(41 + 19*round), DFSPhase: 40,
+			RunTimeout: 2 * time.Second, MaxTicks: 1_500_000,
+		}).Run()
+		for i, rec := range res.Errors {
+			if rec.Status == mpi.StatusHang {
+				hang = &res.Errors[i]
+				break
+			}
+		}
+	}
+	if hang == nil {
+		t.Fatal("the infinite-loop bug was never exposed")
+	}
+	if hang.Inputs["maxiter"] != 0 || hang.Inputs["tol"] != 0 {
+		t.Fatalf("hang inputs %v do not match the bug condition", hang.Inputs)
+	}
+
+	// The paper's workflow: hand the triggering condition to the developer,
+	// who reproduces it. Replay must hang again.
+	rerun := Replay(p, *hang, 2*time.Second)
+	if fe, bad := rerun.FirstError(); !bad || fe.Status != mpi.StatusHang {
+		t.Fatalf("replay did not reproduce the hang: %+v", fe)
+	}
+
+	// After the fix the same inputs are rejected cleanly.
+	stencil.FixAll()
+	rerun = Replay(p, *hang, 5*time.Second)
+	fe, bad := rerun.FirstError()
+	if !bad || fe.Exit != 3 {
+		t.Fatalf("fixed program should reject the config: %+v", fe)
+	}
+}
+
+// TestStencilCoverageCampaign checks the engine covers the solver loop of
+// the fixed stencil, including the nonblocking halo-exchange paths.
+func TestStencilCoverageCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	stencil.FixAll()
+	t.Cleanup(stencil.UnfixAll)
+	p := prog(t, "stencil")
+	res := NewEngine(Config{
+		Program: p, Iterations: 200, Reduction: true, Framework: true,
+		Seed: 3, DFSPhase: 40, RunTimeout: 5 * time.Second,
+	}).Run()
+	if _, ok := res.Coverage.Funcs()["solve"]; !ok {
+		t.Fatal("solver loop never reached")
+	}
+	rate := res.CoverageRate(p)
+	if rate < 0.5 {
+		t.Fatalf("coverage rate %.2f too low", rate)
+	}
+	t.Logf("stencil: %d branches, rate %.2f", res.Coverage.Count(), rate)
+}
+
+func TestReplayCrashRecord(t *testing.T) {
+	// Replay of a recorded skeleton crash must reproduce it.
+	p := prog(t, "skeleton")
+	rec := ErrorRecord{
+		NProcs: 4, Focus: 0,
+		Inputs: map[string]int64{"x": 100, "y": 50},
+	}
+	res := Replay(p, rec, 5*time.Second)
+	fe, bad := res.FirstError()
+	if !bad || fe.Status != mpi.StatusCrash {
+		t.Fatalf("replay: %+v", fe)
+	}
+}

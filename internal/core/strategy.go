@@ -1,0 +1,352 @@
+// Package core implements the COMPI testing engine: the iterative concolic
+// loop, the search strategies, the MPI-semantics constraint insertion,
+// conflict resolution, and test setup (focus selection and process-count
+// derivation).
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/conc"
+	"repro/internal/coverage"
+	"repro/internal/target"
+)
+
+// Strategy decides which recorded constraint to negate next — CREST's search
+// strategy framework, which COMPI calls "the brain" of the tool.
+//
+// Protocol per iteration: the engine calls Observe with the focus path of the
+// execution that just finished, then repeatedly calls Propose; each proposal
+// is answered with Accept (solved; it will drive the next execution) or
+// Reject (unsatisfiable). Propose returning ok=false means the strategy has
+// exhausted its exploration; the engine restarts from fresh random inputs
+// after calling Reset.
+type Strategy interface {
+	Name() string
+	Observe(path []conc.PathEntry)
+	Propose() (path []conc.PathEntry, idx int, ok bool)
+	Accept()
+	Reject()
+	Reset()
+}
+
+// Unbounded is the depth bound that turns BoundedDFS into plain DFS
+// (CREST's default bound of 1,000,000).
+const Unbounded = 1000000
+
+// dfsFrame is one node of the explicit DFS stack: an execution path and the
+// next constraint index to negate, bounded below by floor (indices below
+// floor belong to ancestor frames).
+type dfsFrame struct {
+	path  []conc.PathEntry
+	i     int
+	floor int
+}
+
+// boundedDFS is CREST's BoundedDFS: systematic traversal of the execution
+// tree, negating constraints from the deepest (within the bound) upward.
+// It is the strategy COMPI selects, because it is the only one that reliably
+// passes the long sanity-check chains of MPI applications (§II-B).
+type boundedDFS struct {
+	bound     int
+	stack     []dfsFrame
+	hasProp   bool // an accepted proposal is outstanding
+	propFrame int  // stack index of the frame that proposed
+	propIdx   int
+	exhausted bool
+}
+
+// NewBoundedDFS returns a DFS strategy that never negates constraints at
+// depth ≥ bound.
+func NewBoundedDFS(bound int) Strategy {
+	if bound <= 0 {
+		bound = Unbounded
+	}
+	return &boundedDFS{bound: bound}
+}
+
+func (s *boundedDFS) Name() string { return "bounded-dfs" }
+
+func (s *boundedDFS) top(path []conc.PathEntry, floor int) dfsFrame {
+	i := len(path) - 1
+	if i > s.bound-1 {
+		i = s.bound - 1
+	}
+	return dfsFrame{path: path, i: i, floor: floor}
+}
+
+func (s *boundedDFS) Observe(path []conc.PathEntry) {
+	if !s.hasProp {
+		// Fresh start (first execution or post-restart): root the tree here.
+		s.stack = s.stack[:0]
+		s.stack = append(s.stack, s.top(path, 0))
+		s.exhausted = false
+		return
+	}
+	// The execution followed an accepted proposal: the proposing frame moves
+	// on to the next shallower index, and we descend into the new subtree if
+	// the actual path matches the expected prefix (otherwise the run
+	// diverged; skip the subtree like CREST does).
+	s.hasProp = false
+	f := &s.stack[s.propFrame]
+	expected := f.path
+	idx := s.propIdx
+	f.i = idx - 1
+	if prefixMatches(path, expected, idx) && len(path) > idx+1 {
+		s.stack = append(s.stack, s.top(path, idx+1))
+	}
+}
+
+// prefixMatches checks that got follows want's first idx entries and then
+// took the opposite direction at idx.
+func prefixMatches(got, want []conc.PathEntry, idx int) bool {
+	if len(got) <= idx || len(want) <= idx {
+		return false
+	}
+	for k := 0; k < idx; k++ {
+		if got[k].Site != want[k].Site || got[k].Outcome != want[k].Outcome {
+			return false
+		}
+	}
+	return got[idx].Site == want[idx].Site && got[idx].Outcome != want[idx].Outcome
+}
+
+func (s *boundedDFS) Propose() ([]conc.PathEntry, int, bool) {
+	for len(s.stack) > 0 {
+		f := &s.stack[len(s.stack)-1]
+		if f.i < f.floor {
+			s.stack = s.stack[:len(s.stack)-1]
+			continue
+		}
+		s.hasProp = true
+		s.propFrame = len(s.stack) - 1
+		s.propIdx = f.i
+		return f.path, f.i, true
+	}
+	s.exhausted = true
+	return nil, 0, false
+}
+
+func (s *boundedDFS) Accept() {
+	// State advances when the resulting path arrives in Observe.
+}
+
+func (s *boundedDFS) Reject() {
+	if s.hasProp {
+		s.stack[s.propFrame].i = s.propIdx - 1
+		s.hasProp = false
+	}
+}
+
+func (s *boundedDFS) Reset() {
+	s.stack = s.stack[:0]
+	s.hasProp = false
+	s.exhausted = false
+}
+
+// randomBranch is CREST's random branch search: pick a uniformly random
+// constraint of the last path and negate it.
+type randomBranch struct {
+	rng   *rand.Rand
+	path  []conc.PathEntry
+	tried map[int]struct{}
+}
+
+// NewRandomBranch returns the random branch search strategy.
+func NewRandomBranch(seed int64) Strategy {
+	return &randomBranch{rng: rand.New(rand.NewSource(seed)), tried: map[int]struct{}{}}
+}
+
+func (s *randomBranch) Name() string { return "random-branch" }
+
+func (s *randomBranch) Observe(path []conc.PathEntry) {
+	s.path = path
+	s.tried = map[int]struct{}{}
+}
+
+func (s *randomBranch) Propose() ([]conc.PathEntry, int, bool) {
+	if len(s.path) == 0 || len(s.tried) >= len(s.path) {
+		return nil, 0, false
+	}
+	for {
+		i := s.rng.Intn(len(s.path))
+		if _, dup := s.tried[i]; dup {
+			continue
+		}
+		s.tried[i] = struct{}{}
+		return s.path, i, true
+	}
+}
+
+func (s *randomBranch) Accept() {}
+func (s *randomBranch) Reject() {}
+func (s *randomBranch) Reset()  { s.path = nil; s.tried = map[int]struct{}{} }
+
+// uniformRandom is CREST's uniform random search: walk the path from the
+// start, negating each constraint with probability 1/2 and truncating there;
+// equivalently, pick a geometric-ish prefix point. It restarts from random
+// inputs frequently, which is what makes it unable to pass deep sanity
+// chains.
+type uniformRandom struct {
+	rng     *rand.Rand
+	path    []conc.PathEntry
+	tries   int
+	maxTry  int
+	restart float64 // probability of forcing a restart each iteration
+}
+
+// NewUniformRandom returns the uniform random search strategy.
+func NewUniformRandom(seed int64) Strategy {
+	return &uniformRandom{rng: rand.New(rand.NewSource(seed)), maxTry: 8, restart: 0.2}
+}
+
+func (s *uniformRandom) Name() string { return "uniform-random" }
+
+func (s *uniformRandom) Observe(path []conc.PathEntry) {
+	s.path = path
+	s.tries = 0
+}
+
+func (s *uniformRandom) Propose() ([]conc.PathEntry, int, bool) {
+	if len(s.path) == 0 || s.tries >= s.maxTry || s.rng.Float64() < s.restart {
+		return nil, 0, false
+	}
+	s.tries++
+	// Prefer early positions: flip a fair coin at each depth.
+	i := 0
+	for i < len(s.path)-1 && s.rng.Intn(2) == 1 {
+		i++
+	}
+	return s.path, i, true
+}
+
+func (s *uniformRandom) Accept() {}
+func (s *uniformRandom) Reject() {}
+func (s *uniformRandom) Reset()  { s.path = nil; s.tries = 0 }
+
+// cfgSearch approximates CREST's CFG-directed search: score each path
+// position by the static distance from its site to the nearest site owning
+// an uncovered branch, and negate the best-scoring position first.
+type cfgSearch struct {
+	prog  *target.Program
+	cov   *coverage.Tracker
+	path  []conc.PathEntry
+	order []int
+	next  int
+}
+
+// NewCFG returns the CFG-directed search strategy. It consults the live
+// coverage tracker owned by the engine.
+func NewCFG(prog *target.Program, cov *coverage.Tracker) Strategy {
+	return &cfgSearch{prog: prog, cov: cov}
+}
+
+func (s *cfgSearch) Name() string { return "cfg" }
+
+func (s *cfgSearch) Observe(path []conc.PathEntry) {
+	s.path = path
+	s.next = 0
+	// Goal set: sites with an uncovered direction.
+	goal := map[conc.CondID]struct{}{}
+	for _, c := range s.prog.Conds() {
+		if !s.cov.Covered(conc.Bit(c.ID, true)) || !s.cov.Covered(conc.Bit(c.ID, false)) {
+			goal[c.ID] = struct{}{}
+		}
+	}
+	dist := s.prog.Distances(goal)
+	type scored struct{ idx, d int }
+	ss := make([]scored, len(path))
+	for i, e := range path {
+		d, ok := dist[e.Site]
+		if !ok {
+			d = math.MaxInt32
+		}
+		ss[i] = scored{idx: i, d: d}
+	}
+	// Stable selection: best (smallest) distance first; ties favor earlier
+	// positions. This is the behavior the paper criticizes: the scoring
+	// system does not follow execution-path order, so deep sanity chains
+	// keep getting re-broken near the top instead of extended at the
+	// failing check.
+	s.order = s.order[:0]
+	for range ss {
+		best := -1
+		for j, sc := range ss {
+			if sc.idx < 0 {
+				continue
+			}
+			if best < 0 || sc.d < ss[best].d || (sc.d == ss[best].d && sc.idx < ss[best].idx) {
+				best = j
+			}
+		}
+		s.order = append(s.order, ss[best].idx)
+		ss[best].idx = -1
+	}
+}
+
+func (s *cfgSearch) Propose() ([]conc.PathEntry, int, bool) {
+	// Bound the per-iteration attempts, like CREST's scored worklist.
+	const maxAttempts = 12
+	if s.next >= len(s.order) || s.next >= maxAttempts {
+		return nil, 0, false
+	}
+	i := s.order[s.next]
+	s.next++
+	return s.path, i, true
+}
+
+func (s *cfgSearch) Accept() {}
+func (s *cfgSearch) Reject() {}
+func (s *cfgSearch) Reset()  { s.path = nil; s.order = nil; s.next = 0 }
+
+// twoPhase implements COMPI's bound selection (§II-B): run pure DFS for the
+// first phase1 executions while recording the maximal constraint-set size,
+// then switch to BoundedDFS with a bound slightly above the observed maximum.
+type twoPhase struct {
+	phase1   int
+	seen     int
+	maxLen   int
+	override int // explicit bound for phase 2 (0 = derive from maxLen)
+	inner    Strategy
+	phase2   bool
+}
+
+// NewTwoPhase returns COMPI's default search: DFS for phase1 executions, then
+// BoundedDFS with bound = observed max constraint-set size + slack. A
+// non-zero explicitBound (the per-program limits of §VI) overrides the
+// derived bound.
+func NewTwoPhase(phase1, explicitBound int) Strategy {
+	return &twoPhase{phase1: phase1, override: explicitBound, inner: NewBoundedDFS(Unbounded)}
+}
+
+func (s *twoPhase) Name() string { return "compi-two-phase" }
+
+// Bound returns the phase-2 depth bound currently in force (0 before the
+// switch).
+func (s *twoPhase) Bound() int {
+	if !s.phase2 {
+		return 0
+	}
+	if s.override > 0 {
+		return s.override
+	}
+	return s.maxLen + s.maxLen/5 + 10
+}
+
+func (s *twoPhase) Observe(path []conc.PathEntry) {
+	s.seen++
+	if len(path) > s.maxLen {
+		s.maxLen = len(path)
+	}
+	if !s.phase2 && s.seen > s.phase1 {
+		s.phase2 = true
+		s.inner = NewBoundedDFS(s.Bound())
+	}
+	s.inner.Observe(path)
+}
+
+func (s *twoPhase) Propose() ([]conc.PathEntry, int, bool) { return s.inner.Propose() }
+func (s *twoPhase) Accept()                                { s.inner.Accept() }
+func (s *twoPhase) Reject()                                { s.inner.Reject() }
+func (s *twoPhase) Reset()                                 { s.inner.Reset() }

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/conc"
+	"repro/internal/expr"
+)
+
+// mkPath builds a synthetic path of n symbolic branches over variable 0,
+// each at a distinct site, all with outcome true.
+func mkPath(n int, firstSite int) []conc.PathEntry {
+	path := make([]conc.PathEntry, n)
+	for i := range path {
+		path[i] = conc.PathEntry{
+			Site:    conc.CondID(firstSite + i),
+			Outcome: true,
+			Pred:    expr.Compare(expr.VarRef(0), expr.Const(int64(i)), expr.GE),
+		}
+	}
+	return path
+}
+
+// negated returns path with entry idx flipped (what the next execution would
+// record when the solver succeeds and the run follows the prediction).
+func negated(path []conc.PathEntry, idx int) []conc.PathEntry {
+	out := make([]conc.PathEntry, idx+1)
+	copy(out, path[:idx+1])
+	e := out[idx]
+	e.Outcome = !e.Outcome
+	e.Pred = e.Pred.Negate()
+	out[idx] = e
+	return out
+}
+
+func TestBoundedDFSDeepestFirst(t *testing.T) {
+	s := NewBoundedDFS(Unbounded)
+	s.Observe(mkPath(4, 0))
+	_, idx, ok := s.Propose()
+	if !ok || idx != 3 {
+		t.Fatalf("first proposal idx=%d ok=%v, want deepest (3)", idx, ok)
+	}
+}
+
+func TestBoundedDFSRespectsBound(t *testing.T) {
+	s := NewBoundedDFS(2)
+	s.Observe(mkPath(10, 0))
+	_, idx, ok := s.Propose()
+	if !ok || idx != 1 {
+		t.Fatalf("bounded proposal idx=%d ok=%v, want 1 (bound 2)", idx, ok)
+	}
+}
+
+func TestBoundedDFSWalksUpOnReject(t *testing.T) {
+	s := NewBoundedDFS(Unbounded)
+	s.Observe(mkPath(3, 0))
+	for want := 2; want >= 0; want-- {
+		_, idx, ok := s.Propose()
+		if !ok || idx != want {
+			t.Fatalf("idx=%d ok=%v, want %d", idx, ok, want)
+		}
+		s.Reject()
+	}
+	if _, _, ok := s.Propose(); ok {
+		t.Fatal("exhausted stack must stop proposing")
+	}
+}
+
+func TestBoundedDFSDescendsIntoNewSubtree(t *testing.T) {
+	s := NewBoundedDFS(Unbounded)
+	p0 := mkPath(3, 0)
+	s.Observe(p0)
+	_, idx, _ := s.Propose() // deepest: 2
+	s.Accept()
+	// New execution: prefix matches, branch 2 flipped, two new branches.
+	p1 := append(negated(p0, idx), mkPath(2, 10)...)
+	s.Observe(p1)
+	_, idx2, ok := s.Propose()
+	if !ok || idx2 != len(p1)-1 {
+		t.Fatalf("descend: idx=%d ok=%v, want %d", idx2, ok, len(p1)-1)
+	}
+}
+
+func TestBoundedDFSNewSubtreeFloor(t *testing.T) {
+	// After descending past index k, the child frame must not re-negate
+	// indices <= k (they belong to the parent), and the parent resumes at
+	// k-1 once the child is exhausted.
+	s := NewBoundedDFS(Unbounded)
+	p0 := mkPath(3, 0)
+	s.Observe(p0)
+	_, k, _ := s.Propose() // k = 2
+	s.Accept()
+	p1 := append(negated(p0, k), mkPath(1, 10)...) // one extra branch at depth 3
+	s.Observe(p1)
+	_, idx, _ := s.Propose()
+	if idx != 3 {
+		t.Fatalf("child proposal = %d, want 3", idx)
+	}
+	s.Reject()
+	_, idx, ok := s.Propose()
+	if !ok || idx != 1 {
+		t.Fatalf("parent resume = %d ok=%v, want 1", idx, ok)
+	}
+}
+
+func TestBoundedDFSDivergenceSkipsSubtree(t *testing.T) {
+	s := NewBoundedDFS(Unbounded)
+	p0 := mkPath(3, 0)
+	s.Observe(p0)
+	_, _, _ = s.Propose() // 2
+	s.Accept()
+	// Diverged execution: different site at index 0.
+	s.Observe(mkPath(3, 50))
+	_, idx, ok := s.Propose()
+	if !ok || idx != 1 {
+		t.Fatalf("after divergence idx=%d ok=%v, want parent 1", idx, ok)
+	}
+}
+
+func TestPrefixMatches(t *testing.T) {
+	p := mkPath(4, 0)
+	if !prefixMatches(negated(p, 2), p, 2) {
+		t.Fatal("flipped path must match")
+	}
+	if prefixMatches(p, p, 2) {
+		t.Fatal("unflipped path must not match")
+	}
+	if prefixMatches(p[:1], p, 2) {
+		t.Fatal("short path must not match")
+	}
+}
+
+func TestRandomBranchProposesWithinPath(t *testing.T) {
+	s := NewRandomBranch(1)
+	path := mkPath(5, 0)
+	s.Observe(path)
+	seen := map[int]struct{}{}
+	for {
+		_, idx, ok := s.Propose()
+		if !ok {
+			break
+		}
+		if idx < 0 || idx >= len(path) {
+			t.Fatalf("idx out of range: %d", idx)
+		}
+		if _, dup := seen[idx]; dup {
+			t.Fatalf("idx %d proposed twice without Observe", idx)
+		}
+		seen[idx] = struct{}{}
+		s.Reject()
+	}
+	if len(seen) != 5 {
+		t.Fatalf("should eventually try all 5 positions, got %d", len(seen))
+	}
+}
+
+func TestUniformRandomTerminates(t *testing.T) {
+	s := NewUniformRandom(2)
+	s.Observe(mkPath(5, 0))
+	n := 0
+	for {
+		_, _, ok := s.Propose()
+		if !ok {
+			break
+		}
+		n++
+		s.Reject()
+		if n > 100 {
+			t.Fatal("uniform random never exhausts")
+		}
+	}
+}
+
+func TestTwoPhaseBoundDerivation(t *testing.T) {
+	s := NewTwoPhase(2, 0).(*twoPhase)
+	s.Observe(mkPath(40, 0))
+	if s.Bound() != 0 {
+		t.Fatal("bound must be unset in phase 1")
+	}
+	s.Observe(mkPath(50, 0))
+	s.Observe(mkPath(10, 0)) // third observation: switch
+	if !s.phase2 {
+		t.Fatal("phase 2 not entered")
+	}
+	want := 50 + 50/5 + 10
+	if s.Bound() != want {
+		t.Fatalf("bound = %d, want %d", s.Bound(), want)
+	}
+}
+
+func TestTwoPhaseExplicitBound(t *testing.T) {
+	s := NewTwoPhase(0, 600).(*twoPhase)
+	s.Observe(mkPath(3, 0))
+	s.Observe(mkPath(3, 0))
+	if s.Bound() != 600 {
+		t.Fatalf("bound = %d, want explicit 600", s.Bound())
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if NewBoundedDFS(0).Name() != "bounded-dfs" ||
+		NewRandomBranch(0).Name() != "random-branch" ||
+		NewUniformRandom(0).Name() != "uniform-random" ||
+		NewTwoPhase(0, 0).Name() != "compi-two-phase" {
+		t.Fatal("strategy names changed")
+	}
+}

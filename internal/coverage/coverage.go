@@ -1,0 +1,89 @@
+// Package coverage accumulates branch coverage across every process of every
+// test iteration — the "all recorders" half of COMPI's "one focus and all
+// recorders" framework (§III).
+package coverage
+
+import (
+	"sort"
+
+	"repro/internal/conc"
+)
+
+// Tracker is the campaign-wide coverage state.
+type Tracker struct {
+	covered map[conc.BranchBit]struct{}
+	funcs   map[string]struct{}
+}
+
+// New returns an empty tracker.
+func New() *Tracker {
+	return &Tracker{
+		covered: map[conc.BranchBit]struct{}{},
+		funcs:   map[string]struct{}{},
+	}
+}
+
+// AddLog merges one process's log into the tracker.
+func (t *Tracker) AddLog(l *conc.Log) {
+	for _, b := range l.Covered {
+		t.covered[b] = struct{}{}
+	}
+	for _, f := range l.Funcs {
+		t.funcs[f] = struct{}{}
+	}
+}
+
+// AddBranch marks a single branch covered (used when merging trackers).
+func (t *Tracker) AddBranch(b conc.BranchBit) { t.covered[b] = struct{}{} }
+
+// AddFunc marks a function encountered.
+func (t *Tracker) AddFunc(f string) { t.funcs[f] = struct{}{} }
+
+// Count returns the number of covered branches.
+func (t *Tracker) Count() int { return len(t.covered) }
+
+// Covered reports whether branch b has been executed.
+func (t *Tracker) Covered(b conc.BranchBit) bool {
+	_, ok := t.covered[b]
+	return ok
+}
+
+// SiteTouched reports whether either branch of a conditional site was
+// executed.
+func (t *Tracker) SiteTouched(site conc.CondID) bool {
+	return t.Covered(conc.Bit(site, true)) || t.Covered(conc.Bit(site, false))
+}
+
+// Branches returns the covered branches in sorted order.
+func (t *Tracker) Branches() []conc.BranchBit {
+	out := make([]conc.BranchBit, 0, len(t.covered))
+	for b := range t.covered {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Funcs returns the set of functions encountered, for the reachable-branch
+// estimate.
+func (t *Tracker) Funcs() map[string]struct{} { return t.funcs }
+
+// Rate returns covered/total, guarding against a zero denominator.
+func (t *Tracker) Rate(total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Count()) / float64(total)
+}
+
+// Clone returns an independent copy (used to snapshot per-phase coverage).
+func (t *Tracker) Clone() *Tracker {
+	n := New()
+	for b := range t.covered {
+		n.covered[b] = struct{}{}
+	}
+	for f := range t.funcs {
+		n.funcs[f] = struct{}{}
+	}
+	return n
+}

@@ -1,0 +1,71 @@
+package coverage
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/conc"
+)
+
+func TestAddLogAndCount(t *testing.T) {
+	tr := New()
+	tr.AddLog(&conc.Log{
+		Covered: []conc.BranchBit{conc.Bit(1, true), conc.Bit(2, false)},
+		Funcs:   []string{"f", "g"},
+	})
+	tr.AddLog(&conc.Log{
+		Covered: []conc.BranchBit{conc.Bit(1, true), conc.Bit(3, true)},
+		Funcs:   []string{"g"},
+	})
+	if tr.Count() != 3 {
+		t.Fatalf("count: %d", tr.Count())
+	}
+	if !tr.Covered(conc.Bit(2, false)) || tr.Covered(conc.Bit(2, true)) {
+		t.Fatal("covered wrong")
+	}
+	if !tr.SiteTouched(2) || tr.SiteTouched(9) {
+		t.Fatal("site touched wrong")
+	}
+	if len(tr.Funcs()) != 2 {
+		t.Fatalf("funcs: %v", tr.Funcs())
+	}
+}
+
+func TestBranchesSorted(t *testing.T) {
+	tr := New()
+	tr.AddBranch(conc.Bit(5, false))
+	tr.AddBranch(conc.Bit(1, true))
+	tr.AddBranch(conc.Bit(3, true))
+	got := tr.Branches()
+	want := []conc.BranchBit{conc.Bit(1, true), conc.Bit(3, true), conc.Bit(5, false)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("branches: %v want %v", got, want)
+	}
+}
+
+func TestRate(t *testing.T) {
+	tr := New()
+	if tr.Rate(0) != 0 {
+		t.Fatal("zero denominator must not panic")
+	}
+	tr.AddBranch(conc.Bit(0, true))
+	tr.AddBranch(conc.Bit(0, false))
+	if r := tr.Rate(8); r != 0.25 {
+		t.Fatalf("rate: %f", r)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	tr := New()
+	tr.AddBranch(conc.Bit(1, true))
+	tr.AddFunc("f")
+	cp := tr.Clone()
+	cp.AddBranch(conc.Bit(2, true))
+	cp.AddFunc("g")
+	if tr.Count() != 1 || cp.Count() != 2 {
+		t.Fatalf("clone aliased: %d %d", tr.Count(), cp.Count())
+	}
+	if len(tr.Funcs()) != 1 || len(cp.Funcs()) != 2 {
+		t.Fatal("funcs aliased")
+	}
+}

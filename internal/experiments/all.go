@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner produces one or more tables for an experiment ID.
+type Runner func(s Scale) []*Table
+
+// Registry maps experiment IDs (the -exp flag values) to their drivers.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table3": func(s Scale) []*Table { return []*Table{TableIII(s)} },
+		"fig4":   func(s Scale) []*Table { return []*Table{Fig4(s)} },
+		"fig6":   func(s Scale) []*Table { return []*Table{Fig6(s)} },
+		"bugs":   func(s Scale) []*Table { return []*Table{Bugs(s)} },
+		"fig8":   func(s Scale) []*Table { return []*Table{Fig8(s)} },
+		"table4": func(s Scale) []*Table { return []*Table{TableIV(s)} },
+		"table5": func(s Scale) []*Table {
+			t5, f9 := TableVFig9(s)
+			return []*Table{t5, f9}
+		},
+		"fig9": func(s Scale) []*Table {
+			t5, f9 := TableVFig9(s)
+			return []*Table{t5, f9}
+		},
+		"table6": func(s Scale) []*Table { return []*Table{TableVI(s)} },
+	}
+}
+
+// IDs returns the experiment IDs in a stable order.
+func IDs() []string {
+	reg := Registry()
+	out := make([]string, 0, len(reg))
+	for id := range reg {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAll executes every experiment once (table5/fig9 share one run) and
+// prints the tables to w.
+func RunAll(w io.Writer, s Scale) {
+	order := []string{"table3", "fig4", "fig6", "bugs", "fig8", "table4", "table5", "table6"}
+	reg := Registry()
+	for _, id := range order {
+		fmt.Fprintf(w, "--- running %s ---\n", id)
+		for _, t := range reg[id](s) {
+			t.Fprint(w)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/targets/hpl"
+)
+
+// Fig6 reproduces Figure 6: HPL run at matrix sizes 100, 200, ..., 1000 with
+// all other inputs at their defaults. The paper observes a small coverage
+// increase from 100 to 200, flat coverage beyond, and an execution-time cost
+// at N=1000 of 27.2× the cost at N=200 — the motivation for input capping.
+func Fig6(s Scale) *Table {
+	t := &Table{
+		ID:     "fig6",
+		Title:  "HPL coverage and time cost vs. matrix size (defaults otherwise)",
+		Header: []string{"N", "Covered branches", "Time", "Time / Time(200)"},
+		Notes: []string{
+			"paper: coverage nearly flat from 200 up; time(1000) ~= 27.2 x time(200)",
+		},
+	}
+	prog := program("hpl")
+	old := hpl.NCap
+	hpl.NCap = int64(s.Fig6MaxN)
+	defer func() { hpl.NCap = old }()
+
+	var base float64
+	for n := 100; n <= s.Fig6MaxN; n += 100 {
+		in := hpl.DefaultInputs()
+		in["n"] = int64(n)
+		fr := fixedRun(prog, in, 8, 0, false, s.RunTimeout)
+		if n == 200 {
+			base = fr.elapsed.Seconds()
+		}
+		ratio := "-"
+		if base > 0 {
+			ratio = fmt.Sprintf("%.1fx", fr.elapsed.Seconds()/base)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n),
+			fmt.Sprint(fr.covered),
+			fr.elapsed.Round(1000000).String(),
+			ratio,
+		})
+	}
+	return t
+}

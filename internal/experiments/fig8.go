@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/targets/hpl"
+	"repro/internal/targets/imb"
+	"repro/internal/targets/susy"
+)
+
+// Fig8 reproduces Figure 8: the input-capping study. For each program, the
+// dominant input's cap is varied (SUSY lattice dims 5 vs 10; HPL matrix size
+// 300/600/1200; IMB iterations 50/100/400) and Reps campaigns measure the
+// testing time against the achieved coverage. The paper's shape: bigger caps
+// cost 4-7x more time for comparable coverage.
+func Fig8(s Scale) *Table {
+	t := &Table{
+		ID:     "fig8",
+		Title:  "Input capping: testing time vs. coverage at different caps",
+		Header: []string{"Program", "Cap", "Avg time", "Max time", "Avg covered", "Max covered"},
+		Notes: []string{
+			"paper: SUSY 5->10 ~4x time; HPL 300->1200 up to ~7x (worst case); IMB 50->400 ~4x; coverage comparable",
+		},
+	}
+
+	type study struct {
+		tn    tuning
+		caps  []int64
+		set   func(cap int64)
+		iters int
+	}
+	studies := []study{
+		{tn: tunings()[0], caps: []int64{5, 10},
+			set: func(c int64) { susy.DimCap = c }, iters: s.Iters / 4},
+		{tn: tunings()[1], caps: []int64{300, 600, 1200},
+			set: func(c int64) { hpl.NCap = c }, iters: s.Iters / 2},
+		{tn: tunings()[2], caps: []int64{50, 100, 400},
+			set: func(c int64) { imb.IterCap = c }, iters: s.Iters / 2},
+	}
+	defer func() {
+		susy.DimCap = 5
+		hpl.NCap = 300
+		imb.IterCap = 100
+	}()
+
+	for _, st := range studies {
+		for _, cap := range st.caps {
+			st.set(cap)
+			var times, covs []float64
+			for rep := 0; rep < s.Reps; rep++ {
+				res := campaign(st.tn, s, int64(100*rep+7), func(c *core.Config) {
+					c.Iterations = st.iters
+				})
+				times = append(times, res.Elapsed.Seconds())
+				covs = append(covs, float64(res.Coverage.Count()))
+			}
+			at, mt := avgMax(times)
+			ac, mc := avgMax(covs)
+			t.Rows = append(t.Rows, []string{
+				st.tn.name, fmt.Sprint(cap),
+				(time.Duration(at * float64(time.Second))).Round(time.Millisecond).String(),
+				(time.Duration(mt * float64(time.Second))).Round(time.Millisecond).String(),
+				fmt.Sprintf("%.0f", ac), fmt.Sprintf("%.0f", mc),
+			})
+		}
+	}
+	return t
+}

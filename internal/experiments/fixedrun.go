@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/conc"
+	"repro/internal/mpi"
+	"repro/internal/target"
+)
+
+// fixedResult summarizes one fixed-input execution.
+type fixedResult struct {
+	elapsed   time.Duration
+	focusLog  int // focus log bytes
+	otherAvg  int // average non-focus log bytes
+	covered   int // branches covered by this run (all ranks)
+	rawCount  int64
+	failed    bool
+	firstErr  string
+	focusPath int
+}
+
+// fixedRun launches prog once with pinned inputs — the "simulated testing"
+// mode of §VI-C where dynamic input derivation is disabled. oneWay makes
+// every rank heavy (the instrumentation ablation).
+func fixedRun(prog *target.Program, inputs map[string]int64, nprocs, focus int, oneWay bool, timeout time.Duration) fixedResult {
+	res := mpi.Launch(mpi.Spec{
+		NProcs: nprocs,
+		Main:   prog.Main,
+		Vars:   conc.NewVarSpace(),
+		VarsFor: func(rank int) *conc.VarSpace {
+			return conc.NewVarSpace()
+		},
+		Inputs: inputs,
+		Conc: func(rank int) conc.Config {
+			mode := conc.Light
+			if rank == focus || oneWay {
+				mode = conc.Heavy
+			}
+			return conc.Config{Mode: mode, Reduction: true, Seed: 9, MaxTicks: 200_000_000}
+		},
+		Timeout: timeout,
+	})
+	out := fixedResult{elapsed: res.Elapsed, failed: res.Failed()}
+	if fe, bad := res.FirstError(); bad && fe.Err != nil {
+		out.firstErr = fe.Err.Error()
+	}
+	seen := map[conc.BranchBit]struct{}{}
+	others, sum := 0, 0
+	for _, rr := range res.Ranks {
+		if rr.Log == nil {
+			continue
+		}
+		for _, b := range rr.Log.Covered {
+			seen[b] = struct{}{}
+		}
+		if rr.Rank == focus {
+			out.focusLog = rr.LogBytes
+			out.focusPath = len(rr.Log.Path)
+			out.rawCount = rr.Log.RawCount
+		} else {
+			others++
+			sum += rr.LogBytes
+		}
+	}
+	if others > 0 {
+		out.otherAvg = sum / others
+	}
+	out.covered = len(seen)
+	return out
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// reductionVariant is one arm of the §VI-D comparison.
+type reductionVariant struct {
+	label  string
+	mutate func(tn tuning, c *core.Config)
+}
+
+func reductionVariants() []reductionVariant {
+	return []reductionVariant{
+		{"R", func(tn tuning, c *core.Config) {
+			c.Reduction = true
+		}},
+		{"NRBound", func(tn tuning, c *core.Config) {
+			c.Reduction = false // same depth bound as COMPI's default
+		}},
+		{"NRUnl", func(tn tuning, c *core.Config) {
+			c.Reduction = false
+			c.DepthBound = core.Unbounded
+		}},
+	}
+}
+
+// TableVFig9 reproduces Table V and Figure 9 from the same campaigns:
+// COMPI with constraint set reduction (R) against the two non-reduction
+// variants (NRBound, NRUnl), comparing coverage rates and the distribution
+// of constraint-set sizes.
+func TableVFig9(s Scale) (*Table, *Table) {
+	tab5 := &Table{
+		ID:    "table5",
+		Title: "Constraint set reduction: coverage rate (avg/max over reps)",
+		Header: []string{"Program", "R avg", "R max", "NRBound avg", "NRBound max",
+			"NRUnl avg", "NRUnl max"},
+		Notes: []string{
+			"paper: SUSY 84.7/86.1 vs 80.0/82.0 vs 80.1/80.2; HPL 69.6/71.9 vs 59.0/59.6 vs 59.4/60.4; IMB all ~69.0",
+		},
+	}
+	fig9 := &Table{
+		ID:     "fig9",
+		Title:  "Constraint set size distribution per variant",
+		Header: []string{"Program", "Variant", "p50", "p90", "Max", ">500 sets"},
+		Notes: []string{
+			"paper: R always < 500; NR variants reach thousands (HPL > 1600, IMB > 2000 in 30% of iterations)",
+		},
+	}
+
+	for _, tn := range tunings() {
+		row5 := []string{tn.name}
+		for _, v := range reductionVariants() {
+			var rates []float64
+			var sizes []int
+			over := 0
+			for rep := 0; rep < s.Reps; rep++ {
+				res := campaign(tn, s, int64(500+rep*31), func(c *core.Config) {
+					v.mutate(tn, c)
+				})
+				rates = append(rates, rateOf(res.Coverage.Count(), tn, s))
+				for _, it := range res.Iterations {
+					sizes = append(sizes, it.PathLen)
+					if it.PathLen > 500 {
+						over++
+					}
+				}
+			}
+			avg, max := avgMax(rates)
+			row5 = append(row5, pct(avg), pct(max))
+			sort.Ints(sizes)
+			q := func(f float64) int {
+				if len(sizes) == 0 {
+					return 0
+				}
+				i := int(f * float64(len(sizes)-1))
+				return sizes[i]
+			}
+			fig9.Rows = append(fig9.Rows, []string{
+				tn.name, v.label,
+				fmt.Sprint(q(0.5)), fmt.Sprint(q(0.9)), fmt.Sprint(q(1.0)),
+				fmt.Sprint(over),
+			})
+		}
+		tab5.Rows = append(tab5.Rows, row5)
+	}
+	return tab5, fig9
+}

@@ -1,0 +1,262 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func env(vals map[Var]int64) Env {
+	return func(v Var) int64 { return vals[v] }
+}
+
+func TestConstFold(t *testing.T) {
+	cases := []struct {
+		e    *Expr
+		want int64
+	}{
+		{Add(Const(2), Const(3)), 5},
+		{Sub(Const(2), Const(3)), -1},
+		{Mul(Const(4), Const(-3)), -12},
+		{Div(Const(7), Const(2)), 3},
+		{Div(Const(-7), Const(2)), -3}, // Go truncated division
+		{Mod(Const(7), Const(3)), 1},
+		{Mod(Const(-7), Const(3)), -1},
+		{Neg(Const(5)), -5},
+	}
+	for _, c := range cases {
+		k, ok := c.e.IsConst()
+		if !ok {
+			t.Fatalf("%v: not folded to const", c.e)
+		}
+		if k != c.want {
+			t.Errorf("%v: got %d want %d", c.e, k, c.want)
+		}
+	}
+}
+
+func TestDivModByZeroLiteralNotFolded(t *testing.T) {
+	e := Div(Const(3), Const(0))
+	if _, ok := e.IsConst(); ok {
+		t.Fatal("division by zero literal must not fold")
+	}
+	if _, ok := e.Eval(env(nil)); ok {
+		t.Fatal("division by zero must fail Eval")
+	}
+	m := Mod(Const(3), Const(0))
+	if _, ok := m.Eval(env(nil)); ok {
+		t.Fatal("mod by zero must fail Eval")
+	}
+}
+
+func TestEval(t *testing.T) {
+	x, y := Var(0), Var(1)
+	// (x*2 + y) - 7
+	e := Sub(Add(Mul(VarRef(x), Const(2)), VarRef(y)), Const(7))
+	got, ok := e.Eval(env(map[Var]int64{x: 10, y: 5}))
+	if !ok || got != 18 {
+		t.Fatalf("Eval = %d,%v want 18,true", got, ok)
+	}
+}
+
+func TestEvalDivByZeroVariable(t *testing.T) {
+	x := Var(0)
+	e := Div(Const(10), VarRef(x))
+	if _, ok := e.Eval(env(map[Var]int64{x: 0})); ok {
+		t.Fatal("x=0 should make 10/x undefined")
+	}
+	got, ok := e.Eval(env(map[Var]int64{x: 2}))
+	if !ok || got != 5 {
+		t.Fatalf("10/2 = %d,%v", got, ok)
+	}
+}
+
+func TestAsLinearBasics(t *testing.T) {
+	x, y := Var(0), Var(1)
+	// 3*x - 2*y + 5
+	e := Add(Sub(Mul(Const(3), VarRef(x)), Mul(VarRef(y), Const(2))), Const(5))
+	l, ok := e.AsLinear()
+	if !ok {
+		t.Fatal("expected linear")
+	}
+	if l.K != 5 || l.Terms[x] != 3 || l.Terms[y] != -2 {
+		t.Fatalf("bad linear form: %v", l)
+	}
+}
+
+func TestAsLinearCancellation(t *testing.T) {
+	x := Var(0)
+	// x - x must produce the constant 0 with no terms.
+	l, ok := Sub(VarRef(x), VarRef(x)).AsLinear()
+	if !ok || !l.IsConst() || l.K != 0 {
+		t.Fatalf("x-x: got %v ok=%v", l, ok)
+	}
+}
+
+func TestAsLinearRejectsNonlinear(t *testing.T) {
+	x, y := Var(0), Var(1)
+	if _, ok := Mul(VarRef(x), VarRef(y)).AsLinear(); ok {
+		t.Fatal("x*y must not be linear")
+	}
+	if _, ok := Div(VarRef(x), Const(2)).AsLinear(); ok {
+		t.Fatal("x/2 must not be linear")
+	}
+	if _, ok := Mod(VarRef(x), Const(2)).AsLinear(); ok {
+		t.Fatal("x%2 must not be linear")
+	}
+}
+
+func TestLinearNegScale(t *testing.T) {
+	x := Var(3)
+	e := Neg(Add(VarRef(x), Const(4)))
+	l, ok := e.AsLinear()
+	if !ok || l.K != -4 || l.Terms[x] != -1 {
+		t.Fatalf("neg linear: %v ok=%v", l, ok)
+	}
+	z := l.Scale(0)
+	if !z.IsConst() || z.K != 0 {
+		t.Fatalf("scale by 0: %v", z)
+	}
+}
+
+// Property: whenever AsLinear succeeds, the linear form evaluates identically
+// to the tree under random environments.
+func TestLinearAgreesWithTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		e := randExpr(rng, 4, true)
+		l, ok := e.AsLinear()
+		if !ok {
+			continue
+		}
+		vals := map[Var]int64{}
+		for v := Var(0); v < 6; v++ {
+			vals[v] = int64(rng.Intn(201) - 100)
+		}
+		tv, tok := e.Eval(env(vals))
+		if !tok {
+			continue
+		}
+		if lv := l.Eval(env(vals)); lv != tv {
+			t.Fatalf("linear %v != tree %v for %s (linear %s)", lv, tv, e, l)
+		}
+	}
+}
+
+// randExpr builds a random expression over vars x0..x5; linearOnly avoids
+// Div/Mod so folding cannot fail.
+func randExpr(rng *rand.Rand, depth int, linearOnly bool) *Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return Const(int64(rng.Intn(21) - 10))
+		}
+		return VarRef(Var(rng.Intn(6)))
+	}
+	ops := []Op{OpAdd, OpSub, OpMul, OpNeg}
+	if !linearOnly {
+		ops = append(ops, OpDiv, OpMod)
+	}
+	op := ops[rng.Intn(len(ops))]
+	l := randExpr(rng, depth-1, linearOnly)
+	if op == OpNeg {
+		return Neg(l)
+	}
+	r := randExpr(rng, depth-1, linearOnly)
+	switch op {
+	case OpAdd:
+		return Add(l, r)
+	case OpSub:
+		return Sub(l, r)
+	case OpMul:
+		return Mul(l, r)
+	case OpDiv:
+		return Div(l, r)
+	default:
+		return Mod(l, r)
+	}
+}
+
+func TestRelNegate(t *testing.T) {
+	rels := []Rel{EQ, NE, LT, LE, GT, GE}
+	for _, r := range rels {
+		if r.Negate().Negate() != r {
+			t.Errorf("double negation of %v", r)
+		}
+		for _, v := range []int64{-2, -1, 0, 1, 2} {
+			if r.Holds(v) == r.Negate().Holds(v) {
+				t.Errorf("%v and its negation agree on %d", r, v)
+			}
+		}
+	}
+}
+
+// Property: a predicate and its negation never both hold.
+func TestPredNegationExclusive(t *testing.T) {
+	f := func(a, b int8, rel uint8) bool {
+		x := Var(0)
+		p := Compare(Add(VarRef(x), Const(int64(a))), Const(int64(b)), Rel(rel%6))
+		e := env(map[Var]int64{x: int64(a) * int64(b) % 50})
+		h1, ok1 := p.Eval(e)
+		h2, ok2 := p.Negate().Eval(e)
+		if !ok1 || !ok2 {
+			return true
+		}
+		return h1 != h2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareNormalization(t *testing.T) {
+	x := Var(0)
+	p := Compare(VarRef(x), Const(100), NE) // x != 100  →  (x-100) != 0
+	hold, ok := p.Eval(env(map[Var]int64{x: 10}))
+	if !ok || !hold {
+		t.Fatal("x=10 should satisfy x != 100")
+	}
+	hold, _ = p.Eval(env(map[Var]int64{x: 100}))
+	if hold {
+		t.Fatal("x=100 should violate x != 100")
+	}
+	n := p.Negate() // x == 100
+	hold, _ = n.Eval(env(map[Var]int64{x: 100}))
+	if !hold {
+		t.Fatal("negated predicate should hold at x=100")
+	}
+}
+
+func TestVarsAndHasVar(t *testing.T) {
+	x, y := Var(0), Var(1)
+	e := Add(Mul(VarRef(x), Const(2)), Neg(VarRef(y)))
+	set := map[Var]struct{}{}
+	e.Vars(set)
+	if len(set) != 2 {
+		t.Fatalf("vars: %v", set)
+	}
+	if !e.HasVar(x) || !e.HasVar(y) || e.HasVar(Var(9)) {
+		t.Fatal("HasVar wrong")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	x := Var(0)
+	p := Compare(Div(VarRef(x), Const(2)), Const(200), LE)
+	if got := p.String(); got != "((x0 / 2) - 200) <= 0" {
+		t.Errorf("render: %q", got)
+	}
+	l := NewLinear(3)
+	l.AddTerm(x, -2)
+	if got := l.String(); got != "3 - 2*x0" {
+		t.Errorf("linear render: %q", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Add(VarRef(0), Const(1))
+	b := Add(VarRef(0), Const(1))
+	c := Add(VarRef(1), Const(1))
+	if !Equal(a, b) || Equal(a, c) || !Equal(nil, nil) || Equal(a, nil) {
+		t.Fatal("Equal wrong")
+	}
+}

@@ -1,0 +1,52 @@
+package mpi
+
+import "sync"
+
+// message is one in-flight point-to-point payload.
+type message struct {
+	src  int
+	tag  int
+	comm int
+	data []float64
+}
+
+// mailbox is one rank's incoming message queue. Sends are buffered (always
+// complete immediately, as MPI permits for small messages); receives block
+// until a matching message arrives or the job is cancelled.
+type mailbox struct {
+	mu     sync.Mutex
+	queue  []message
+	notify chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{notify: make(chan struct{}, 1)}
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
+// take removes and returns the first message matching (src, tag, comm);
+// src may be AnySource. ok is false when no match is queued.
+func (m *mailbox) take(src, tag, comm int) (message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, msg := range m.queue {
+		if msg.comm != comm || msg.tag != tag {
+			continue
+		}
+		if src != AnySource && msg.src != src {
+			continue
+		}
+		m.queue = append(m.queue[:i], m.queue[i+1:]...)
+		return msg, true
+	}
+	return message{}, false
+}

@@ -1,0 +1,189 @@
+// Package mpi is an in-process MPI runtime: one goroutine per rank,
+// point-to-point messaging with tag and source matching, the MPI-1
+// collectives the target applications need, and communicator splitting.
+//
+// It stands in for mpiexec + OpenMPI in the paper's setup. The property that
+// matters to COMPI is MPMD launching: the focus rank runs a heavily
+// instrumented "binary" (conc.Heavy) while every other rank runs the lightly
+// instrumented one (conc.Light), exactly like
+//
+//	mpiexec -n i ./ex2 : -n 1 ./ex1 : -n s-i-1 ./ex2
+//
+// Rank and size queries route through the concolic runtime's automatic
+// marking (§III-A): CommRank on the world communicator marks an rw variable,
+// CommSize marks sw, and CommRank on a split communicator marks rc and
+// registers the local→global rank mapping row (§III-D).
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/conc"
+)
+
+// AnySource matches any sender in Recv, like MPI_ANY_SOURCE.
+const AnySource = -1
+
+// internalTag is used by collective operations; user tags must be >= 0.
+const internalTag = -2
+
+// Runtime is one MPI job: the mailboxes, communicator table, and abort state
+// shared by all ranks.
+type Runtime struct {
+	nprocs int
+	mbox   []*mailbox
+	done   chan struct{}
+	once   sync.Once
+
+	commMu   sync.Mutex
+	commIDs  map[commKey]int
+	nextComm int
+}
+
+type commKey struct {
+	parent int
+	seq    int
+	color  int
+}
+
+// newRuntime creates the shared state for an nprocs-rank job.
+func newRuntime(nprocs int) *Runtime {
+	rt := &Runtime{
+		nprocs:   nprocs,
+		mbox:     make([]*mailbox, nprocs),
+		done:     make(chan struct{}),
+		commIDs:  map[commKey]int{},
+		nextComm: 1, // 0 is the world communicator
+	}
+	for i := range rt.mbox {
+		rt.mbox[i] = newMailbox()
+	}
+	return rt
+}
+
+// cancel unblocks every pending operation; blocked ranks observe ErrStopped.
+func (rt *Runtime) cancel() { rt.once.Do(func() { close(rt.done) }) }
+
+// commIDFor deterministically assigns the same communicator ID to every
+// member of a split group, keyed by the parent communicator, the per-parent
+// split sequence number, and the color.
+func (rt *Runtime) commIDFor(parent, seq, color int) int {
+	rt.commMu.Lock()
+	defer rt.commMu.Unlock()
+	k := commKey{parent, seq, color}
+	if id, ok := rt.commIDs[k]; ok {
+		return id
+	}
+	id := rt.nextComm
+	rt.nextComm++
+	rt.commIDs[k] = id
+	return id
+}
+
+// ErrStopped is the panic value raised in ranks blocked on communication
+// when the job is cancelled (peer crash or watchdog timeout).
+type ErrStopped struct{ Rank int }
+
+func (e *ErrStopped) Error() string {
+	return fmt.Sprintf("rank %d: job stopped while blocked in MPI", e.Rank)
+}
+
+// ErrAbort is the panic value raised by Abort, modelling MPI_Abort.
+type ErrAbort struct {
+	Rank int
+	Code int
+}
+
+func (e *ErrAbort) Error() string {
+	return fmt.Sprintf("rank %d: MPI_Abort with code %d", e.Rank, e.Code)
+}
+
+// Comm is a communicator: an ordered group of global ranks. Local rank i maps
+// to global rank Ranks[i].
+type Comm struct {
+	id       int
+	ranks    []int // global ranks by local rank
+	local    int   // this process's local rank
+	world    bool
+	concIdx  int // index of this comm's row in the focus mapping table (-1 off-focus)
+	splitSeq int // per-comm split counter (deterministic across members)
+}
+
+// Size returns the concrete number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// LocalRank returns the concrete local rank (not symbolically marked).
+func (c *Comm) LocalRank() int { return c.local }
+
+// GlobalOf translates a local rank to the global rank.
+func (c *Comm) GlobalOf(local int) int { return c.ranks[local] }
+
+// Proc is one MPI process: its global rank, world communicator, and the
+// concolic runtime it is instrumented with.
+type Proc struct {
+	rt    *Runtime
+	rank  int
+	world *Comm
+	CC    *conc.Proc
+}
+
+// Rank returns the concrete global rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// NProcs returns the concrete job size.
+func (p *Proc) NProcs() int { return p.rt.nprocs }
+
+// World returns the MPI_COMM_WORLD equivalent.
+func (p *Proc) World() *Comm { return p.world }
+
+// CommRank is MPI_Comm_rank: on the world communicator the result is marked
+// as an rw variable, on any other as rc (automatic marking, §III-A). site
+// names the static callsite.
+func (p *Proc) CommRank(c *Comm, site string) conc.Value {
+	if c.world {
+		return p.CC.MarkRankWorld(site, c.local)
+	}
+	return p.CC.MarkRankLocal(site, c.local, c.concIdx, c.Size())
+}
+
+// CommSize is MPI_Comm_size: marked as sw on the world communicator. COMPI
+// does not mark sizes of other communicators, so those return concretely.
+func (p *Proc) CommSize(c *Comm, site string) conc.Value {
+	if c.world {
+		return p.CC.MarkSizeWorld(site, c.Size())
+	}
+	p.CC.Tick()
+	return conc.K(int64(c.Size()))
+}
+
+// Abort is MPI_Abort: it terminates the whole job.
+func (p *Proc) Abort(code int) {
+	p.rt.cancel()
+	panic(&ErrAbort{Rank: p.rank, Code: code})
+}
+
+// Convenience delegates to the concolic runtime, so target code reads close
+// to instrumented C.
+
+// In reads a marked input (developer-marked symbolic variable).
+func (p *Proc) In(name string) conc.Value { return p.CC.InputInt(name) }
+
+// InCap reads a marked input with an input cap (COMPI_int_with_limit).
+func (p *Proc) InCap(name string, cap int64) conc.Value { return p.CC.InputIntCap(name, cap) }
+
+// If records the branch at site and returns the concrete outcome.
+func (p *Proc) If(site conc.CondID, c conc.Cond) bool { return p.CC.Branch(site, c) }
+
+// Enter records that a function was reached (reachable-branch estimation).
+func (p *Proc) Enter(fn string) { p.CC.EnterFunc(fn) }
+
+// Assert models C assert().
+func (p *Proc) Assert(ok bool, format string, args ...any) { p.CC.Assert(ok, format, args...) }
+
+// Tick advances the hang watchdog from instrumentation-free loops.
+func (p *Proc) Tick() { p.CC.Tick() }
+
+// Exprs models n instrumented expression evaluations (paid only by Heavy
+// processes; see conc.Proc.Exprs).
+func (p *Proc) Exprs(n int) { p.CC.Exprs(n) }

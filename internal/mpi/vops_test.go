@@ -1,0 +1,125 @@
+package mpi
+
+import (
+	"reflect"
+	"testing"
+)
+
+// rankData gives local rank l a chunk of l+1 values, all equal to l.
+func rankData(l int) []float64 {
+	out := make([]float64, l+1)
+	for i := range out {
+		out[i] = float64(l)
+	}
+	return out
+}
+
+func vcounts(n int) []int {
+	c := make([]int, n)
+	for i := range c {
+		c[i] = i + 1
+	}
+	return c
+}
+
+func TestGatherv(t *testing.T) {
+	const n = 4
+	res := run(t, n, func(p *Proc) int {
+		w := p.World()
+		got := p.Gatherv(w, 2, rankData(p.Rank()), vcounts(n))
+		if p.Rank() == 2 {
+			want := []float64{0, 1, 1, 2, 2, 2, 3, 3, 3, 3}
+			if !reflect.DeepEqual(got, want) {
+				return 1
+			}
+		} else if got != nil {
+			return 2
+		}
+		return 0
+	})
+	requireAllOK(t, res)
+}
+
+func TestAllgatherv(t *testing.T) {
+	const n = 3
+	res := run(t, n, func(p *Proc) int {
+		w := p.World()
+		got := p.Allgatherv(w, rankData(p.Rank()), vcounts(n))
+		want := []float64{0, 1, 1, 2, 2, 2}
+		if !reflect.DeepEqual(got, want) {
+			return 1
+		}
+		return 0
+	})
+	requireAllOK(t, res)
+}
+
+func TestScatterv(t *testing.T) {
+	const n = 4
+	res := run(t, n, func(p *Proc) int {
+		w := p.World()
+		var root []float64
+		if p.Rank() == 1 {
+			root = []float64{0, 1, 1, 2, 2, 2, 3, 3, 3, 3}
+		}
+		got := p.Scatterv(w, 1, root, vcounts(n))
+		if len(got) != p.Rank()+1 {
+			return 1
+		}
+		for _, v := range got {
+			if v != float64(p.Rank()) {
+				return 2
+			}
+		}
+		return 0
+	})
+	requireAllOK(t, res)
+}
+
+func TestAlltoallv(t *testing.T) {
+	const n = 3
+	res := run(t, n, func(p *Proc) int {
+		w := p.World()
+		me := p.Rank()
+		// Rank r sends r+1 copies of 10r+l to each rank l... keep it simple:
+		// uniform per-destination count of me+1, so recvCounts[l] = l+1.
+		send := make([]int, n)
+		recv := make([]int, n)
+		for l := 0; l < n; l++ {
+			send[l] = me + 1
+			recv[l] = l + 1
+		}
+		data := make([]float64, (me+1)*n)
+		for l := 0; l < n; l++ {
+			for k := 0; k < me+1; k++ {
+				data[l*(me+1)+k] = float64(10*me + l)
+			}
+		}
+		got := p.Alltoallv(w, data, send, recv)
+		// Chunk from rank l has l+1 copies of 10l+me.
+		off := 0
+		for l := 0; l < n; l++ {
+			for k := 0; k < l+1; k++ {
+				if got[off] != float64(10*l+me) {
+					return 1
+				}
+				off++
+			}
+		}
+		return 0
+	})
+	requireAllOK(t, res)
+}
+
+func TestVCountsValidation(t *testing.T) {
+	res := run(t, 2, func(p *Proc) int {
+		p.Gatherv(p.World(), 0, nil, []int{1}) // wrong length: must panic
+		return 0
+	})
+	if !res.Failed() {
+		t.Fatal("validation panic not surfaced")
+	}
+	if res.Ranks[0].Status != StatusCrash {
+		t.Fatalf("rank 0: %v", res.Ranks[0].Status)
+	}
+}

@@ -1,0 +1,124 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+func TestSaturatingArithmetic(t *testing.T) {
+	if got := satMul(math.MaxInt64/2, 4); got != math.MaxInt64/4 {
+		t.Fatalf("satMul overflow: %d", got)
+	}
+	if got := satMul(math.MinInt64/2, 4); got != math.MinInt64/4 {
+		t.Fatalf("satMul underflow: %d", got)
+	}
+	if satMul(0, math.MaxInt64) != 0 || satMul(math.MaxInt64, 0) != 0 {
+		t.Fatal("satMul zero")
+	}
+	if got := satMul(3, 4); got != 12 {
+		t.Fatalf("satMul plain: %d", got)
+	}
+	if got := satAdd(math.MaxInt64/4*3, math.MaxInt64/4*3); got != math.MaxInt64/2 {
+		t.Fatalf("satAdd overflow: %d", got)
+	}
+	if got := satAdd(-(math.MaxInt64 / 4 * 3), -(math.MaxInt64 / 4 * 3)); got != math.MinInt64/2 {
+		t.Fatalf("satAdd underflow: %d", got)
+	}
+	if got := satAdd(-5, 3); got != -2 {
+		t.Fatalf("satAdd plain: %d", got)
+	}
+}
+
+func TestSolverPrefersSmallMagnitudeValues(t *testing.T) {
+	// With only an upper bound, the solution should be a small value, not
+	// the domain floor (huge boundary values trip unrelated guards in
+	// programs under test).
+	preds := []expr.Pred{expr.Compare(v(x0), k(1), expr.LE)}
+	res, ok := Solve(preds, nil, opts(1))
+	if !ok {
+		t.Fatal("unsat")
+	}
+	if got := res.Values[x0]; got < -10 || got > 1 {
+		t.Fatalf("x0 = %d, want a small value", got)
+	}
+}
+
+func TestSolveNegativeCoefficients(t *testing.T) {
+	// -3*x0 + 7 <= 0  →  x0 >= 3 (ceil of 7/3).
+	preds := []expr.Pred{
+		{E: expr.Add(expr.Mul(expr.Const(-3), v(x0)), k(7)), Rel: expr.LE},
+		expr.Compare(v(x0), k(5), expr.LE),
+	}
+	res, ok := Solve(preds, nil, opts(1))
+	if !ok {
+		t.Fatal("unsat")
+	}
+	if got := res.Values[x0]; got < 3 || got > 5 {
+		t.Fatalf("x0 = %d, want in [3,5]", got)
+	}
+}
+
+func TestSolveMixedSignSystem(t *testing.T) {
+	// 2*x0 - 3*x1 == 1 with both in [0, 10].
+	preds := []expr.Pred{
+		{E: expr.Sub(expr.Sub(expr.Mul(k(2), v(x0)), expr.Mul(k(3), v(x1))), k(1)), Rel: expr.EQ},
+		expr.Compare(v(x0), k(0), expr.GE),
+		expr.Compare(v(x0), k(10), expr.LE),
+		expr.Compare(v(x1), k(0), expr.GE),
+		expr.Compare(v(x1), k(10), expr.LE),
+	}
+	res, ok := Solve(preds, nil, opts(1))
+	if !ok {
+		t.Fatal("unsat")
+	}
+	checkSat(t, preds, res.Values)
+}
+
+func TestSolveTightBox(t *testing.T) {
+	// Exactly one solution: x0 == 4 via two inequalities.
+	preds := []expr.Pred{
+		expr.Compare(v(x0), k(4), expr.GE),
+		expr.Compare(v(x0), k(4), expr.LE),
+	}
+	res, ok := Solve(preds, map[expr.Var]int64{x0: 100}, opts(1))
+	if !ok || res.Values[x0] != 4 {
+		t.Fatalf("x0 = %v ok=%v", res.Values[x0], ok)
+	}
+	if !res.Changed[x0] {
+		t.Fatal("forced move not marked changed")
+	}
+}
+
+func TestIncrementalPrevSatisfiesWholeSet(t *testing.T) {
+	// When the previous assignment already satisfies the negated constraint
+	// (degenerate but possible after divergence), nothing should move.
+	preds := []expr.Pred{
+		expr.Compare(v(x0), k(0), expr.GE),
+		expr.Compare(v(x0), k(50), expr.LE),
+	}
+	prev := map[expr.Var]int64{x0: 7}
+	res, ok := SolveIncremental(preds, prev, opts(1))
+	if !ok || res.Values[x0] != 7 || res.Changed[x0] {
+		t.Fatalf("res = %+v ok=%v", res, ok)
+	}
+}
+
+func TestSolveManyVariablesScales(t *testing.T) {
+	// A 40-variable chain x_{i+1} = x_i + 1 anchored at x_0 = 0 must solve
+	// well inside the node budget.
+	var preds []expr.Pred
+	preds = append(preds, expr.Compare(expr.VarRef(0), k(0), expr.EQ))
+	for i := 0; i < 40; i++ {
+		d := expr.Sub(expr.VarRef(expr.Var(i+1)), expr.VarRef(expr.Var(i)))
+		preds = append(preds, expr.Compare(d, k(1), expr.EQ))
+	}
+	res, ok := Solve(preds, nil, opts(1))
+	if !ok {
+		t.Fatal("unsat")
+	}
+	if res.Values[expr.Var(40)] != 40 {
+		t.Fatalf("x40 = %d", res.Values[expr.Var(40)])
+	}
+}

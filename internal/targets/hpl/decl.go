@@ -1,0 +1,130 @@
+// Package hpl is a miniature High-Performance Linpack: it reads the 28 input
+// parameters of an HPL.dat-style configuration, validates them through the
+// HPL_pdinfo-style sanity-check chain, builds a P×Q process grid, factorizes
+// a dense random matrix with block-cyclic parallel LU (panel factorization
+// with partial pivoting, panel broadcast variants, row swapping variants,
+// trailing-matrix update), back-substitutes, and verifies the residual.
+//
+// It reproduces the three properties COMPI's evaluation leans on:
+//
+//   - a sanity check deep enough that only systematic search passes it
+//     (Figure 4),
+//   - O(N³) execution cost in the marked matrix size N (Figure 6 and the
+//     input-capping study of Figure 8), and
+//   - loops conditioned on symbolic inputs, which flood the constraint set
+//     unless constraint set reduction is on (Figure 9, Table V).
+package hpl
+
+import "repro/internal/target"
+
+var b = target.NewBuilder("hpl", 2300)
+
+// Sanity-check conditional sites (HPL_pdinfo). Declaration order is static
+// source order.
+var (
+	cNPos        = b.Cond("pdinfo", "n >= 1")
+	cNBPos       = b.Cond("pdinfo", "nb >= 1")
+	cNBLeN       = b.Cond("pdinfo", "nb <= n")
+	cPMapNonneg  = b.Cond("pdinfo", "pmap >= 0")
+	cPMap        = b.Cond("pdinfo", "pmap <= 1")
+	cPPos        = b.Cond("pdinfo", "p >= 1")
+	cQPos        = b.Cond("pdinfo", "q >= 1")
+	cGridFits    = b.Cond("pdinfo", "p*q <= nprocs")
+	cPFactNonneg = b.Cond("pdinfo", "pfact >= 0")
+	cPFact       = b.Cond("pdinfo", "pfact <= 2")
+	cNBMinPos    = b.Cond("pdinfo", "nbmin >= 1")
+	cNBMinLeNB   = b.Cond("pdinfo", "nbmin <= nb")
+	cNDiv        = b.Cond("pdinfo", "ndiv >= 2")
+	cNDivSmall   = b.Cond("pdinfo", "ndiv <= 8")
+	cRFactNonneg = b.Cond("pdinfo", "rfact >= 0")
+	cRFact       = b.Cond("pdinfo", "rfact <= 2")
+	cBcastNonneg = b.Cond("pdinfo", "bcast >= 0")
+	cBcast       = b.Cond("pdinfo", "bcast <= 5")
+	cDepthNonneg = b.Cond("pdinfo", "depth >= 0")
+	cDepth       = b.Cond("pdinfo", "depth <= 1")
+	cSwapNonneg  = b.Cond("pdinfo", "swap >= 0")
+	cSwap        = b.Cond("pdinfo", "swap <= 2")
+	cSwapThresh  = b.Cond("pdinfo", "swapthresh >= 0")
+	cL1FormNeg   = b.Cond("pdinfo", "l1form >= 0")
+	cL1Form      = b.Cond("pdinfo", "l1form <= 1")
+	cUFormNeg    = b.Cond("pdinfo", "uform >= 0")
+	cUForm       = b.Cond("pdinfo", "uform <= 1")
+	cEquilNeg    = b.Cond("pdinfo", "equil >= 0")
+	cEquil       = b.Cond("pdinfo", "equil <= 1")
+	cAlignPos    = b.Cond("pdinfo", "align >= 4")
+	cAlignMod    = b.Cond("pdinfo", "align % 4 == 0")
+	cNRunsPos    = b.Cond("pdinfo", "nruns >= 1")
+	cNRunsMax    = b.Cond("pdinfo", "nruns <= 10")
+	cVerbNonneg  = b.Cond("pdinfo", "verbosity >= 0")
+	cVerbosity   = b.Cond("pdinfo", "verbosity <= 1")
+	cMaxFails    = b.Cond("pdinfo", "maxfails >= 0")
+	cCheckNonneg = b.Cond("pdinfo", "checkres >= 0")
+	cCheckRes    = b.Cond("pdinfo", "checkres <= 1")
+	cSeedNonneg  = b.Cond("pdinfo", "seed >= 0")
+)
+
+// Grid setup sites (HPL_grid_init).
+var (
+	cGridRowMajor = b.Cond("grid_init", "pmap == row-major")
+	cGridUnused   = b.Cond("grid_init", "rank < p*q")
+	cGridSquare   = b.Cond("grid_init", "p == q")
+)
+
+// Panel factorization sites (HPL_pdfact / HPL_pdpanllT).
+var (
+	cPanelLoop    = b.Cond("pdfact", "j < jb")
+	cPivotBetter  = b.Cond("pdfact", "|a| > |pivot|")
+	cPivotZero    = b.Cond("pdfact", "pivot == 0 (singular)")
+	cPivotSwap    = b.Cond("pdfact", "pivot row != current")
+	cPFactCrout   = b.Cond("pdfact", "pfact == crout")
+	cPFactRight   = b.Cond("pdfact", "pfact == right")
+	cRecurseNBMin = b.Cond("pdfact", "width > nbmin")
+)
+
+// Broadcast variant sites (HPL_binit/HPL_bcast).
+var (
+	cBcastRing  = b.Cond("bcast", "variant ring")
+	cBcast2Ring = b.Cond("bcast", "variant 2-ring")
+	cBcastLong  = b.Cond("bcast", "msg long")
+)
+
+// Row-swapping sites (HPL_pdlaswp).
+var (
+	cSwapBinExch = b.Cond("laswp", "swap == bin-exch")
+	cSwapSpread  = b.Cond("laswp", "swap == spread-roll")
+	cSwapNeeded  = b.Cond("laswp", "pivot moves row")
+)
+
+// Update and main-loop sites (HPL_pdupdate / HPL_pdgesv).
+var (
+	cStepLoop   = b.Cond("pdgesv", "k < nblocks")
+	cDepth2     = b.Cond("pdupdate", "remaining >= 160 (deep update)")
+	cUpdateMine = b.Cond("pdupdate", "block owned locally")
+	cEquilOn    = b.Cond("pdupdate", "equilibration pass")
+)
+
+// Back-substitution and verification sites (HPL_pdtrsv / HPL_pdtest /
+// HPL_pdlange).
+var (
+	cTrsvLoop   = b.Cond("pdtrsv", "k >= 0")
+	cResidCheck = b.Cond("pdtest", "checkres enabled")
+	cResidPass  = b.Cond("pdtest", "scaled resid < 16")
+	cRunsLoop   = b.Cond("pdtest", "run < nruns")
+	cVerbose    = b.Cond("pdtest", "verbosity on")
+	cLangeRow   = b.Cond("pdlange", "row sum > running max")
+	cLangeTiny  = b.Cond("pdlange", "norm underflow guard")
+)
+
+func init() {
+	b.Call("main", "pdinfo")
+	b.Call("main", "grid_init")
+	b.Call("main", "pdtest")
+	b.Call("pdtest", "pdgesv")
+	b.Call("pdgesv", "pdfact")
+	b.Call("pdgesv", "bcast")
+	b.Call("pdgesv", "laswp")
+	b.Call("pdgesv", "pdupdate")
+	b.Call("pdtest", "pdtrsv")
+	b.Call("pdtest", "pdlange")
+	target.Register(b.Build(Main))
+}

@@ -1,0 +1,422 @@
+// Package imb is a miniature IMB-MPI1 (Intel MPI Benchmarks): it parses a
+// benchmark selection plus measurement parameters, sanity-checks them, then
+// times the selected MPI-1 operation across message sizes and process
+// subsets, exactly the skeleton of the real suite: subset communicators via
+// MPI_Comm_split (NPmin), a warm-up phase, an iteration loop whose count is
+// the dominant marked input N, and per-benchmark communication patterns.
+package imb
+
+import (
+	"repro/internal/conc"
+	"repro/internal/mpi"
+	"repro/internal/target"
+)
+
+// IterCap is the input cap (§IV-A) on the iteration count; the paper's
+// default for IMB-MPI1 is 100 (Figure 8 also uses 50 and 400).
+var IterCap int64 = 100
+
+// Benchmark selectors.
+const (
+	BenchPingPong = iota
+	BenchPingPing
+	BenchSendrecv
+	BenchExchange
+	BenchBcast
+	BenchReduce
+	BenchAllreduce
+	BenchGather
+	BenchAllgather
+	BenchAlltoall
+	BenchBarrier
+	BenchReduceScatter
+	BenchScan
+	BenchAllgatherv
+	BenchAlltoallv
+	benchCount
+)
+
+var b = target.NewBuilder("imb-mpi1", 900)
+
+// Sanity sites (IMB_basic_input).
+var (
+	cBenchLo   = b.Cond("input", "bench >= 0")
+	cBenchHi   = b.Cond("input", "bench in range")
+	cIterPos   = b.Cond("input", "niter >= 1")
+	cMinLog    = b.Cond("input", "minlog >= 0")
+	cMaxLogGE  = b.Cond("input", "maxlog >= minlog")
+	cMaxLogCap = b.Cond("input", "maxlog <= 12")
+	cNPMinPos  = b.Cond("input", "npmin >= 1")
+	cNPMinFits = b.Cond("input", "npmin <= nprocs")
+	cWarmups   = b.Cond("input", "warmups >= 0")
+	cWarmupCap = b.Cond("input", "warmups <= 10")
+	cRootOK    = b.Cond("input", "root < nprocs")
+	cRootPos   = b.Cond("input", "root >= 0")
+	cBarrierLo = b.Cond("input", "barrier >= 0")
+	cBarrierIn = b.Cond("input", "barrier <= 1")
+	cValidLo   = b.Cond("input", "validate >= 0")
+	cValidate  = b.Cond("input", "validate <= 1")
+	cTimeLimit = b.Cond("input", "tlimit >= 0")
+)
+
+// Driver sites (IMB_init_buffers_iter).
+var (
+	cSubsetLoop = b.Cond("driver", "np <= nprocs")
+	cActive     = b.Cond("driver", "rank < np")
+	cMsgLoop    = b.Cond("driver", "log <= maxlog")
+	cWarmLoop   = b.Cond("driver", "w < warmups")
+	cIterLoop   = b.Cond("driver", "i < niter")
+	cDoBarrier  = b.Cond("driver", "barrier between samples")
+	cDoValidate = b.Cond("driver", "validate buffers")
+	cValidBad   = b.Cond("driver", "validation mismatch")
+)
+
+// Per-benchmark sites.
+var (
+	cPPRanks   = b.Cond("pingpong", "rank < 2")
+	cPPEven    = b.Cond("pingpong", "rank == 0 leads")
+	cSRRing    = b.Cond("sendrecv", "ring neighbor exists")
+	cExchange2 = b.Cond("exchange", "both neighbors distinct")
+	cBcastRoot = b.Cond("bcast", "rank == root")
+	cRedRoot   = b.Cond("reduce", "rank == root collects")
+	cGatherBig = b.Cond("gather", "gathered volume > 4KiB")
+	cAtoAQuad  = b.Cond("alltoall", "quadratic volume warning")
+)
+
+func init() {
+	b.Call("main", "input")
+	b.Call("main", "driver")
+	b.Call("driver", "pingpong")
+	b.Call("driver", "sendrecv")
+	b.Call("driver", "exchange")
+	b.Call("driver", "bcast")
+	b.Call("driver", "reduce")
+	b.Call("driver", "gather")
+	b.Call("driver", "alltoall")
+	target.Register(b.Build(Main))
+}
+
+// DefaultInputs is a valid configuration (PingPong over 2..8 ranks).
+func DefaultInputs() map[string]int64 {
+	return map[string]int64{
+		"bench": BenchPingPong, "niter": 10, "minlog": 0, "maxlog": 4,
+		"npmin": 2, "warmups": 2, "root": 0, "barrier": 1,
+		"validate": 1, "tlimit": 0, "multi": 0, "pairs": 1,
+		"offcache": 0, "window": 0, "seed": 1,
+	}
+}
+
+type params struct {
+	bench, niter      int
+	minlog, maxlog    int
+	npmin, warmups    int
+	root              int
+	barrier, validate bool
+	tlimit            int
+}
+
+// Main is the program under test.
+func Main(p *mpi.Proc) int {
+	p.Enter("main")
+	w := p.World()
+
+	size := p.CommSize(w, "imb:size")
+	rank := p.CommRank(w, "imb:rank")
+
+	cfg, ok := input(p, size)
+	if !ok {
+		return 1
+	}
+	code := driver(p, cfg, rank, size)
+	p.Barrier(w)
+	return code
+}
+
+// input reads and validates the 15 marked inputs (IMB_basic_input).
+func input(p *mpi.Proc, size conc.Value) (params, bool) {
+	p.Enter("input")
+	var cfg params
+
+	bench := p.In("bench")
+	if !p.If(cBenchLo, conc.GE(bench, conc.K(0))) {
+		return cfg, false
+	}
+	if !p.If(cBenchHi, conc.LE(bench, conc.K(benchCount-1))) {
+		return cfg, false
+	}
+	niter := p.CC.InputIntCap("niter", IterCap)
+	if !p.If(cIterPos, conc.GE(niter, conc.K(1))) {
+		return cfg, false
+	}
+	minlog := p.InCap("minlog", 12)
+	if !p.If(cMinLog, conc.GE(minlog, conc.K(0))) {
+		return cfg, false
+	}
+	maxlog := p.InCap("maxlog", 12)
+	if !p.If(cMaxLogGE, conc.GE(maxlog, minlog)) {
+		return cfg, false
+	}
+	if !p.If(cMaxLogCap, conc.LE(maxlog, conc.K(12))) {
+		return cfg, false
+	}
+	npmin := p.InCap("npmin", 16)
+	if !p.If(cNPMinPos, conc.GE(npmin, conc.K(1))) {
+		return cfg, false
+	}
+	if !p.If(cNPMinFits, conc.LE(npmin, size)) {
+		return cfg, false
+	}
+	warmups := p.InCap("warmups", 10)
+	if !p.If(cWarmups, conc.GE(warmups, conc.K(0))) {
+		return cfg, false
+	}
+	if !p.If(cWarmupCap, conc.LE(warmups, conc.K(10))) {
+		return cfg, false
+	}
+	root := p.In("root")
+	if !p.If(cRootPos, conc.GE(root, conc.K(0))) {
+		return cfg, false
+	}
+	if !p.If(cRootOK, conc.LT(root, size)) {
+		return cfg, false
+	}
+	barrier := p.In("barrier")
+	if !p.If(cBarrierLo, conc.GE(barrier, conc.K(0))) {
+		return cfg, false
+	}
+	if !p.If(cBarrierIn, conc.LE(barrier, conc.K(1))) {
+		return cfg, false
+	}
+	validate := p.In("validate")
+	if !p.If(cValidLo, conc.GE(validate, conc.K(0))) {
+		return cfg, false
+	}
+	if !p.If(cValidate, conc.LE(validate, conc.K(1))) {
+		return cfg, false
+	}
+	tlimit := p.In("tlimit")
+	if !p.If(cTimeLimit, conc.GE(tlimit, conc.K(0))) {
+		return cfg, false
+	}
+
+	cfg = params{
+		bench: int(bench.C), niter: int(niter.C),
+		minlog: int(minlog.C), maxlog: int(maxlog.C),
+		npmin: int(npmin.C), warmups: int(warmups.C),
+		root: int(root.C), barrier: barrier.C == 1,
+		validate: validate.C == 1, tlimit: int(tlimit.C),
+	}
+	return cfg, true
+}
+
+// driver runs the selected benchmark over process subsets (npmin, 2·npmin,
+// ..., nprocs) and message sizes (2^minlog .. 2^maxlog).
+func driver(p *mpi.Proc, cfg params, rank, size conc.Value) int {
+	p.Enter("driver")
+	w := p.World()
+	nprocs := int(size.C)
+
+	np := cfg.npmin
+	for p.If(cSubsetLoop, conc.True(np <= nprocs)) {
+		active := p.If(cActive, conc.LT(rank, conc.K(int64(np))))
+		color := 1
+		if active {
+			color = 0
+		}
+		sub := p.Split(w, color, p.Rank())
+		if active {
+			_ = p.CommRank(sub, "imb:subrank")
+			if code := runSizes(p, cfg, sub); code != 0 {
+				return code
+			}
+		}
+		// Everyone advances the subset schedule together.
+		p.Barrier(w)
+		if np == nprocs {
+			break
+		}
+		np *= 2
+		if np > nprocs {
+			np = nprocs
+		}
+	}
+	return 0
+}
+
+// runSizes sweeps the message sizes for one subset communicator.
+func runSizes(p *mpi.Proc, cfg params, sub *mpi.Comm) int {
+	niterSym := p.In("niter")
+	maxlogSym := p.In("maxlog")
+	log := conc.K(int64(cfg.minlog))
+	for p.If(cMsgLoop, conc.LE(log, maxlogSym)) {
+		n := 1 << uint(log.C) / 8
+		if n < 1 {
+			n = 1
+		}
+		buf := make([]float64, n)
+		for i := range buf {
+			buf[i] = float64(i + sub.LocalRank())
+		}
+		p.Exprs(len(buf))
+
+		w := conc.K(0)
+		warmupsSym := p.In("warmups")
+		for p.If(cWarmLoop, conc.LT(w, warmupsSym)) {
+			runOnce(p, cfg, sub, buf)
+			w = conc.Add(w, conc.K(1))
+		}
+
+		i := conc.K(0)
+		for p.If(cIterLoop, conc.LT(i, niterSym)) {
+			if p.If(cDoBarrier, conc.True(cfg.barrier)) {
+				p.Barrier(sub)
+			}
+			out := runOnce(p, cfg, sub, buf)
+			if p.If(cDoValidate, conc.True(cfg.validate && out != nil)) {
+				if p.If(cValidBad, conc.True(len(out) == 0)) {
+					return 2 // corrupted result buffer
+				}
+			}
+			i = conc.Add(i, conc.K(1))
+		}
+		log = conc.Add(log, conc.K(1))
+	}
+	return 0
+}
+
+// runOnce performs one timed sample of the selected benchmark.
+func runOnce(p *mpi.Proc, cfg params, sub *mpi.Comm, buf []float64) []float64 {
+	me, np := sub.LocalRank(), sub.Size()
+	root := cfg.root % np
+	switch cfg.bench {
+	case BenchPingPong:
+		p.Enter("pingpong")
+		if !p.If(cPPRanks, conc.True(me < 2)) {
+			return buf
+		}
+		if np < 2 {
+			return buf
+		}
+		if p.If(cPPEven, conc.True(me == 0)) {
+			p.Send(sub, 1, 1, buf)
+			out, _ := p.Recv(sub, 1, 2)
+			return out
+		}
+		out, _ := p.Recv(sub, 0, 1)
+		p.Send(sub, 0, 2, out)
+		return out
+	case BenchPingPing:
+		p.Enter("pingpong")
+		if !p.If(cPPRanks, conc.True(me < 2)) || np < 2 {
+			return buf
+		}
+		peer := 1 - me
+		p.Send(sub, peer, 3, buf)
+		out, _ := p.Recv(sub, peer, 3)
+		return out
+	case BenchSendrecv:
+		p.Enter("sendrecv")
+		if !p.If(cSRRing, conc.True(np > 1)) {
+			return buf
+		}
+		right, left := (me+1)%np, (me-1+np)%np
+		out, _ := p.Sendrecv(sub, right, 4, buf, left, 4)
+		return out
+	case BenchExchange:
+		p.Enter("exchange")
+		if np < 2 {
+			return buf
+		}
+		right, left := (me+1)%np, (me-1+np)%np
+		if p.If(cExchange2, conc.True(right != left)) {
+			p.Send(sub, left, 5, buf)
+		}
+		p.Send(sub, right, 6, buf)
+		out, _ := p.Recv(sub, left, 6)
+		if right != left {
+			_, _ = p.Recv(sub, right, 5)
+		}
+		return out
+	case BenchBcast:
+		p.Enter("bcast")
+		p.If(cBcastRoot, conc.True(me == root))
+		return p.Bcast(sub, root, buf)
+	case BenchReduce:
+		p.Enter("reduce")
+		out := p.Reduce(sub, root, mpi.OpSum, buf)
+		if p.If(cRedRoot, conc.True(me == root)) {
+			return out
+		}
+		return buf
+	case BenchAllreduce:
+		p.Enter("reduce")
+		return p.Allreduce(sub, mpi.OpSum, buf)
+	case BenchGather:
+		p.Enter("gather")
+		out := p.Gather(sub, root, buf)
+		if p.If(cGatherBig, conc.True(len(buf)*np*8 > 4096)) {
+			p.Tick() // large-gather path (chunked in the real suite)
+		}
+		if me == root {
+			return out
+		}
+		return buf
+	case BenchAllgather:
+		p.Enter("gather")
+		return p.Allgather(sub, buf)
+	case BenchAlltoall:
+		p.Enter("alltoall")
+		full := make([]float64, len(buf)*np)
+		for i := range full {
+			full[i] = float64(i)
+		}
+		if p.If(cAtoAQuad, conc.True(len(full)*np*8 > 65536)) {
+			p.Tick() // quadratic-volume warning path
+		}
+		return p.Alltoall(sub, full, len(buf))
+	case BenchReduceScatter:
+		p.Enter("reduce")
+		full := make([]float64, len(buf)*np)
+		for i := range full {
+			full[i] = float64(me + i)
+		}
+		return p.ReduceScatter(sub, mpi.OpSum, full, len(buf))
+	case BenchScan:
+		p.Enter("reduce")
+		return p.Scan(sub, mpi.OpSum, buf)
+	case BenchAllgatherv:
+		p.Enter("gather")
+		// Varying contributions: rank l sends min(l+1, len(buf)) elements.
+		counts := make([]int, np)
+		for l := 0; l < np; l++ {
+			counts[l] = l + 1
+			if counts[l] > len(buf) {
+				counts[l] = len(buf)
+			}
+		}
+		return p.Allgatherv(sub, buf[:counts[me]], counts)
+	case BenchAlltoallv:
+		p.Enter("alltoall")
+		send := make([]int, np)
+		recv := make([]int, np)
+		for l := 0; l < np; l++ {
+			send[l] = (me % len(buf)) + 1
+			recv[l] = (l % len(buf)) + 1
+			if send[l] > len(buf) {
+				send[l] = len(buf)
+			}
+			if recv[l] > len(buf) {
+				recv[l] = len(buf)
+			}
+		}
+		packed := make([]float64, 0, np*len(buf))
+		for l := 0; l < np; l++ {
+			packed = append(packed, buf[:send[l]]...)
+		}
+		return p.Alltoallv(sub, packed, send, recv)
+	default: // BenchBarrier
+		p.Enter("driver")
+		p.Barrier(sub)
+		return buf
+	}
+}

@@ -1,0 +1,91 @@
+// Package skeleton is the running example of the paper (Figures 1 and 2): a
+// small SPMD program that reads two inputs, performs a sanity check on them
+// and their combination, branches on the MPI rank and the input, and runs a
+// loop-based solver. A bug is hidden behind the branch x == 100, like the
+// bug at branch 0F in Figure 1.
+package skeleton
+
+import (
+	"repro/internal/conc"
+	"repro/internal/mpi"
+	"repro/internal/target"
+)
+
+var b = target.NewBuilder("skeleton", 120)
+
+// Conditional sites in static order (what the instrumentation phase would
+// emit for the program of Figure 2).
+var (
+	cXPos    = b.Cond("sanity", "x >= 1")
+	cYPos    = b.Cond("sanity", "y >= 1")
+	cCombo   = b.Cond("sanity", "x*y <= 10000")
+	cHidden  = b.Cond("sanity", "x == 100") // hidden bug (Figure 1, branch 0F)
+	cIsRoot  = b.Cond("main", "rank == 0")
+	cBigY    = b.Cond("main", "y >= 100") // reachable only on rank != 0
+	cManyPrc = b.Cond("solve", "nprocs >= 4")
+	cLoop    = b.Cond("solve", "i < x")
+)
+
+func init() {
+	b.Call("main", "sanity")
+	b.Call("main", "solve")
+	target.Register(b.Build(Main))
+}
+
+// Main is the program under test.
+func Main(p *mpi.Proc) int {
+	p.Enter("main")
+	w := p.World()
+
+	// Read inputs (marked symbolic, capped per §IV-A so the solver loop
+	// cannot explode).
+	x := p.InCap("x", 200)
+	y := p.InCap("y", 100)
+
+	// Sanity check.
+	p.Enter("sanity")
+	if !p.If(cXPos, conc.GE(x, conc.K(1))) {
+		return 1
+	}
+	if !p.If(cYPos, conc.GE(y, conc.K(1))) {
+		return 1
+	}
+	if !p.If(cCombo, conc.LE(conc.Mul(x, y), conc.K(10000))) {
+		return 1
+	}
+	if p.If(cHidden, conc.EQ(x, conc.K(100))) {
+		p.Assert(false, "hidden bug: x == 100 corrupts the work share")
+	}
+
+	rank := p.CommRank(w, "skeleton:rank")
+	size := p.CommSize(w, "skeleton:size")
+
+	// Share work.
+	var local float64
+	if p.If(cIsRoot, conc.EQ(rank, conc.K(0))) {
+		local = float64(x.C)
+	} else {
+		if p.If(cBigY, conc.GE(y, conc.K(100))) {
+			local = float64(y.C) * 2
+		} else {
+			local = float64(y.C)
+		}
+	}
+
+	// Solve.
+	p.Enter("solve")
+	if p.If(cManyPrc, conc.GE(size, conc.K(4))) {
+		local /= 2 // the parallel variant halves per-rank work
+	}
+	i := conc.K(0)
+	for p.If(cLoop, conc.LT(i, x)) {
+		local = local*0.5 + 1
+		i = conc.Add(i, conc.K(1))
+	}
+
+	total := p.Allreduce(w, mpi.OpSum, []float64{local})
+	if total[0] < 0 {
+		return 2 // unreachable; keeps the result observable
+	}
+	return 0
+}

@@ -1,0 +1,300 @@
+// Package stencil is a 2-D heat-diffusion (Jacobi) solver, the classic SPMD
+// skeleton the paper's introduction motivates: read inputs, sanity-check,
+// distribute a grid across ranks, iterate with halo exchanges until
+// convergence. It extends the evaluation beyond the paper's three targets
+// with the bug class COMPI claims but never demonstrates there: an
+// **infinite loop** — running with maxiter=0 ("until convergence") and
+// tol=0 never terminates, which the engine reports as a hang via its
+// watchdog. A second seeded bug (an off-by-one ghost-row allocation in the
+// column-decomposition variant) crashes any multi-rank run that selects
+// decomp=1.
+//
+// The halo exchange uses the nonblocking Isend/Irecv/Wait API.
+package stencil
+
+import (
+	"math"
+
+	"repro/internal/conc"
+	"repro/internal/mpi"
+	"repro/internal/target"
+)
+
+// GridCap is the input cap on the grid dimensions.
+var GridCap int64 = 64
+
+// Fixes toggles the developer fixes for the two seeded bugs.
+type Fixes struct {
+	NoLimit bool // guard the maxiter==0 && tol==0 infinite loop
+	Ghost   bool // allocate the full ghost row in the column decomposition
+}
+
+// Applied is the current fix state; campaigns set it before launching.
+var Applied Fixes
+
+// FixAll applies both fixes.
+func FixAll() { Applied = Fixes{NoLimit: true, Ghost: true} }
+
+// UnfixAll restores both bugs.
+func UnfixAll() { Applied = Fixes{} }
+
+var b = target.NewBuilder("stencil", 600)
+
+var (
+	cNXMin     = b.Cond("input", "nx >= 3")
+	cNYMin     = b.Cond("input", "ny >= 3")
+	cRowsFit   = b.Cond("input", "ny >= nprocs")
+	cMaxIter   = b.Cond("input", "maxiter >= 0")
+	cTol       = b.Cond("input", "tol >= 0")
+	cSrcLo     = b.Cond("input", "src >= 0")
+	cSrcHi     = b.Cond("input", "src <= 1000")
+	cBorderLo  = b.Cond("input", "border >= 0")
+	cBorderHi  = b.Cond("input", "border <= 1000")
+	cDecompLo  = b.Cond("input", "decomp >= 0")
+	cDecompHi  = b.Cond("input", "decomp <= 1")
+	cCkpt      = b.Cond("input", "checkpoint >= 0")
+	cIsRoot    = b.Cond("setup", "rank == 0")
+	cHasUp     = b.Cond("setup", "up neighbor exists")
+	cHasDown   = b.Cond("setup", "down neighbor exists")
+	cColMode   = b.Cond("solve", "column decomposition")
+	cNoLimit   = b.Cond("solve", "maxiter == 0 (run to convergence)")
+	cIterLoop  = b.Cond("solve", "iter < maxiter")
+	cConverged = b.Cond("solve", "delta < tol")
+	cHotspot   = b.Cond("solve", "delta > 100")
+	cDoCkpt    = b.Cond("solve", "checkpoint due")
+)
+
+func init() {
+	b.Call("main", "input")
+	b.Call("main", "setup")
+	b.Call("main", "solve")
+	target.Register(b.Build(Main))
+}
+
+// DefaultInputs converges in a handful of iterations on 4 ranks.
+func DefaultInputs() map[string]int64 {
+	return map[string]int64{
+		"nx": 16, "ny": 16, "maxiter": 50, "tol": 500,
+		"src": 800, "border": 100, "decomp": 0, "checkpoint": 10, "seed": 3,
+	}
+}
+
+type params struct {
+	nx, ny, maxiter int
+	tol             float64
+	src, border     float64
+	decomp          int
+	checkpoint      int
+}
+
+// Main is the program under test.
+func Main(p *mpi.Proc) int {
+	p.Enter("main")
+	w := p.World()
+
+	size := p.CommSize(w, "stencil:size")
+	rank := p.CommRank(w, "stencil:rank")
+
+	cfg, ok := input(p, size)
+	if !ok {
+		return 1
+	}
+	grid := setup(p, cfg, rank)
+	code := solve(p, cfg, grid)
+	p.Barrier(w)
+	return code
+}
+
+func input(p *mpi.Proc, size conc.Value) (params, bool) {
+	p.Enter("input")
+	var cfg params
+
+	nx := p.InCap("nx", GridCap)
+	if !p.If(cNXMin, conc.GE(nx, conc.K(3))) {
+		return cfg, false
+	}
+	ny := p.InCap("ny", GridCap)
+	if !p.If(cNYMin, conc.GE(ny, conc.K(3))) {
+		return cfg, false
+	}
+	// Row decomposition needs at least one interior row per rank.
+	if !p.If(cRowsFit, conc.GE(ny, size)) {
+		return cfg, false
+	}
+	maxiter := p.InCap("maxiter", 200)
+	if !p.If(cMaxIter, conc.GE(maxiter, conc.K(0))) {
+		return cfg, false
+	}
+	tol := p.InCap("tol", 100000)
+	if !p.If(cTol, conc.GE(tol, conc.K(0))) {
+		return cfg, false
+	}
+	src := p.In("src")
+	if !p.If(cSrcLo, conc.GE(src, conc.K(0))) {
+		return cfg, false
+	}
+	if !p.If(cSrcHi, conc.LE(src, conc.K(1000))) {
+		return cfg, false
+	}
+	border := p.In("border")
+	if !p.If(cBorderLo, conc.GE(border, conc.K(0))) {
+		return cfg, false
+	}
+	if !p.If(cBorderHi, conc.LE(border, conc.K(1000))) {
+		return cfg, false
+	}
+	decomp := p.In("decomp")
+	if !p.If(cDecompLo, conc.GE(decomp, conc.K(0))) {
+		return cfg, false
+	}
+	if !p.If(cDecompHi, conc.LE(decomp, conc.K(1))) {
+		return cfg, false
+	}
+	ckpt := p.In("checkpoint")
+	if !p.If(cCkpt, conc.GE(ckpt, conc.K(0))) {
+		return cfg, false
+	}
+	cfg = params{
+		nx: int(nx.C), ny: int(ny.C), maxiter: int(maxiter.C),
+		tol: float64(tol.C) / 1000, src: float64(src.C), border: float64(border.C),
+		decomp: int(decomp.C), checkpoint: int(ckpt.C),
+	}
+	return cfg, true
+}
+
+// field is one rank's slab: rows interior rows of nx cells, plus two ghost
+// rows (index 0 and rows+1).
+type field struct {
+	rows, nx int
+	up, down int // neighbor local ranks, -1 at the physical boundary
+	cur, nxt []float64
+}
+
+func (f *field) at(g []float64, r, c int) float64 { return g[r*f.nx+c] }
+
+func setup(p *mpi.Proc, cfg params, rank conc.Value) *field {
+	p.Enter("setup")
+	np, me := p.NProcs(), p.Rank()
+	rows := cfg.ny / np
+	if me < cfg.ny%np {
+		rows++
+	}
+	f := &field{rows: rows, nx: cfg.nx, up: me - 1, down: me + 1}
+	if !p.If(cHasUp, conc.True(me > 0)) {
+		f.up = -1
+	}
+	if !p.If(cHasDown, conc.True(me < np-1)) {
+		f.down = -1
+	}
+	n := (rows + 2) * cfg.nx
+	f.cur = make([]float64, n)
+	f.nxt = make([]float64, n)
+	for i := range f.cur {
+		f.cur[i] = cfg.border
+	}
+	if p.If(cIsRoot, conc.EQ(rank, conc.K(0))) {
+		// The heat source sits in rank 0's first interior row.
+		f.cur[1*cfg.nx+cfg.nx/2] = cfg.src
+	}
+	return f
+}
+
+func solve(p *mpi.Proc, cfg params, f *field) int {
+	p.Enter("solve")
+	w := p.World()
+
+	if p.If(cColMode, conc.True(cfg.decomp == 1 && p.NProcs() > 1)) {
+		// The column-decomposition variant exchanges ghost *columns*; the
+		// seeded bug under-allocates the exchange buffer by one element.
+		n := f.rows
+		if !Applied.Ghost {
+			n = f.rows - 1
+		}
+		ghost := make([]float64, n)
+		for r := 0; r < f.rows; r++ {
+			ghost[r] = f.at(f.cur, r+1, 0) // bug: panics at r = rows-1 when unfixed
+		}
+		_ = ghost
+	}
+
+	noLimit := p.If(cNoLimit, conc.EQ(p.In("maxiter"), conc.K(0)))
+	if noLimit && Applied.NoLimit && cfg.tol == 0 {
+		return 3 // fixed: reject the non-terminating configuration
+	}
+
+	maxiterSym := p.In("maxiter")
+	tolSym := p.In("tol")
+	ckptSym := p.In("checkpoint")
+	iter := conc.K(0)
+	for {
+		if !noLimit && !p.If(cIterLoop, conc.LT(iter, maxiterSym)) {
+			break
+		}
+		delta := jacobiStep(p, cfg, f)
+		g := p.Allreduce(w, mpi.OpMax, []float64{delta})
+		if p.If(cHotspot, conc.True(g[0] > 100)) {
+			p.Tick() // adaptive damping path for steep gradients
+		}
+		if cfg.checkpoint > 0 {
+			if p.If(cDoCkpt, conc.EQ(conc.Mod(iter, ckptSym), conc.K(0))) {
+				p.Barrier(w) // checkpoint writers synchronize
+			}
+		}
+		// delta < tol, phrased over the symbolic (milli-degree) tolerance so
+		// the solver can steer the convergence threshold.
+		if p.If(cConverged, conc.GT(tolSym, conc.K(int64(g[0]*1000)))) {
+			return 0
+		}
+		iter = conc.Add(iter, conc.K(1))
+	}
+	return 0
+}
+
+// jacobiStep exchanges halos with the nonblocking API and relaxes the slab,
+// returning the local maximum update delta.
+func jacobiStep(p *mpi.Proc, cfg params, f *field) float64 {
+	w := p.World()
+	var reqs []*mpi.Request
+	var fromUp, fromDown *mpi.Request
+	if f.up >= 0 {
+		reqs = append(reqs, p.Isend(w, f.up, 1, f.cur[f.nx:2*f.nx]))
+		fromUp = p.Irecv(w, f.up, 2)
+		reqs = append(reqs, fromUp)
+	}
+	if f.down >= 0 {
+		reqs = append(reqs, p.Isend(w, f.down, 2, f.cur[f.rows*f.nx:(f.rows+1)*f.nx]))
+		fromDown = p.Irecv(w, f.down, 1)
+		reqs = append(reqs, fromDown)
+	}
+	p.Waitall(reqs)
+	if fromUp != nil {
+		copy(f.cur[:f.nx], fromUp.Data())
+	}
+	if fromDown != nil {
+		copy(f.cur[(f.rows+1)*f.nx:], fromDown.Data())
+	}
+
+	delta := 0.0
+	for r := 1; r <= f.rows; r++ {
+		for c := 0; c < f.nx; c++ {
+			if c == 0 || c == f.nx-1 {
+				f.nxt[r*f.nx+c] = cfg.border
+				continue
+			}
+			v := 0.25 * (f.at(f.cur, r-1, c) + f.at(f.cur, r+1, c) +
+				f.at(f.cur, r, c-1) + f.at(f.cur, r, c+1))
+			d := math.Abs(v - f.at(f.cur, r, c))
+			if d > delta {
+				delta = d
+			}
+			f.nxt[r*f.nx+c] = v
+		}
+	}
+	// Carry the ghost/boundary rows into the next buffer: the halo exchange
+	// refreshes them each step, and the physical boundaries are fixed.
+	copy(f.nxt[:f.nx], f.cur[:f.nx])
+	copy(f.nxt[(f.rows+1)*f.nx:], f.cur[(f.rows+1)*f.nx:])
+	p.Exprs(6 * f.rows * f.nx)
+	f.cur, f.nxt = f.nxt, f.cur
+	return delta
+}

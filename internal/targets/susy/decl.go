@@ -1,0 +1,102 @@
+// Package susy is a miniature SUSY-HMC: the Rational Hybrid Monte Carlo
+// component of the SUSY LATTICE physics simulation the paper tests. It keeps
+// the testing-relevant skeleton — read 13 inputs, sanity-check them, lay a
+// 4-D lattice out across the ranks, then run the trajectory loop
+// (momentum/gauge updates plus a conjugate-gradient solver with halo
+// exchanges) — and seeds the four real bugs COMPI found (§VI-A):
+//
+//   - three undersized-allocation crashes (the malloc(sizeof(**src)) family),
+//     one each in setup_rhmc, congrad, and ploop, with increasingly deep
+//     trigger conditions; and
+//   - one division-by-zero in update_h that manifests only when the number
+//     of processes equals 2·nsrc — with the default nsrc range that means 2
+//     or 4 processes, never 1 or 3, exactly as reported.
+//
+// BugsFixed applies the developers' fixes, which the coverage experiments
+// use (the paper notes testing continues after known bugs are fixed).
+package susy
+
+import "repro/internal/target"
+
+var b = target.NewBuilder("susy-hmc", 1900)
+
+// Input sanity sites (setup.c-style checks).
+var (
+	cNXPos      = b.Cond("setup", "nx >= 1")
+	cNYPos      = b.Cond("setup", "ny >= 1")
+	cNZPos      = b.Cond("setup", "nz >= 1")
+	cNTPos      = b.Cond("setup", "nt >= 1")
+	cWarms      = b.Cond("setup", "warms >= 0")
+	cTrajecs    = b.Cond("setup", "trajecs >= 1")
+	cTrajecsMax = b.Cond("setup", "trajecs <= 10")
+	cNStep      = b.Cond("setup", "nstep >= 1")
+	cNSrc       = b.Cond("setup", "nsrc >= 1")
+	cNRoot      = b.Cond("setup", "nroot >= 1")
+	cNRootMax   = b.Cond("setup", "nroot <= 8")
+	cNIter      = b.Cond("setup", "niter >= 1")
+	cMassPos    = b.Cond("setup", "mass > 0")
+	cLambda     = b.Cond("setup", "lambda >= 0")
+	cSeedPos    = b.Cond("setup", "seed >= 0")
+)
+
+// Layout sites (setup_layout).
+var (
+	cLayoutFit  = b.Cond("layout", "nt >= nprocs")
+	cLayoutDiv  = b.Cond("layout", "nt % nprocs == 0")
+	cLayoutBig  = b.Cond("layout", "volume >= 16")
+	cLayoutRoot = b.Cond("layout", "rank == 0 prints layout")
+)
+
+// RHMC setup sites (setup_rhmc) — bug 1 lives here.
+var (
+	cRHMCOrder = b.Cond("setup_rhmc", "nroot > 1 (high order)")
+	cRHMCNorm  = b.Cond("setup_rhmc", "amp normalization")
+)
+
+// Trajectory loop sites (update).
+var (
+	cTrajLoop = b.Cond("update", "traj < warms + trajecs")
+	cIsWarm   = b.Cond("update", "traj < warms")
+	cStepLoop = b.Cond("update", "step < nstep")
+	cAccept   = b.Cond("update", "metropolis accept")
+)
+
+// Momentum update sites (update_h) — bug 4 (division by zero) lives here.
+var (
+	cForceBig = b.Cond("update_h", "|force| > bound")
+	cSrcSplit = b.Cond("update_h", "nsrc split across ranks")
+)
+
+// Gauge update sites (update_u).
+var (
+	cLinkLoopX = b.Cond("update_u", "x < nx")
+	cUnitarize = b.Cond("update_u", "renormalize link")
+)
+
+// Conjugate gradient sites (congrad) — bug 2 lives here.
+var (
+	cCGIter    = b.Cond("congrad", "iter < niter")
+	cCGConv    = b.Cond("congrad", "rsq < tol")
+	cCGRestart = b.Cond("congrad", "restart needed")
+	cCGHalo    = b.Cond("congrad", "nprocs > 1 (halo exchange)")
+)
+
+// Measurement sites (measure, ploop) — bug 3 lives in ploop.
+var (
+	cMeasure   = b.Cond("measure", "measurement trajectory")
+	cPloopSrc  = b.Cond("ploop", "nsrc >= 2 (extra sources)")
+	cPloopWrap = b.Cond("ploop", "t wraps around")
+)
+
+func init() {
+	b.Call("main", "setup")
+	b.Call("main", "layout")
+	b.Call("main", "setup_rhmc")
+	b.Call("main", "update")
+	b.Call("update", "update_h")
+	b.Call("update", "update_u")
+	b.Call("update", "congrad")
+	b.Call("update", "measure")
+	b.Call("measure", "ploop")
+	target.Register(b.Build(Main))
+}

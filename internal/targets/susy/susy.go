@@ -1,0 +1,430 @@
+package susy
+
+import (
+	"math"
+
+	"repro/internal/conc"
+	"repro/internal/mpi"
+)
+
+// DimCap is the input cap (§IV-A) on each of the four lattice dimensions;
+// the paper's default for SUSY-HMC is 5 (the Figure 8 study also uses 10).
+var DimCap int64 = 5
+
+// Fixes toggles the developer-confirmed fix for each seeded bug
+// independently, so a bug-hunting campaign can fix bugs as it confirms them
+// and continue — the workflow the paper describes ("developers should fix
+// such known bugs and then continue testing").
+type Fixes struct {
+	RHMC    bool // bug 1: setup_rhmc undersized amplitude array
+	Congrad bool // bug 2: congrad halo buffer missing ghost slices
+	Ploop   bool // bug 3: ploop accumulator one slot short
+	DivZero bool // bug 4: update_h division by zero at nprocs == 2*nsrc
+}
+
+// Applied is the currently applied set of fixes. Campaigns set it before
+// launching; it must not change while a job is running.
+var Applied Fixes
+
+// FixAll applies every fix (coverage campaigns run on the fixed program).
+func FixAll() { Applied = Fixes{RHMC: true, Congrad: true, Ploop: true, DivZero: true} }
+
+// UnfixAll restores all four bugs.
+func UnfixAll() { Applied = Fixes{} }
+
+// DefaultInputs is a valid parameter set for fixed-input experiments.
+func DefaultInputs() map[string]int64 {
+	return map[string]int64{
+		"nx": 2, "ny": 2, "nz": 2, "nt": 4,
+		"warms": 1, "trajecs": 2, "nstep": 2, "nsrc": 3,
+		"nroot": 2, "niter": 5, "mass": 50, "lambda": 10, "seed": 7,
+	}
+}
+
+type params struct {
+	nx, ny, nz, nt  int
+	warms, trajecs  int
+	nstep, nsrc     int
+	nroot, niter    int
+	mass, lambda    int64
+	seed            int64
+	volume, localNt int
+}
+
+// Main is the program under test.
+func Main(p *mpi.Proc) int {
+	p.Enter("main")
+	w := p.World()
+
+	cfg, ok := setup(p)
+	if !ok {
+		return 1
+	}
+
+	size := p.CommSize(w, "susy:size")
+	rank := p.CommRank(w, "susy:rank")
+
+	if !layout(p, &cfg, rank, size) {
+		return 1
+	}
+
+	amp := setupRHMC(p, cfg)
+
+	lat := newLattice(cfg, int(rank.C), int(size.C))
+	code := update(p, cfg, lat, amp)
+	p.Barrier(w)
+	return code
+}
+
+// setup reads and validates the 13 marked inputs.
+func setup(p *mpi.Proc) (params, bool) {
+	p.Enter("setup")
+	var cfg params
+
+	nx := p.InCap("nx", DimCap)
+	if !p.If(cNXPos, conc.GE(nx, conc.K(1))) {
+		return cfg, false
+	}
+	ny := p.InCap("ny", DimCap)
+	if !p.If(cNYPos, conc.GE(ny, conc.K(1))) {
+		return cfg, false
+	}
+	nz := p.InCap("nz", DimCap)
+	if !p.If(cNZPos, conc.GE(nz, conc.K(1))) {
+		return cfg, false
+	}
+	nt := p.InCap("nt", DimCap)
+	if !p.If(cNTPos, conc.GE(nt, conc.K(1))) {
+		return cfg, false
+	}
+	warms := p.InCap("warms", 5)
+	if !p.If(cWarms, conc.GE(warms, conc.K(0))) {
+		return cfg, false
+	}
+	trajecs := p.InCap("trajecs", 10)
+	if !p.If(cTrajecs, conc.GE(trajecs, conc.K(1))) {
+		return cfg, false
+	}
+	if !p.If(cTrajecsMax, conc.LE(trajecs, conc.K(10))) {
+		return cfg, false
+	}
+	nstep := p.InCap("nstep", 10)
+	if !p.If(cNStep, conc.GE(nstep, conc.K(1))) {
+		return cfg, false
+	}
+	nsrc := p.InCap("nsrc", 4)
+	if !p.If(cNSrc, conc.GE(nsrc, conc.K(1))) {
+		return cfg, false
+	}
+	nroot := p.InCap("nroot", 8)
+	if !p.If(cNRoot, conc.GE(nroot, conc.K(1))) {
+		return cfg, false
+	}
+	if !p.If(cNRootMax, conc.LE(nroot, conc.K(8))) {
+		return cfg, false
+	}
+	niter := p.InCap("niter", 20)
+	if !p.If(cNIter, conc.GE(niter, conc.K(1))) {
+		return cfg, false
+	}
+	mass := p.InCap("mass", 100)
+	if !p.If(cMassPos, conc.GT(mass, conc.K(0))) {
+		return cfg, false
+	}
+	lambda := p.InCap("lambda", 50)
+	if !p.If(cLambda, conc.GE(lambda, conc.K(0))) {
+		return cfg, false
+	}
+	seed := p.In("seed")
+	if !p.If(cSeedPos, conc.GE(seed, conc.K(0))) {
+		return cfg, false
+	}
+
+	cfg = params{
+		nx: int(nx.C), ny: int(ny.C), nz: int(nz.C), nt: int(nt.C),
+		warms: int(warms.C), trajecs: int(trajecs.C),
+		nstep: int(nstep.C), nsrc: int(nsrc.C),
+		nroot: int(nroot.C), niter: int(niter.C),
+		mass: mass.C, lambda: lambda.C, seed: seed.C,
+	}
+	return cfg, true
+}
+
+// layout distributes the lattice along the t dimension (setup_layout): nt
+// must divide evenly among the ranks, which couples the input space to the
+// process count — one of the branch families only COMPI's framework reaches.
+func layout(p *mpi.Proc, cfg *params, rank, size conc.Value) bool {
+	p.Enter("layout")
+	// The t dimension is split across ranks: there must be at least one
+	// slice per rank (this linear check is what lets the solver shrink the
+	// process count when nt is capped below it — exactly the coupling that
+	// makes No_Fwk collapse on SUSY in Table VI)...
+	if !p.If(cLayoutFit, conc.GE(p.In("nt"), size)) {
+		return false
+	}
+	// ...and the slices must divide evenly.
+	if !p.If(cLayoutDiv, conc.EQ(conc.Mod(p.In("nt"), size), conc.K(0))) {
+		return false
+	}
+	cfg.volume = cfg.nx * cfg.ny * cfg.nz * cfg.nt
+	cfg.localNt = cfg.nt / int(size.C)
+	if p.If(cLayoutBig, conc.True(cfg.volume >= 16)) {
+		p.Tick() // large-volume layout path (blocked site ordering)
+	}
+	if p.If(cLayoutRoot, conc.EQ(rank, conc.K(0))) {
+		p.Tick() // rank 0 reports the layout
+	}
+	return true
+}
+
+// setupRHMC computes the rational-approximation amplitudes. Bug 1: the
+// original code allocates Nroot entries where the loop stores 2·Nroot
+// (malloc(Nroot * sizeof(**src)) instead of sizeof(*src)); any nroot >= 1
+// crashes with the out-of-bounds write the paper reports as a segfault.
+func setupRHMC(p *mpi.Proc, cfg params) []float64 {
+	p.Enter("setup_rhmc")
+	n := cfg.nroot
+	if Applied.RHMC {
+		n = 2 * cfg.nroot
+	}
+	amp := make([]float64, n)
+	if p.If(cRHMCOrder, conc.True(cfg.nroot > 1)) {
+		p.Tick() // higher-order rational approximation path
+	}
+	for i := 0; i < cfg.nroot; i++ {
+		amp[i] = 1 / float64(i+1)
+		amp[cfg.nroot+i] = -1 / float64(i+2) // bug 1 fires here when unfixed
+	}
+	norm := 0.0
+	for _, a := range amp {
+		norm += a * a
+	}
+	if p.If(cRHMCNorm, conc.True(norm > 1)) {
+		for i := range amp {
+			amp[i] /= math.Sqrt(norm)
+		}
+	}
+	return amp
+}
+
+// lattice is one rank's slab of the 4-D lattice (split along t).
+type lattice struct {
+	cfg      params
+	rank, np int
+	localVol int
+	links    []float64 // gauge field, one value per site (toy model)
+	mom      []float64 // conjugate momenta
+	rng      uint64
+}
+
+func newLattice(cfg params, rank, np int) *lattice {
+	lv := cfg.volume / np
+	l := &lattice{cfg: cfg, rank: rank, np: np, localVol: lv,
+		links: make([]float64, lv), mom: make([]float64, lv),
+		rng: uint64(cfg.seed)*2862933555777941757 + uint64(rank) + 1}
+	for i := range l.links {
+		l.links[i] = 1
+	}
+	return l
+}
+
+func (l *lattice) next() float64 {
+	l.rng = l.rng*6364136223846793005 + 1442695040888963407
+	return float64(l.rng>>33)/float64(1<<31) - 0.5
+}
+
+// sliceVol is the number of sites in one t-slice.
+func (l *lattice) sliceVol() int { return l.cfg.nx * l.cfg.ny * l.cfg.nz }
+
+// update is the HMC trajectory loop.
+func update(p *mpi.Proc, cfg params, lat *lattice, amp []float64) int {
+	p.Enter("update")
+	w := p.World()
+	trajecsSym := p.In("trajecs")
+	warmsSym := p.In("warms")
+	total := conc.Add(warmsSym, trajecsSym)
+
+	traj := conc.K(0)
+	for p.If(cTrajLoop, conc.LT(traj, total)) {
+		warm := p.If(cIsWarm, conc.LT(traj, warmsSym))
+
+		nstepSym := p.In("nstep")
+		step := conc.K(0)
+		for p.If(cStepLoop, conc.LT(step, nstepSym)) {
+			updateH(p, cfg, lat, amp)
+			updateU(p, cfg, lat)
+			// The rational approximation solves one shifted system per
+			// root (the multi-shift CG of the real RHMC), each shift taken
+			// from the amplitude table.
+			for root := 0; root < cfg.nroot; root++ {
+				shift := 0.0
+				if root < len(amp) {
+					shift = amp[root] * amp[root]
+				}
+				if code := congrad(p, cfg, lat, shift); code != 0 {
+					return code
+				}
+			}
+			step = conc.Add(step, conc.K(1))
+		}
+
+		// Metropolis accept/reject on the global action delta.
+		dS := 0.0
+		for _, m := range lat.mom {
+			dS += m * m
+		}
+		g := p.Allreduce(w, mpi.OpSum, []float64{dS})
+		if p.If(cAccept, conc.True(math.Mod(g[0], 1.0) < 0.7)) {
+			p.Tick() // accepted: keep the new configuration
+		} else {
+			for i := range lat.mom {
+				lat.mom[i] = 0
+			}
+		}
+
+		if !warm {
+			measure(p, cfg, lat)
+		}
+		traj = conc.Add(traj, conc.K(1))
+	}
+	return 0
+}
+
+// updateH updates the momenta from the force. Bug 4: the normalization
+// divides by (2·nsrc - nprocs), a division by zero exactly when the job runs
+// with 2·nsrc processes — 2 or 4 processes for small nsrc, never 1 or 3.
+func updateH(p *mpi.Proc, cfg params, lat *lattice, amp []float64) {
+	p.Enter("update_h")
+	scale := 1.0
+	if len(amp) > 0 {
+		scale = 1 + math.Abs(amp[0])
+	}
+	denom := 2*cfg.nsrc - lat.np
+	if Applied.DivZero {
+		denom = 2*cfg.nsrc + lat.np
+	}
+	if p.If(cSrcSplit, conc.True(cfg.nsrc >= lat.np)) {
+		p.Tick() // sources distributed one per rank
+	}
+	norm := float64(cfg.volume / denom) // bug 4 fires here when unfixed
+	if norm == 0 {
+		norm = 1
+	}
+	for i := range lat.mom {
+		f := scale*lat.links[i]*float64(cfg.lambda)/100 + lat.next()
+		if p.If(cForceBig, conc.True(math.Abs(f) > 0.45)) {
+			f *= 0.5 // force clipping
+		}
+		lat.mom[i] += f / norm
+	}
+	// The real force computation sums staples over all 4 dimensions per
+	// link — on the order of a hundred instrumented operations per site.
+	p.Exprs(96 * len(lat.mom))
+}
+
+// updateU applies the momenta to the gauge links with a per-site loop whose
+// x bound is the symbolic lattice dimension.
+func updateU(p *mpi.Proc, cfg params, lat *lattice) {
+	p.Enter("update_u")
+	nxSym := p.In("nx")
+	x := conc.K(0)
+	for p.If(cLinkLoopX, conc.LT(x, nxSym)) {
+		base := int(x.C) * cfg.ny * cfg.nz * cfg.localNt
+		for i := base; i < base+cfg.ny*cfg.nz*cfg.localNt && i < lat.localVol; i++ {
+			lat.links[i] += 0.01 * lat.mom[i]
+			if p.If(cUnitarize, conc.True(math.Abs(lat.links[i]) > 2)) {
+				lat.links[i] /= math.Abs(lat.links[i])
+			}
+		}
+		p.Exprs(48 * cfg.ny * cfg.nz * cfg.localNt)
+		x = conc.Add(x, conc.K(1))
+	}
+}
+
+// congrad is the conjugate-gradient solver with a t-direction halo exchange
+// per iteration. Bug 2: the halo buffer is allocated without the two ghost
+// slices (the second wrong-malloc crash); any multi-rank run that enters the
+// halo exchange crashes when unfixed.
+func congrad(p *mpi.Proc, cfg params, lat *lattice, shift float64) int {
+	p.Enter("congrad")
+	w := p.World()
+	sv := lat.sliceVol()
+	n := lat.localVol
+	if lat.np > 1 && Applied.Congrad {
+		n += 2 * sv // ghost slices; the unfixed allocation misses them
+	}
+	r := make([]float64, n)
+	for i := 0; i < lat.localVol; i++ {
+		r[i] = lat.links[i] * (float64(cfg.mass)/100 + shift)
+	}
+
+	niterSym := p.In("niter")
+	iter := conc.K(0)
+	for p.If(cCGIter, conc.LT(iter, niterSym)) {
+		if p.If(cCGHalo, conc.True(lat.np > 1)) {
+			up := (lat.rank + 1) % lat.np
+			down := (lat.rank - 1 + lat.np) % lat.np
+			ghost, _ := p.Sendrecv(w, up, 300, r[lat.localVol-sv:lat.localVol], down, 300)
+			copy(r[lat.localVol:lat.localVol+sv], ghost) // bug 2 fires here when unfixed
+			ghost2, _ := p.Sendrecv(w, down, 301, r[:sv], up, 301)
+			copy(r[lat.localVol+sv:lat.localVol+2*sv], ghost2)
+		}
+		rsq := 0.0
+		for i := 0; i < lat.localVol; i++ {
+			r[i] = 0.9*r[i] + 0.01*lat.next()
+			rsq += r[i] * r[i]
+		}
+		// The fermion matrix-vector product behind each CG iteration
+		// touches every neighbor link: ~dozens of ops per site.
+		p.Exprs(64 * lat.localVol)
+		g := p.Allreduce(w, mpi.OpSum, []float64{rsq})
+		if p.If(cCGConv, conc.True(g[0] < 1e-8)) {
+			break
+		}
+		if p.If(cCGRestart, conc.True(g[0] > 1e6)) {
+			for i := 0; i < lat.localVol; i++ {
+				r[i] = 0
+			}
+		}
+		iter = conc.Add(iter, conc.K(1))
+		p.Tick()
+	}
+	return 0
+}
+
+// measure computes the plaquette-style observable and, for multi-source
+// runs, the Polyakov loop. Bug 3: ploop's accumulator is allocated with
+// nsrc-1 slots (the third wrong-malloc bug); it crashes whenever nsrc >= 2
+// reaches a measurement trajectory.
+func measure(p *mpi.Proc, cfg params, lat *lattice) {
+	p.Enter("measure")
+	if !p.If(cMeasure, conc.True(cfg.volume > 1)) {
+		return // single-site lattices have no plaquette to measure
+	}
+	w := p.World()
+	sum := 0.0
+	for _, v := range lat.links {
+		sum += v
+	}
+	_ = p.Allreduce(w, mpi.OpSum, []float64{sum})
+	ploop(p, cfg, lat)
+}
+
+func ploop(p *mpi.Proc, cfg params, lat *lattice) {
+	p.Enter("ploop")
+	if !p.If(cPloopSrc, conc.True(cfg.nsrc >= 2)) {
+		return
+	}
+	n := cfg.nsrc - 1
+	if Applied.Ploop {
+		n = cfg.nsrc
+	}
+	acc := make([]float64, n)
+	for s := 0; s < cfg.nsrc; s++ {
+		acc[s] = lat.links[s%lat.localVol] // bug 3 fires at s = nsrc-1 when unfixed
+	}
+	if p.If(cPloopWrap, conc.True(lat.rank == lat.np-1)) {
+		p.Tick() // the loop wraps the t boundary on the last rank
+	}
+	_ = acc
+}
