@@ -7,9 +7,12 @@
 //	compi -target susy-hmc -bugs            # leave the seeded bugs live
 //	compi -target imb-mpi1 -strategy random-branch
 //	compi -list
+//	compi targets                           # declaration summary per target
+//	compi targets --json                    # full static manifests
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +30,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "targets" {
+		runTargets(os.Args[2:])
+		return
+	}
 	var (
 		name     = flag.String("target", "skeleton", "program under test")
 		iters    = flag.Int("iters", 200, "test iterations (program executions)")
@@ -196,5 +203,51 @@ func main() {
 		fmt.Printf("  [%s] %s\n", r.Status, msg)
 		fmt.Printf("      first at iter %d, np=%d focus=%d inputs=%v\n",
 			r.Iter, r.NProcs, r.Focus, r.Inputs)
+	}
+}
+
+// runTargets implements `compi targets [--json] [-target name]`: the static
+// declaration manifests of the registered programs, without running anything.
+func runTargets(args []string) {
+	fs := flag.NewFlagSet("compi targets", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the full JSON manifest array")
+	name := fs.String("target", "", "restrict the listing to one program")
+	fs.Parse(args)
+
+	progs := target.Programs()
+	if *name != "" {
+		p, ok := target.Lookup(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown target %q; available: %s\n",
+				*name, strings.Join(target.Names(), ", "))
+			os.Exit(2)
+		}
+		progs = []*target.Program{p}
+	}
+
+	if *jsonOut {
+		ms := make([]target.Manifest, len(progs))
+		for i, p := range progs {
+			ms[i] = p.Manifest()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ms); err != nil {
+			fmt.Fprintf(os.Stderr, "encoding manifests: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, p := range progs {
+		fmt.Printf("%-10s sloc=%-5d branches=%-4d functions=%-2d callsites=%-2d inputs=%d\n",
+			p.Name, p.SLOC, p.TotalBranches(), len(p.Functions()), len(p.Calls()), len(p.Inputs()))
+		for _, in := range p.Inputs() {
+			if in.HasCap {
+				fmt.Printf("    input %-12s cap=%d\n", in.Name, in.Cap)
+			} else {
+				fmt.Printf("    input %s\n", in.Name)
+			}
+		}
 	}
 }

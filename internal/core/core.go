@@ -1,1 +1,21 @@
+// Package core implements the COMPI testing engine: the iterative concolic
+// loop, the search strategies, the MPI-semantics constraint insertion,
+// conflict resolution, and test setup (focus selection and process-count
+// derivation).
+//
+// The engine composes the surrounding packages into the paper's workflow
+// (§III). Each iteration it launches the target — a target.Program from the
+// registry — as an MPMD job via internal/mpi, with the focus rank running
+// internal/conc's Heavy instrumentation (full symbolic execution) and every
+// other rank running Light (branch recording only). The focus log's path
+// constraints feed a search Strategy (strategy.go), which picks the
+// constraint to negate; internal/solver produces the next input assignment
+// under the MPI-semantics constraints of semantics.go; setup resolution
+// (semantics.go) derives the next process count and focus from the
+// solved rank/size variables. Coverage from all ranks accumulates in
+// internal/coverage, and the program's static branch table converts it into
+// the paper's coverage rates.
+//
+// Engine is the campaign driver (engine.go); Snapshot (state.go) persists
+// the cross-iteration state so campaigns can stop and resume.
 package core

@@ -1,7 +1,3 @@
-// Package core implements the COMPI testing engine: the iterative concolic
-// loop, the search strategies, the MPI-semantics constraint insertion,
-// conflict resolution, and test setup (focus selection and process-count
-// derivation).
 package core
 
 import (

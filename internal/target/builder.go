@@ -1,0 +1,153 @@
+package target
+
+import (
+	"fmt"
+
+	"repro/internal/conc"
+	"repro/internal/mpi"
+)
+
+// Builder assembles one Program's static declarations at package-init time,
+// playing the role of COMPI's CIL instrumentation pass: every conditional
+// site and callsite receives a stable numeric ID in static declaration
+// order, so IDs are identical across builds and runs regardless of which
+// other targets are linked into the binary.
+//
+// The intended use is a package-level builder whose Cond results initialize
+// the target's site variables, followed by an init func that declares inputs
+// and call edges and registers the built program:
+//
+//	var b = target.NewBuilder("skeleton", 120)
+//
+//	var cXPos = b.Cond("sanity", "x >= 1")
+//
+//	func init() {
+//		b.InCap("x", 200)
+//		b.Call("main", "sanity")
+//		target.Register(b.Build(Main))
+//	}
+//
+// Builder methods panic on authoring mistakes (duplicate declarations, use
+// after Build) so a broken target fails at process start, not mid-campaign.
+// A Builder is not safe for concurrent use; package initialization is
+// sequential, which is the only context targets construct one in.
+type Builder struct {
+	name      string
+	sloc      int
+	conds     []CondDecl
+	calls     []CallDecl
+	inputs    []InputDecl
+	funcs     []string
+	funcSeen  map[string]struct{}
+	condSeen  map[string]struct{}
+	inputSeen map[string]struct{}
+	built     bool
+}
+
+// NewBuilder starts the declarations of the program called name, whose
+// source is sloc lines long (the Table III complexity figure).
+func NewBuilder(name string, sloc int) *Builder {
+	if name == "" {
+		panic("target: NewBuilder with empty program name")
+	}
+	if sloc < 0 {
+		panic(fmt.Sprintf("target: NewBuilder(%q) with negative SLOC %d", name, sloc))
+	}
+	return &Builder{
+		name:      name,
+		sloc:      sloc,
+		funcSeen:  map[string]struct{}{},
+		condSeen:  map[string]struct{}{},
+		inputSeen: map[string]struct{}{},
+	}
+}
+
+func (b *Builder) sealed(op string) {
+	if b.built {
+		panic(fmt.Sprintf("target: %s on builder %q after Build; declare everything before registering", op, b.name))
+	}
+}
+
+func (b *Builder) touchFunc(fn string) {
+	if fn == "" {
+		panic(fmt.Sprintf("target: %q declares an empty function name", b.name))
+	}
+	if _, ok := b.funcSeen[fn]; !ok {
+		b.funcSeen[fn] = struct{}{}
+		b.funcs = append(b.funcs, fn)
+	}
+}
+
+// Cond declares the next conditional site of function fn and returns its
+// stable ID: sites are numbered 0, 1, 2, … in declaration order, exactly the
+// numbering the instrumentation pass would stamp into the source. label is
+// the human-readable condition used in audit reports and manifests; the
+// (fn, label) pair must be unique within the program.
+func (b *Builder) Cond(fn, label string) conc.CondID {
+	b.sealed("Cond")
+	b.touchFunc(fn)
+	key := fn + "\x00" + label
+	if _, dup := b.condSeen[key]; dup {
+		panic(fmt.Sprintf("target: %q declares conditional site %s/%q twice", b.name, fn, label))
+	}
+	b.condSeen[key] = struct{}{}
+	id := conc.CondID(len(b.conds))
+	b.conds = append(b.conds, CondDecl{ID: id, Func: fn, Label: label})
+	return id
+}
+
+// Call declares a static callsite — caller invokes callee — and returns its
+// stable ID. Call edges form the static call graph behind Distances; both
+// endpoints are added to the program's function set.
+func (b *Builder) Call(caller, callee string) int32 {
+	b.sealed("Call")
+	b.touchFunc(caller)
+	b.touchFunc(callee)
+	id := int32(len(b.calls))
+	b.calls = append(b.calls, CallDecl{ID: id, Caller: caller, Callee: callee})
+	return id
+}
+
+// In declares an unbounded symbolic input (COMPI_int).
+func (b *Builder) In(name string) { b.input(InputDecl{Name: name}) }
+
+// InCap declares a capped symbolic input (COMPI_int_with_limit, §IV-A).
+func (b *Builder) InCap(name string, cap int64) {
+	b.input(InputDecl{Name: name, Cap: cap, HasCap: true})
+}
+
+func (b *Builder) input(d InputDecl) {
+	b.sealed("input declaration")
+	if d.Name == "" {
+		panic(fmt.Sprintf("target: %q declares an input with an empty name", b.name))
+	}
+	if _, dup := b.inputSeen[d.Name]; dup {
+		panic(fmt.Sprintf("target: %q declares input %q twice", b.name, d.Name))
+	}
+	b.inputSeen[d.Name] = struct{}{}
+	b.inputs = append(b.inputs, d)
+}
+
+// Build seals the builder and returns the finished Program. It panics when
+// main is nil or no conditional site was declared — an uninstrumented
+// program gives the engine nothing to negate and is always an authoring
+// mistake.
+func (b *Builder) Build(main func(*mpi.Proc) int) *Program {
+	b.sealed("Build")
+	if main == nil {
+		panic(fmt.Sprintf("target: Build(%q) with nil entry point", b.name))
+	}
+	if len(b.conds) == 0 {
+		panic(fmt.Sprintf("target: Build(%q) with no declared conditional sites", b.name))
+	}
+	b.built = true
+	return &Program{
+		Name:   b.name,
+		SLOC:   b.sloc,
+		Main:   main,
+		conds:  b.conds,
+		calls:  b.calls,
+		inputs: b.inputs,
+		funcs:  b.funcs,
+	}
+}

@@ -1,0 +1,160 @@
+package target
+
+import (
+	"testing"
+
+	"repro/internal/conc"
+	"repro/internal/mpi"
+)
+
+func nopMain(*mpi.Proc) int { return 0 }
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want one mentioning %q", want)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v (%T); want string", r, r)
+		}
+		if !contains(msg, want) {
+			t.Fatalf("panic %q does not mention %q", msg, want)
+		}
+	}()
+	f()
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBuilderMintsSequentialStableIDs(t *testing.T) {
+	b := NewBuilder("b-ids", 10)
+	ids := []conc.CondID{
+		b.Cond("f", "a"),
+		b.Cond("f", "b"),
+		b.Cond("g", "a"), // same label, different function: distinct site
+	}
+	for i, id := range ids {
+		if id != conc.CondID(i) {
+			t.Fatalf("cond %d minted ID %d; declaration order must number 0,1,2,…", i, id)
+		}
+	}
+	if c0 := b.Call("f", "g"); c0 != 0 {
+		t.Fatalf("first callsite ID = %d", c0)
+	}
+	if c1 := b.Call("g", "h"); c1 != 1 {
+		t.Fatalf("second callsite ID = %d", c1)
+	}
+	p := b.Build(nopMain)
+	if p.TotalBranches() != 6 {
+		t.Fatalf("TotalBranches = %d, want 6", p.TotalBranches())
+	}
+	want := []string{"f", "g", "h"}
+	got := p.Functions()
+	if len(got) != len(want) {
+		t.Fatalf("Functions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Functions = %v, want first-mention order %v", got, want)
+		}
+	}
+}
+
+func TestBuilderPanicsOnDuplicateCond(t *testing.T) {
+	b := NewBuilder("b-dup-cond", 10)
+	b.Cond("f", "x > 0")
+	mustPanic(t, `conditional site f/"x > 0" twice`, func() { b.Cond("f", "x > 0") })
+}
+
+func TestBuilderPanicsOnDuplicateInput(t *testing.T) {
+	b := NewBuilder("b-dup-in", 10)
+	b.In("x")
+	mustPanic(t, `input "x" twice`, func() { b.InCap("x", 5) })
+}
+
+func TestBuilderSealedAfterBuild(t *testing.T) {
+	b := NewBuilder("b-sealed", 10)
+	b.Cond("f", "c")
+	b.Build(nopMain)
+	mustPanic(t, "after Build", func() { b.Cond("f", "late") })
+	mustPanic(t, "after Build", func() { b.Call("f", "g") })
+	mustPanic(t, "after Build", func() { b.In("late") })
+	mustPanic(t, "after Build", func() { b.Build(nopMain) })
+}
+
+func TestBuildRejectsEmptyPrograms(t *testing.T) {
+	mustPanic(t, "nil entry point", func() {
+		b := NewBuilder("b-nil-main", 10)
+		b.Cond("f", "c")
+		b.Build(nil)
+	})
+	mustPanic(t, "no declared conditional sites", func() {
+		NewBuilder("b-no-conds", 10).Build(nopMain)
+	})
+	mustPanic(t, "empty program name", func() { NewBuilder("", 10) })
+}
+
+func TestInputDeclarationsCarryCaps(t *testing.T) {
+	b := NewBuilder("b-inputs", 10)
+	b.Cond("f", "c")
+	b.In("free")
+	b.InCap("capped", 42)
+	p := b.Build(nopMain)
+	in := p.Inputs()
+	if len(in) != 2 {
+		t.Fatalf("Inputs = %v", in)
+	}
+	if in[0] != (InputDecl{Name: "free"}) {
+		t.Fatalf("uncapped decl = %+v", in[0])
+	}
+	if in[1] != (InputDecl{Name: "capped", Cap: 42, HasCap: true}) {
+		t.Fatalf("capped decl = %+v", in[1])
+	}
+}
+
+// TestDistances checks the two levels of the static distance estimate: index
+// distance within the goal's function, and call-graph hops outside it.
+func TestDistances(t *testing.T) {
+	b := NewBuilder("b-dist", 10)
+	mA := b.Cond("main", "a")   // id 0
+	mB := b.Cond("main", "b")   // id 1
+	hA := b.Cond("helper", "a") // id 2
+	hB := b.Cond("helper", "b") // id 3
+	lA := b.Cond("leaf", "a")   // id 4
+	oA := b.Cond("orphan", "a") // id 5: not connected to the call graph
+	b.Call("main", "helper")
+	b.Call("helper", "leaf")
+	p := b.Build(nopMain)
+
+	goal := map[conc.CondID]struct{}{hB: {}}
+	d := p.Distances(goal)
+
+	if d[hB] != 0 {
+		t.Fatalf("goal site distance = %d", d[hB])
+	}
+	if d[hA] != 1 {
+		t.Fatalf("same-function neighbor distance = %d, want 1", d[hA])
+	}
+	// One call hop away: both main sites and the leaf site.
+	for _, id := range []conc.CondID{mA, mB, lA} {
+		if d[id] != funcHop {
+			t.Fatalf("site %d distance = %d, want %d (one call hop)", id, d[id], funcHop)
+		}
+	}
+	if _, ok := d[oA]; ok {
+		t.Fatalf("orphan function received a distance: %v", d)
+	}
+	if len(p.Distances(nil)) != 0 {
+		t.Fatal("empty goal set must yield an empty map")
+	}
+}

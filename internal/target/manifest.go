@@ -1,0 +1,62 @@
+package target
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Manifest is the JSON-exportable form of a program's static declarations —
+// the artifact COMPI's instrumentation pass leaves on disk for the testing
+// framework and that `compi targets --json` serves here. It carries
+// everything audit tooling needs without executing the program: the branch
+// table, the call graph, and the input markings with their §IV-A caps.
+type Manifest struct {
+	Program       string      `json:"program"`
+	SLOC          int         `json:"sloc"`
+	TotalBranches int         `json:"total_branches"`
+	Functions     []string    `json:"functions"`
+	Conds         []CondDecl  `json:"conds"`
+	Calls         []CallDecl  `json:"calls"`
+	Inputs        []InputDecl `json:"inputs"`
+}
+
+// Manifest returns the program's declaration manifest.
+func (p *Program) Manifest() Manifest {
+	return Manifest{
+		Program:       p.Name,
+		SLOC:          p.SLOC,
+		TotalBranches: p.TotalBranches(),
+		Functions:     p.Functions(),
+		Conds:         p.Conds(),
+		Calls:         p.Calls(),
+		Inputs:        p.Inputs(),
+	}
+}
+
+// Manifests returns the manifest of every registered program, sorted by
+// program name.
+func Manifests() []Manifest {
+	progs := Programs()
+	out := make([]Manifest, len(progs))
+	for i, p := range progs {
+		out[i] = p.Manifest()
+	}
+	return out
+}
+
+// WriteManifests writes the registered programs' manifests to w as an
+// indented JSON array, the `compi targets --json` output format.
+func WriteManifests(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Manifests())
+}
+
+// ReadManifests decodes a manifest array written by WriteManifests.
+func ReadManifests(r io.Reader) ([]Manifest, error) {
+	var out []Manifest
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package target
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func manifestFixture() Manifest {
+	b := NewBuilder("mini", 42)
+	b.Cond("sanity", "x >= 1")
+	b.Cond("solve", "i < x")
+	b.InCap("x", 100)
+	b.In("seed")
+	b.Call("main", "sanity")
+	b.Call("main", "solve")
+	return b.Build(nopMain).Manifest()
+}
+
+// manifestGolden pins the on-the-wire schema of `compi targets --json`.
+// Changing it is an interface break for external manifest consumers: update
+// deliberately, alongside the README.
+const manifestGolden = `{
+  "program": "mini",
+  "sloc": 42,
+  "total_branches": 4,
+  "functions": [
+    "sanity",
+    "solve",
+    "main"
+  ],
+  "conds": [
+    {
+      "id": 0,
+      "func": "sanity",
+      "label": "x \u003e= 1"
+    },
+    {
+      "id": 1,
+      "func": "solve",
+      "label": "i \u003c x"
+    }
+  ],
+  "calls": [
+    {
+      "id": 0,
+      "caller": "main",
+      "callee": "sanity"
+    },
+    {
+      "id": 1,
+      "caller": "main",
+      "callee": "solve"
+    }
+  ],
+  "inputs": [
+    {
+      "name": "x",
+      "cap": 100,
+      "capped": true
+    },
+    {
+      "name": "seed"
+    }
+  ]
+}`
+
+func TestManifestGolden(t *testing.T) {
+	got, err := json.MarshalIndent(manifestFixture(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != manifestGolden {
+		t.Fatalf("manifest JSON drifted from the golden form.\ngot:\n%s\nwant:\n%s", got, manifestGolden)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	want := []Manifest{manifestFixture()}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifests(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip drifted:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestManifestsCoverWholeRegistry(t *testing.T) {
+	registerFixture("manifest-reg-probe")
+	names := Names()
+	ms := Manifests()
+	if len(ms) != len(names) {
+		t.Fatalf("Manifests covers %d programs, registry holds %d", len(ms), len(names))
+	}
+	for i, m := range ms {
+		if m.Program != names[i] {
+			t.Fatalf("manifest %d is %q, want registry order %q", i, m.Program, names[i])
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteManifests(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadManifests(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, ms) {
+		t.Fatal("WriteManifests/ReadManifests did not round-trip the registry")
+	}
+}

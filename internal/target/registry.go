@@ -1,0 +1,80 @@
+package target
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/conc"
+)
+
+// The global registry: name → Program. Targets publish themselves from
+// package init; campaigns, CLIs, and the experiment drivers look programs up
+// by name. The mutex makes the table safe for concurrent campaigns — the
+// ROADMAP's parallel campaign scheduling reads it from many goroutines while
+// tests may still be registering fixtures.
+var registry = struct {
+	sync.RWMutex
+	byName map[string]*Program
+}{byName: map[string]*Program{}}
+
+// Register publishes a program under its name. It panics on a nil program,
+// an empty name, a name already taken, or a duplicate conditional-site ID —
+// all authoring errors that must surface at process start with a message
+// naming the offender, not as silent cross-target coverage corruption
+// mid-campaign.
+func Register(p *Program) {
+	if p == nil {
+		panic("target: Register(nil)")
+	}
+	if p.Name == "" {
+		panic("target: Register of a program with an empty name")
+	}
+	seen := map[conc.CondID]string{}
+	for _, c := range p.conds {
+		if prev, dup := seen[c.ID]; dup {
+			panic(fmt.Sprintf("target: program %q declares conditional-site ID %d twice (%s and %s/%q)",
+				p.Name, c.ID, prev, c.Func, c.Label))
+		}
+		seen[c.ID] = fmt.Sprintf("%s/%q", c.Func, c.Label)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[p.Name]; dup {
+		panic(fmt.Sprintf("target: program %q registered twice", p.Name))
+	}
+	registry.byName[p.Name] = p
+}
+
+// Lookup returns the program registered under name.
+func Lookup(name string) (*Program, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	p, ok := registry.byName[name]
+	return p, ok
+}
+
+// Names returns the registered program names, sorted — the stable order the
+// CLIs list and audit targets in.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.byName))
+	for n := range registry.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Programs returns every registered program, sorted by name.
+func Programs() []*Program {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]*Program, 0, len(registry.byName))
+	for _, p := range registry.byName {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,151 @@
+package target
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// fixturePrefix namespaces registrations made by this test binary, so the
+// registry-walking smoke test can tell test fixtures from bundled targets.
+const fixturePrefix = "zzz-fixture-"
+
+func registerFixture(name string) *Program {
+	b := NewBuilder(fixturePrefix+name, 1)
+	b.Cond("main", "c")
+	p := b.Build(nopMain)
+	Register(p)
+	return p
+}
+
+func TestRegisterLookup(t *testing.T) {
+	p := registerFixture("reg-lookup")
+	got, ok := Lookup(fixturePrefix + "reg-lookup")
+	if !ok || got != p {
+		t.Fatalf("Lookup returned %v, %v", got, ok)
+	}
+	if _, ok := Lookup("reg-no-such-program"); ok {
+		t.Fatal("Lookup invented a program")
+	}
+}
+
+func TestRegisterPanicsOnDuplicateName(t *testing.T) {
+	registerFixture("reg-dup")
+	mustPanic(t, `reg-dup" registered twice`, func() { registerFixture("reg-dup") })
+}
+
+func TestRegisterPanicsOnDuplicateCondID(t *testing.T) {
+	// A hand-assembled program (bypassing the Builder) with colliding site
+	// IDs must be rejected before it can corrupt coverage accounting.
+	p := &Program{
+		Name: "reg-dup-id",
+		Main: nopMain,
+		conds: []CondDecl{
+			{ID: 0, Func: "f", Label: "a"},
+			{ID: 0, Func: "g", Label: "b"},
+		},
+	}
+	mustPanic(t, "conditional-site ID 0 twice", func() { Register(p) })
+}
+
+func TestRegisterRejectsNilAndUnnamed(t *testing.T) {
+	mustPanic(t, "Register(nil)", func() { Register(nil) })
+	mustPanic(t, "empty name", func() { Register(&Program{Main: nopMain}) })
+}
+
+func TestNamesSortedAndStable(t *testing.T) {
+	registerFixture("reg-names-b")
+	registerFixture("reg-names-a")
+	registerFixture("reg-names-c")
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names not sorted: %v", names)
+	}
+	again := Names()
+	if len(again) != len(names) {
+		t.Fatalf("Names unstable: %v vs %v", names, again)
+	}
+	for i := range names {
+		if names[i] != again[i] {
+			t.Fatalf("Names unstable at %d: %v vs %v", i, names, again)
+		}
+	}
+	// The returned slice is a copy: mutating it must not corrupt the registry.
+	names[0] = "clobbered"
+	if Names()[0] == "clobbered" {
+		t.Fatal("Names exposed registry-internal state")
+	}
+	progs := Programs()
+	for i := 1; i < len(progs); i++ {
+		if progs[i-1].Name >= progs[i].Name {
+			t.Fatalf("Programs not sorted by name at %d", i)
+		}
+	}
+}
+
+// TestConcurrentRegisterLookup drives the registry from many goroutines at
+// once — registrations racing lookups and listings — the access pattern of
+// parallel campaign scheduling. Run under -race this is the data-race proof.
+func TestConcurrentRegisterLookup(t *testing.T) {
+	const writers, readers, perWriter = 8, 8, 25
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWriter; i++ {
+				registerFixture(fmt.Sprintf("reg-conc-%d-%d", w, i))
+			}
+		}(w)
+	}
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				for _, n := range Names() {
+					if _, ok := Lookup(n); !ok {
+						errs <- fmt.Errorf("listed name %q not found", n)
+						return
+					}
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			name := fixturePrefix + fmt.Sprintf("reg-conc-%d-%d", w, i)
+			if _, ok := Lookup(name); !ok {
+				t.Fatalf("registration of %q lost", name)
+			}
+		}
+	}
+}
+
+func TestReachableBranchesCountsOnlyEncounteredFuncs(t *testing.T) {
+	b := NewBuilder("reg-reach", 1)
+	b.Cond("f", "a")
+	b.Cond("f", "b")
+	b.Cond("g", "a")
+	p := b.Build(nopMain)
+	if n := p.ReachableBranches(map[string]struct{}{"f": {}}); n != 4 {
+		t.Fatalf("ReachableBranches(f) = %d, want 4", n)
+	}
+	if n := p.ReachableBranches(map[string]struct{}{"f": {}, "g": {}, "other": {}}); n != 6 {
+		t.Fatalf("ReachableBranches(f,g,other) = %d, want 6", n)
+	}
+	if n := p.ReachableBranches(nil); n != 0 {
+		t.Fatalf("ReachableBranches(nil) = %d", n)
+	}
+}

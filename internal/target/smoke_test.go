@@ -1,0 +1,80 @@
+package target_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/target"
+	_ "repro/internal/targets/hpl"
+	_ "repro/internal/targets/imb"
+	_ "repro/internal/targets/skeleton"
+	"repro/internal/targets/stencil"
+	"repro/internal/targets/susy"
+)
+
+// TestEveryRegisteredTargetRuns walks the registry and drives each program
+// through a handful of engine iterations, so every bundled target is
+// exercised by `go test ./...` rather than only via the compi CLI. It guards
+// the regression class where a target's declarations and its runtime
+// behavior drift apart (wrong site IDs, missing registration, an entry
+// point that cannot complete a single campaign iteration).
+func TestEveryRegisteredTargetRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign smoke test is not -short")
+	}
+	// Fix the seeded bugs: the smoke test checks the pipeline, not the bug
+	// hunt, and the stencil infinite loop would spend the whole watchdog
+	// budget when left live.
+	susy.FixAll()
+	stencil.FixAll()
+	defer susy.UnfixAll()
+	defer stencil.UnfixAll()
+
+	// The in-package registry tests publish fixtures under this prefix into
+	// the same (global) registry; skip them — they are not runnable targets.
+	names := target.Names()[:0:0]
+	for _, n := range target.Names() {
+		if !strings.HasPrefix(n, "zzz-fixture-") {
+			names = append(names, n)
+		}
+	}
+	for _, want := range []string{"hpl", "imb-mpi1", "skeleton", "stencil", "susy-hmc"} {
+		if _, ok := target.Lookup(want); !ok {
+			t.Fatalf("bundled target %q missing from registry %v", want, names)
+		}
+	}
+	for _, name := range names {
+		prog, ok := target.Lookup(name)
+		if !ok {
+			t.Fatalf("Names listed %q but Lookup missed it", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			res := core.NewEngine(core.Config{
+				Program:      prog,
+				Iterations:   6,
+				Reduction:    true,
+				Framework:    true,
+				Seed:         1,
+				InitialProcs: 4,
+				MaxProcs:     8,
+				RunTimeout:   10 * time.Second,
+			}).Run()
+			if len(res.Iterations) != 6 {
+				t.Fatalf("campaign ran %d/6 iterations", len(res.Iterations))
+			}
+			if res.Coverage.Count() == 0 {
+				t.Fatal("campaign covered no branches")
+			}
+			if res.Coverage.Count() > prog.TotalBranches() {
+				t.Fatalf("covered %d branches, program declares only %d",
+					res.Coverage.Count(), prog.TotalBranches())
+			}
+			reach := prog.ReachableBranches(res.Coverage.Funcs())
+			if reach == 0 || reach > prog.TotalBranches() {
+				t.Fatalf("reachable estimate %d/%d", reach, prog.TotalBranches())
+			}
+		})
+	}
+}

@@ -1,0 +1,202 @@
+// Package target is the program-model layer of the reproduction: the meeting
+// point between the instrumented target applications and the testing engine.
+//
+// In COMPI proper this layer is produced by CIL at instrumentation time: the
+// transformed source carries a stable numeric ID per conditional site, a
+// branch table relating sites to functions (the reachable-branch universe
+// behind the paper's coverage rates), and the developer's input markings.
+// Here the targets declare the same artifacts in Go at package-init time
+// through a Builder, and the result — a Program — is published in a global
+// registry the engine, the CLIs, and the experiment drivers all consume.
+//
+// The package has four pieces:
+//
+//   - Program: one target application — its entry point, SLOC, declared
+//     inputs with caps, static branch table, and static call graph. It
+//     answers the engine's coverage queries (TotalBranches,
+//     ReachableBranches) and the CFG strategy's distance queries.
+//   - Builder: mints stable per-program conditional-site and callsite IDs in
+//     static declaration order, with early panics on duplicate declarations.
+//   - the registry: a mutex-guarded name → Program table safe for concurrent
+//     campaigns (Register, Lookup, Names, Programs).
+//   - Manifest: the JSON export of a program's declarations, served by
+//     `compi targets --json` and consumed by audit tooling.
+package target
+
+import (
+	"repro/internal/conc"
+	"repro/internal/mpi"
+)
+
+// CondDecl is one declared conditional site: the static branch-table row CIL
+// would emit for an `if` in the instrumented source. ID is stable across
+// runs because it is minted in static declaration order.
+type CondDecl struct {
+	ID    conc.CondID `json:"id"`
+	Func  string      `json:"func"`
+	Label string      `json:"label"`
+}
+
+// CallDecl is one declared static callsite, an edge of the program's call
+// graph. The CFG-directed search strategy walks these edges to estimate
+// distances to uncovered branches.
+type CallDecl struct {
+	ID     int32  `json:"id"`
+	Caller string `json:"caller"`
+	Callee string `json:"callee"`
+}
+
+// InputDecl is one developer-marked symbolic input (COMPI_int /
+// COMPI_int_with_limit, §IV-A). HasCap distinguishes a capped input from an
+// unbounded one; Cap is the §IV-A upper limit the solver must respect.
+type InputDecl struct {
+	Name   string `json:"name"`
+	Cap    int64  `json:"cap,omitempty"`
+	HasCap bool   `json:"capped,omitempty"`
+}
+
+// Program is one registered target application: the model of the
+// instrumented program the engine schedules campaigns against.
+//
+// Name, SLOC, and Main are fixed at Build time; the declaration tables are
+// immutable afterwards, so a Program may be shared by concurrent campaigns
+// without synchronization.
+type Program struct {
+	// Name identifies the program in the registry and the CLIs.
+	Name string
+	// SLOC is the source-line count reported in the paper's Table III.
+	SLOC int
+	// Main is the entry point every rank executes; its return value is the
+	// rank's exit code.
+	Main func(*mpi.Proc) int
+
+	conds  []CondDecl
+	calls  []CallDecl
+	inputs []InputDecl
+	funcs  []string // static first-mention order
+}
+
+// TotalBranches returns the size of the static branch universe: two branches
+// per declared conditional site (Table III's "branches" column).
+func (p *Program) TotalBranches() int { return 2 * len(p.conds) }
+
+// Conds returns the declared conditional sites in static order.
+func (p *Program) Conds() []CondDecl {
+	out := make([]CondDecl, len(p.conds))
+	copy(out, p.conds)
+	return out
+}
+
+// Calls returns the declared static callsites in declaration order.
+func (p *Program) Calls() []CallDecl {
+	out := make([]CallDecl, len(p.calls))
+	copy(out, p.calls)
+	return out
+}
+
+// Inputs returns the declared symbolic inputs in declaration order.
+func (p *Program) Inputs() []InputDecl {
+	out := make([]InputDecl, len(p.inputs))
+	copy(out, p.inputs)
+	return out
+}
+
+// Functions returns every function named by a declaration, in static
+// first-mention order.
+func (p *Program) Functions() []string {
+	out := make([]string, len(p.funcs))
+	copy(out, p.funcs)
+	return out
+}
+
+// ReachableBranches estimates the reachable-branch universe given the set of
+// functions encountered at runtime: the sum of declared branches of every
+// encountered function — the CREST FAQ methodology the paper's coverage
+// rates are computed with.
+func (p *Program) ReachableBranches(funcs map[string]struct{}) int {
+	n := 0
+	for _, c := range p.conds {
+		if _, ok := funcs[c.Func]; ok {
+			n += 2
+		}
+	}
+	return n
+}
+
+// funcHop is the distance cost of crossing one call edge in Distances. It
+// dominates any within-function index distance, so the CFG strategy always
+// prefers a goal in the current function over one a call away.
+const funcHop = 256
+
+// Distances returns, for every conditional site from which some goal site is
+// statically reachable, an estimated distance to the nearest goal: the
+// number of call-graph edges to the goal's function (weighted by funcHop)
+// plus, within the goal's own function, the declaration-order index distance.
+// Sites with no path to any goal are absent from the result.
+func (p *Program) Distances(goal map[conc.CondID]struct{}) map[conc.CondID]int {
+	out := map[conc.CondID]int{}
+	if len(goal) == 0 {
+		return out
+	}
+
+	byFunc := map[string][]CondDecl{}
+	for _, c := range p.conds {
+		byFunc[c.Func] = append(byFunc[c.Func], c)
+	}
+
+	// Multi-source BFS over the undirected call graph, rooted at the
+	// functions owning a goal site.
+	adj := map[string][]string{}
+	for _, e := range p.calls {
+		adj[e.Caller] = append(adj[e.Caller], e.Callee)
+		adj[e.Callee] = append(adj[e.Callee], e.Caller)
+	}
+	fdist := map[string]int{}
+	var queue []string
+	for _, f := range p.funcs {
+		for _, c := range byFunc[f] {
+			if _, ok := goal[c.ID]; ok {
+				fdist[f] = 0
+				queue = append(queue, f)
+				break
+			}
+		}
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, g := range adj[f] {
+			if _, seen := fdist[g]; !seen {
+				fdist[g] = fdist[f] + 1
+				queue = append(queue, g)
+			}
+		}
+	}
+
+	for f, d := range fdist {
+		conds := byFunc[f]
+		for i, c := range conds {
+			if d > 0 {
+				out[c.ID] = d * funcHop
+				continue
+			}
+			// Same function as a goal: refine by declaration-order index
+			// distance to the nearest goal site.
+			local := funcHop
+			for j, g := range conds {
+				if _, ok := goal[g.ID]; !ok {
+					continue
+				}
+				ij := i - j
+				if ij < 0 {
+					ij = -ij
+				}
+				if ij < local {
+					local = ij
+				}
+			}
+			out[c.ID] = local
+		}
+	}
+	return out
+}

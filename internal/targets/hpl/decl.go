@@ -116,6 +116,28 @@ var (
 )
 
 func init() {
+	b.InCap("n", NCap)
+	b.InCap("nb", 64)
+	b.In("pmap")
+	b.InCap("p", 16)
+	b.InCap("q", 16)
+	b.In("pfact")
+	b.In("nbmin")
+	b.In("ndiv")
+	b.In("rfact")
+	b.In("bcast")
+	b.In("depth")
+	b.In("swap")
+	b.In("swapthresh")
+	b.In("l1form")
+	b.In("uform")
+	b.In("equil")
+	b.In("align")
+	b.InCap("nruns", 10)
+	b.In("verbosity")
+	b.In("maxfails")
+	b.In("checkres")
+	b.In("seed")
 	b.Call("main", "pdinfo")
 	b.Call("main", "grid_init")
 	b.Call("main", "pdtest")

@@ -84,6 +84,16 @@ var (
 )
 
 func init() {
+	b.In("bench")
+	b.InCap("niter", IterCap)
+	b.InCap("minlog", 12)
+	b.InCap("maxlog", 12)
+	b.InCap("npmin", 16)
+	b.InCap("warmups", 10)
+	b.In("root")
+	b.In("barrier")
+	b.In("validate")
+	b.In("tlimit")
 	b.Call("main", "input")
 	b.Call("main", "driver")
 	b.Call("driver", "pingpong")

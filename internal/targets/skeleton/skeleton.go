@@ -27,6 +27,8 @@ var (
 )
 
 func init() {
+	b.InCap("x", 200)
+	b.InCap("y", 100)
 	b.Call("main", "sanity")
 	b.Call("main", "solve")
 	target.Register(b.Build(Main))

@@ -65,6 +65,14 @@ var (
 )
 
 func init() {
+	b.InCap("nx", GridCap)
+	b.InCap("ny", GridCap)
+	b.InCap("maxiter", 200)
+	b.InCap("tol", 100000)
+	b.In("src")
+	b.In("border")
+	b.In("decomp")
+	b.In("checkpoint")
 	b.Call("main", "input")
 	b.Call("main", "setup")
 	b.Call("main", "solve")

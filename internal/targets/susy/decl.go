@@ -89,6 +89,19 @@ var (
 )
 
 func init() {
+	b.InCap("nx", DimCap)
+	b.InCap("ny", DimCap)
+	b.InCap("nz", DimCap)
+	b.InCap("nt", DimCap)
+	b.InCap("warms", 5)
+	b.InCap("trajecs", 10)
+	b.InCap("nstep", 10)
+	b.InCap("nsrc", 4)
+	b.InCap("nroot", 8)
+	b.InCap("niter", 20)
+	b.InCap("mass", 100)
+	b.InCap("lambda", 50)
+	b.In("seed")
 	b.Call("main", "setup")
 	b.Call("main", "layout")
 	b.Call("main", "setup_rhmc")

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: what CI runs and what every PR must keep green.
+# The go build step alone would have caught the seed's missing-package
+# regression (7 of 10 packages failed to compile); vet and the full test
+# suite catch the rest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "== go test -race ./internal/target/... =="
+go test -race ./internal/target/...
+
+echo "CI green."
