@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/sched"
 	"repro/internal/target"
 	_ "repro/internal/targets/hpl"
 	_ "repro/internal/targets/imb"
@@ -119,14 +120,50 @@ func BenchmarkCampaignIteration(b *testing.B) {
 // BenchmarkSUSYTrajectory measures one fixed-input SUSY-HMC execution (the
 // target-program side of the harness).
 func BenchmarkSUSYTrajectory(b *testing.B) {
-	susy.FixAll()
-	defer susy.UnfixAll()
 	prog, _ := target.Lookup("susy-hmc")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		core.NewEngine(core.Config{
-			Program: prog, Iterations: 3, Reduction: true,
+			Program: prog, Params: susy.FixAll(), Iterations: 3, Reduction: true,
 			Framework: true, Seed: 9,
 		}).Run()
+	}
+}
+
+// BenchmarkSchedSpeedup measures the scheduler's parallel speedup on four
+// identical skeleton campaigns: the serial case runs them on one worker,
+// the parallel case on four. The ratio of the two is the machine's effective
+// campaign-level parallelism.
+func BenchmarkSchedSpeedup(b *testing.B) {
+	specs := func() []sched.Spec {
+		var out []sched.Spec
+		for _, seed := range []int64{1, 2, 3, 4} {
+			out = append(out, sched.Spec{
+				Target: "skeleton",
+				Seed:   seed,
+				Config: core.Config{
+					Iterations: 60,
+					Reduction:  true,
+					Framework:  true,
+					RunTimeout: 5 * time.Second,
+				},
+			})
+		}
+		return out
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"j4", 4}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := sched.Run(specs(), sched.Options{Workers: bc.workers})
+				for _, c := range rep.Campaigns {
+					if c.Err != nil {
+						b.Fatal(c.Err)
+					}
+				}
+			}
+		})
 	}
 }

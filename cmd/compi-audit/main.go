@@ -34,8 +34,9 @@ func main() {
 		seed  = flag.Int64("seed", 1, "campaign seed")
 	)
 	flag.Parse()
-	susy.FixAll()
-	stencil.FixAll()
+	// Audit the fixed programs: the seeded bugs would otherwise abort the
+	// probe campaigns early.
+	params := core.MergeParams(susy.FixAll(), stencil.FixAll())
 
 	names := target.Names()
 	if *name != "" {
@@ -48,7 +49,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown target %q\n", n)
 			os.Exit(2)
 		}
-		if !audit(prog, *iters, *seed) {
+		if !audit(prog, params, *iters, *seed) {
 			exit = 1
 		}
 	}
@@ -57,9 +58,10 @@ func main() {
 
 // audit runs the campaign and prints the per-function report; it returns
 // false when any function was never entered (a likely declaration bug).
-func audit(prog *target.Program, iters int, seed int64) bool {
+func audit(prog *target.Program, params map[string]int64, iters int, seed int64) bool {
 	res := core.NewEngine(core.Config{
 		Program:    prog,
+		Params:     params,
 		Iterations: iters,
 		Reduction:  true,
 		Framework:  true,

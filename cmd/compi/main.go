@@ -9,6 +9,7 @@
 //	compi -list
 //	compi targets                           # declaration summary per target
 //	compi targets --json                    # full static manifests
+//	compi sched -j 8 -seeds 1,2,3,4         # parallel campaign grid
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 	"repro/internal/target"
 	_ "repro/internal/targets/hpl"
 	_ "repro/internal/targets/imb"
@@ -32,6 +34,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "targets" {
 		runTargets(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "sched" {
+		runSched(os.Args[2:])
 		return
 	}
 	var (
@@ -68,13 +74,14 @@ func main() {
 			*name, strings.Join(target.Names(), ", "))
 		os.Exit(2)
 	}
+	params := map[string]int64{}
 	if !*bugs {
-		susy.FixAll()
-		stencil.FixAll()
+		params = core.MergeParams(susy.FixAll(), stencil.FixAll())
 	}
 
 	if *replay != "" {
-		rec := core.ErrorRecord{NProcs: *procs, Focus: 0, Inputs: map[string]int64{}}
+		rec := core.ErrorRecord{NProcs: *procs, Focus: 0,
+			Inputs: map[string]int64{}, Params: params}
 		for _, kv := range strings.Split(*replay, ",") {
 			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
 			if !ok {
@@ -106,6 +113,7 @@ func main() {
 
 	cfg := core.Config{
 		Program:      prog,
+		Params:       params,
 		Iterations:   *iters,
 		TimeBudget:   *budget,
 		InitialProcs: *procs,
@@ -204,6 +212,82 @@ func main() {
 		fmt.Printf("      first at iter %d, np=%d focus=%d inputs=%v\n",
 			r.Iter, r.NProcs, r.Focus, r.Inputs)
 	}
+}
+
+// runSched implements `compi sched`: a grid of campaigns (every requested
+// target × every seed) run concurrently through the parallel scheduler, with
+// a merged per-target summary at the end.
+func runSched(args []string) {
+	fs := flag.NewFlagSet("compi sched", flag.ExitOnError)
+	var (
+		targets  = fs.String("targets", "", "comma-separated target list (default: all registered)")
+		seeds    = fs.String("seeds", "1", "comma-separated campaign seeds (one campaign per target per seed)")
+		workers  = fs.Int("j", 0, "concurrently running campaigns (0 = GOMAXPROCS)")
+		iters    = fs.Int("iters", 200, "test iterations per campaign")
+		budget   = fs.Duration("budget", 0, "per-campaign wall-clock budget (0 = none)")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-execution watchdog")
+		procs    = fs.Int("np", 8, "initial number of processes")
+		maxProcs = fs.Int("max-np", 16, "process-count cap")
+		dfsPhase = fs.Int("dfs-phase", 50, "pure-DFS executions before BoundedDFS")
+		bugs     = fs.Bool("bugs", false, "leave the seeded bugs live")
+		verbose  = fs.Bool("v", false, "per-iteration trace")
+	)
+	fs.Parse(args)
+
+	names := target.Names()
+	if *targets != "" {
+		names = strings.Split(*targets, ",")
+	}
+	params := map[string]int64{}
+	if !*bugs {
+		params = core.MergeParams(susy.FixAll(), stencil.FixAll())
+	}
+	var seedVals []int64
+	for _, sv := range strings.Split(*seeds, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(sv), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -seeds entry %q: %v\n", sv, err)
+			os.Exit(2)
+		}
+		seedVals = append(seedVals, n)
+	}
+
+	var specs []sched.Spec
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if _, ok := target.Lookup(n); !ok {
+			fmt.Fprintf(os.Stderr, "unknown target %q; available: %s\n",
+				n, strings.Join(target.Names(), ", "))
+			os.Exit(2)
+		}
+		for _, sd := range seedVals {
+			specs = append(specs, sched.Spec{
+				Target: n,
+				Seed:   sd,
+				Config: core.Config{
+					Params:       params,
+					Iterations:   *iters,
+					TimeBudget:   *budget,
+					InitialProcs: *procs,
+					MaxProcs:     *maxProcs,
+					Reduction:    true,
+					Framework:    true,
+					DFSPhase:     *dfsPhase,
+					RunTimeout:   *timeout,
+				},
+			})
+		}
+	}
+
+	opt := sched.Options{Workers: *workers}
+	if *verbose {
+		opt.Trace = func(label string, it core.IterationStat) {
+			fmt.Printf("%-24s iter %4d  np=%-2d focus=%-2d covered=%-5d %s\n",
+				label, it.Iter, it.NProcs, it.Focus, it.Covered,
+				map[bool]string{true: "FAILED", false: ""}[it.Failed])
+		}
+	}
+	sched.Run(specs, opt).WriteSummary(os.Stdout)
 }
 
 // runTargets implements `compi targets [--json] [-target name]`: the static

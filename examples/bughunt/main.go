@@ -21,22 +21,24 @@ import (
 
 func main() {
 	prog, _ := target.Lookup("susy-hmc")
-	susy.UnfixAll()
+	// The fix state is local and rides on each round's campaign parameters.
+	var applied susy.Fixes
 
 	fixes := []struct {
 		name  string
 		apply func()
 		done  func() bool
 	}{
-		{"setup_rhmc wrong malloc", func() { susy.Applied.RHMC = true }, func() bool { return susy.Applied.RHMC }},
-		{"ploop wrong malloc", func() { susy.Applied.Ploop = true }, func() bool { return susy.Applied.Ploop }},
-		{"congrad wrong malloc", func() { susy.Applied.Congrad = true }, func() bool { return susy.Applied.Congrad }},
-		{"update_h divide-by-zero", func() { susy.Applied.DivZero = true }, func() bool { return susy.Applied.DivZero }},
+		{"setup_rhmc wrong malloc", func() { applied.RHMC = true }, func() bool { return applied.RHMC }},
+		{"ploop wrong malloc", func() { applied.Ploop = true }, func() bool { return applied.Ploop }},
+		{"congrad wrong malloc", func() { applied.Congrad = true }, func() bool { return applied.Congrad }},
+		{"update_h divide-by-zero", func() { applied.DivZero = true }, func() bool { return applied.DivZero }},
 	}
 
 	for round := 1; ; round++ {
 		res := core.NewEngine(core.Config{
 			Program:    prog,
+			Params:     applied.Params(),
 			Iterations: 150,
 			Reduction:  true,
 			Framework:  true,

@@ -20,13 +20,12 @@ import (
 
 func main() {
 	prog, _ := target.Lookup("imb-mpi1")
-	defer func() { imb.IterCap = 100 }()
 
 	fmt.Printf("%-8s %-12s %-10s\n", "cap", "time", "covered")
 	for _, cap := range []int64{50, 100, 400, 1600} {
-		imb.IterCap = cap
 		res := core.NewEngine(core.Config{
 			Program:    prog,
+			Params:     imb.CapParams(cap),
 			Iterations: 150,
 			Reduction:  true,
 			Framework:  true,

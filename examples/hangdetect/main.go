@@ -23,13 +23,13 @@ import (
 
 func main() {
 	prog, _ := target.Lookup("stencil")
-	stencil.UnfixAll()
 
 	fmt.Println("hunting for non-terminating configurations of the stencil solver...")
 	var hang *core.ErrorRecord
 	for round := 0; round < 8 && hang == nil; round++ {
 		res := core.NewEngine(core.Config{
 			Program:    prog,
+			Params:     stencil.UnfixAll(), // hunt with both seeded bugs live
 			Iterations: 150,
 			Reduction:  true,
 			Framework:  true,
@@ -59,7 +59,7 @@ func main() {
 	fmt.Printf("replay outcome: %v\n", fe.Status)
 
 	fmt.Println("\napplying the developer fix and replaying again...")
-	stencil.FixAll()
+	hang.Params = stencil.FixAll()
 	rerun = core.Replay(prog, *hang, 5*time.Second)
 	if fe, bad := rerun.FirstError(); bad {
 		fmt.Printf("fixed program outcome: %v exit=%d (cleanly rejects the config)\n",

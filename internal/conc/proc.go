@@ -174,6 +174,11 @@ type Config struct {
 	// events; zero means no tick limit. It makes hang detection
 	// deterministic for the seeded infinite-loop bugs.
 	MaxTicks int64
+	// Params is the campaign parameter bag: per-campaign target knobs
+	// (input caps, seeded-bug fix toggles) that used to live in package
+	// globals. The map is shared read-only across all ranks of a launch
+	// and across iterations; it must not be mutated after the launch.
+	Params map[string]int64
 }
 
 // Proc is the per-process concolic runtime state. One Proc exists per MPI
@@ -227,6 +232,24 @@ func NewProc(rank int, vars *VarSpace, inputs map[string]int64, cfg Config) *Pro
 
 // Rank returns the global rank this runtime belongs to.
 func (p *Proc) Rank() int { return p.rank }
+
+// Param returns the campaign parameter name, or def when the campaign did
+// not set it. Parameters are concrete per-campaign knobs (caps, fix
+// toggles), never symbolic inputs.
+func (p *Proc) Param(name string, def int64) int64 {
+	if v, ok := p.cfg.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// ParamBool is Param for boolean knobs: any non-zero value is true.
+func (p *Proc) ParamBool(name string, def bool) bool {
+	if v, ok := p.cfg.Params[name]; ok {
+		return v != 0
+	}
+	return def
+}
 
 // Mode returns the instrumentation mode.
 func (p *Proc) Mode() Mode { return p.cfg.Mode }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/conc"
@@ -20,6 +21,27 @@ import (
 type Config struct {
 	Program  *target.Program
 	Strategy Strategy // nil selects COMPI's default two-phase DFS
+
+	// NewStrategy, when non-nil, constructs the search strategy against the
+	// engine's own program and live coverage tracker and takes precedence
+	// over Strategy. Strategies are stateful, so a Config that is reused
+	// across several engines (the scheduler's determinism contract) must
+	// use a factory rather than sharing one Strategy value.
+	NewStrategy func(prog *target.Program, cov *coverage.Tracker) Strategy
+
+	// Params is the campaign parameter bag: concrete per-campaign target
+	// knobs (input caps, seeded-bug fix toggles) read by target code via
+	// the proc handle. It replaces the racy per-target package globals so
+	// concurrent campaigns on one target cannot observe each other's
+	// settings. Treated as read-only once the campaign starts.
+	Params map[string]int64
+
+	// Inputs seeds the first execution's symbolic input values (missing
+	// names still receive deterministic pseudo-random values). Combined
+	// with Iterations=1 it pins a fixed-input run, which is how the
+	// experiment harness replays the paper's fixed configurations through
+	// the scheduler.
+	Inputs map[string]int64
 
 	// Iterations is the test budget (program executions). TimeBudget, when
 	// non-zero, additionally stops the campaign on wall-clock time, which is
@@ -73,9 +95,6 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Strategy == nil {
-		c.Strategy = NewTwoPhase(c.DFSPhase, c.DepthBound)
-	}
 	if c.InitialProcs == 0 {
 		c.InitialProcs = 8
 	}
@@ -115,6 +134,8 @@ type IterationStat struct {
 }
 
 // ErrorRecord is one error-inducing input COMPI logs for bug analysis.
+// Params captures the campaign parameter bag in force when the error fired,
+// so Replay reproduces the same caps and fix toggles.
 type ErrorRecord struct {
 	Iter   int
 	NProcs int
@@ -123,6 +144,7 @@ type ErrorRecord struct {
 	Rank   int
 	Msg    string
 	Inputs map[string]int64
+	Params map[string]int64 `json:",omitempty"`
 }
 
 // Result is the outcome of a campaign.
@@ -152,16 +174,20 @@ func (r Result) DistinctErrors() map[string][]ErrorRecord {
 	return out
 }
 
-// Engine drives the iterative testing of one program.
+// Engine drives the iterative testing of one program. Once constructed it
+// owns all campaign state: the Config is copied by NewEngine and never
+// mutated afterwards, so engines can be handed to worker goroutines.
 type Engine struct {
-	cfg    Config
-	vars   *conc.VarSpace
-	cov    *coverage.Tracker
-	rng    *rand.Rand
-	inputs map[string]int64
-	caps   map[string]capInfo
-	prev   map[expr.Var]int64
-	cur    setup
+	cfg      Config
+	strategy Strategy
+	started  atomic.Bool
+	vars     *conc.VarSpace
+	cov      *coverage.Tracker
+	rng      *rand.Rand
+	inputs   map[string]int64
+	caps     map[string]capInfo
+	prev     map[expr.Var]int64
+	cur      setup
 }
 
 type capInfo struct {
@@ -172,28 +198,44 @@ type capInfo struct {
 // NewEngine prepares a campaign.
 func NewEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	return &Engine{
+	e := &Engine{
 		cfg:    cfg,
 		vars:   conc.NewVarSpace(),
 		cov:    coverage.New(),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		inputs: map[string]int64{},
+		inputs: cloneInputs(cfg.Inputs),
 		caps:   map[string]capInfo{},
 		prev:   map[expr.Var]int64{},
 		cur:    setup{nprocs: cfg.InitialProcs, focus: cfg.InitialFocus},
 	}
+	switch {
+	case cfg.NewStrategy != nil:
+		e.strategy = cfg.NewStrategy(cfg.Program, e.cov)
+	case cfg.Strategy != nil:
+		e.strategy = cfg.Strategy
+	default:
+		e.strategy = NewTwoPhase(cfg.DFSPhase, cfg.DepthBound)
+	}
+	return e
 }
 
 // Coverage exposes the live tracker (the CFG strategy consults it).
 func (e *Engine) Coverage() *coverage.Tracker { return e.cov }
 
-// SetStrategy replaces the search strategy before Run. The Figure 4
-// comparison uses it to construct CFG search against the engine's own live
-// coverage tracker.
-func (e *Engine) SetStrategy(s Strategy) { e.cfg.Strategy = s }
+// SetStrategy replaces the search strategy before the campaign starts. It
+// panics once Run has begun: the strategy is campaign state, and swapping it
+// mid-run from another goroutine would race with the engine. Prefer
+// Config.NewStrategy, which also survives engine re-construction.
+func (e *Engine) SetStrategy(s Strategy) {
+	if e.started.Load() {
+		panic("core: SetStrategy after Run started")
+	}
+	e.strategy = s
+}
 
 // Run executes the campaign and returns its result.
 func (e *Engine) Run() Result {
+	e.started.Store(true)
 	res := Result{Coverage: e.cov}
 	start := time.Now()
 	for it := 0; it < e.cfg.Iterations; it++ {
@@ -248,6 +290,7 @@ func (e *Engine) iterate(it int, res *Result) IterationStat {
 			Iter: it, NProcs: e.cur.nprocs, Focus: e.cur.focus,
 			Status: fe.Status, Rank: fe.Rank, Msg: msg,
 			Inputs: cloneInputs(e.inputs),
+			Params: e.cfg.Params,
 		}
 		res.Errors = append(res.Errors, rec)
 		if e.cfg.ErrorLog != nil {
@@ -282,9 +325,9 @@ func (e *Engine) iterate(it int, res *Result) IterationStat {
 	}
 
 	// Concolic step: pick a constraint to negate and solve.
-	e.cfg.Strategy.Observe(focusLog.Path)
+	e.strategy.Observe(focusLog.Path)
 	for {
-		path, idx, ok := e.cfg.Strategy.Propose()
+		path, idx, ok := e.strategy.Propose()
 		if !ok {
 			e.restart(it, res)
 			stat.Restarted = true
@@ -298,10 +341,10 @@ func (e *Engine) iterate(it int, res *Result) IterationStat {
 		})
 		if !sat {
 			res.UnsatCalls++
-			e.cfg.Strategy.Reject()
+			e.strategy.Reject()
 			continue
 		}
-		e.cfg.Strategy.Accept()
+		e.strategy.Accept()
 		e.apply(focusLog, sol)
 		return stat
 	}
@@ -342,7 +385,7 @@ func (e *Engine) apply(focusLog *conc.Log, sol solver.Result) {
 // the testing when exploration gets stuck or the tree is exhausted).
 func (e *Engine) restart(it int, res *Result) {
 	res.Restarts++
-	e.cfg.Strategy.Reset()
+	e.strategy.Reset()
 	e.randomizeAll()
 	if e.cfg.Framework {
 		e.cur = setup{nprocs: e.cfg.InitialProcs, focus: e.cfg.InitialFocus}
@@ -405,6 +448,7 @@ func (e *Engine) launch(it int) mpi.RunResult {
 				Seed:      seed,
 				Deadline:  deadline,
 				MaxTicks:  e.cfg.MaxTicks,
+				Params:    e.cfg.Params,
 			}
 		},
 		Timeout: e.cfg.RunTimeout,
@@ -415,6 +459,20 @@ func cloneInputs(in map[string]int64) map[string]int64 {
 	out := make(map[string]int64, len(in))
 	for k, v := range in {
 		out[k] = v
+	}
+	return out
+}
+
+// MergeParams unions campaign parameter maps into a fresh map; later maps
+// win on key collisions. Target packages namespace their keys
+// ("susy.dimcap", "hpl.ncap", ...), so the fix bags of several targets can
+// be combined into one campaign Config.
+func MergeParams(maps ...map[string]int64) map[string]int64 {
+	out := map[string]int64{}
+	for _, m := range maps {
+		for k, v := range m {
+			out[k] = v
+		}
 	}
 	return out
 }
@@ -442,6 +500,7 @@ func Replay(prog *target.Program, rec ErrorRecord, timeout time.Duration) mpi.Ru
 			return conc.Config{
 				Mode: mode, Reduction: true, Seed: 1,
 				Deadline: deadline, MaxTicks: 50_000_000,
+				Params: rec.Params,
 			}
 		},
 		Timeout: timeout,

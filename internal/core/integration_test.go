@@ -51,19 +51,19 @@ func TestSUSYBugHunt(t *testing.T) {
 		t.Skip("campaign test")
 	}
 	p := prog(t, "susy-hmc")
-	susy.UnfixAll()
-	t.Cleanup(susy.UnfixAll)
 
 	found := map[string]bool{}
+	var applied susy.Fixes // fix state rides on each round's Config.Params
 	fixSteps := []func(){
-		func() { susy.Applied.RHMC = true },
-		func() { susy.Applied.Ploop = true },
-		func() { susy.Applied.Congrad = true },
-		func() { susy.Applied.DivZero = true },
+		func() { applied.RHMC = true },
+		func() { applied.Ploop = true },
+		func() { applied.Congrad = true },
+		func() { applied.DivZero = true },
 	}
 	for step := 0; step < len(fixSteps); step++ {
 		res := NewEngine(Config{
-			Program: p, Iterations: 120, Reduction: true, Framework: true,
+			Program: p, Params: applied.Params(),
+			Iterations: 120, Reduction: true, Framework: true,
 			Seed: int64(100 + step), DFSPhase: 30, RunTimeout: 15 * time.Second,
 		}).Run()
 		for msg := range res.DistinctErrors() {
@@ -90,11 +90,10 @@ func TestSUSYCoverageCampaign(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test")
 	}
-	susy.FixAll()
-	t.Cleanup(susy.UnfixAll)
 	p := prog(t, "susy-hmc")
 	res := NewEngine(Config{
-		Program: p, Iterations: 150, Reduction: true, Framework: true,
+		Program: p, Params: susy.FixAll(),
+		Iterations: 150, Reduction: true, Framework: true,
 		Seed: 5, DFSPhase: 30, RunTimeout: 15 * time.Second,
 	}).Run()
 	for _, fn := range []string{"update", "congrad", "measure"} {

@@ -16,14 +16,13 @@ func TestStencilHangDiscovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test")
 	}
-	stencil.UnfixAll()
-	t.Cleanup(stencil.UnfixAll)
 	p := prog(t, "stencil")
 
 	var hang *ErrorRecord
 	for round := 0; round < 6 && hang == nil; round++ {
 		res := NewEngine(Config{
-			Program: p, Iterations: 150, Reduction: true, Framework: true,
+			Program: p, Params: stencil.UnfixAll(),
+			Iterations: 150, Reduction: true, Framework: true,
 			Seed: int64(41 + 19*round), DFSPhase: 40,
 			RunTimeout: 2 * time.Second, MaxTicks: 1_500_000,
 		}).Run()
@@ -48,8 +47,9 @@ func TestStencilHangDiscovery(t *testing.T) {
 		t.Fatalf("replay did not reproduce the hang: %+v", fe)
 	}
 
-	// After the fix the same inputs are rejected cleanly.
-	stencil.FixAll()
+	// After the fix the same inputs are rejected cleanly: the replay record
+	// carries the fixed-parameter bag instead of the campaign's.
+	hang.Params = stencil.FixAll()
 	rerun = Replay(p, *hang, 5*time.Second)
 	fe, bad := rerun.FirstError()
 	if !bad || fe.Exit != 3 {
@@ -63,11 +63,10 @@ func TestStencilCoverageCampaign(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test")
 	}
-	stencil.FixAll()
-	t.Cleanup(stencil.UnfixAll)
 	p := prog(t, "stencil")
 	res := NewEngine(Config{
-		Program: p, Iterations: 200, Reduction: true, Framework: true,
+		Program: p, Params: stencil.FixAll(),
+		Iterations: 200, Reduction: true, Framework: true,
 		Seed: 3, DFSPhase: 40, RunTimeout: 5 * time.Second,
 	}).Run()
 	if _, ok := res.Coverage.Funcs()["solve"]; !ok {

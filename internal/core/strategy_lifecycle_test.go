@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/coverage"
+	"repro/internal/target"
+)
+
+// TestSetStrategyBeforeRun verifies the legal window: a strategy swapped in
+// before Run drives the campaign.
+func TestSetStrategyBeforeRun(t *testing.T) {
+	eng := NewEngine(Config{
+		Program:    skeletonProg(t),
+		Iterations: 10,
+		Reduction:  true,
+		Framework:  true,
+		Seed:       1,
+		RunTimeout: 5 * time.Second,
+	})
+	eng.SetStrategy(NewTwoPhase(0, Unbounded))
+	res := eng.Run()
+	if len(res.Iterations) != 10 {
+		t.Fatalf("ran %d/10 iterations", len(res.Iterations))
+	}
+}
+
+// TestSetStrategyAfterRunPanics is the regression test for the old behavior
+// where SetStrategy silently rewrote engine config mid-campaign: swapping
+// the strategy once Run has started must panic.
+func TestSetStrategyAfterRunPanics(t *testing.T) {
+	eng := NewEngine(Config{
+		Program:    skeletonProg(t),
+		Iterations: 2,
+		Reduction:  true,
+		Framework:  true,
+		Seed:       1,
+		RunTimeout: 5 * time.Second,
+	})
+	eng.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetStrategy after Run did not panic")
+		}
+	}()
+	eng.SetStrategy(NewTwoPhase(0, Unbounded))
+}
+
+// TestNewStrategyFactoryPerEngine checks the factory path: each NewEngine
+// call gets a fresh strategy built against its own live tracker, so running
+// the same Config twice cannot share stateful strategy internals.
+func TestNewStrategyFactoryPerEngine(t *testing.T) {
+	built := 0
+	cfg := Config{
+		Program:    skeletonProg(t),
+		Iterations: 5,
+		Reduction:  true,
+		Framework:  true,
+		Seed:       1,
+		RunTimeout: 5 * time.Second,
+	}
+	cfg.NewStrategy = func(prog *target.Program, cov *coverage.Tracker) Strategy {
+		built++
+		return NewCFG(prog, cov)
+	}
+	NewEngine(cfg).Run()
+	NewEngine(cfg).Run()
+	if built != 2 {
+		t.Fatalf("factory built %d strategies for 2 engines", built)
+	}
+}
+
+// TestConfigNotMutatedByEngine guards the scheduler's reuse of Config
+// values: constructing and running an engine must leave the caller's Config
+// (including its Strategy field) untouched.
+func TestConfigNotMutatedByEngine(t *testing.T) {
+	cfg := Config{
+		Program:    skeletonProg(t),
+		Iterations: 3,
+		Reduction:  true,
+		Framework:  true,
+		Seed:       1,
+		RunTimeout: 5 * time.Second,
+	}
+	eng := NewEngine(cfg)
+	eng.SetStrategy(NewTwoPhase(0, Unbounded))
+	eng.Run()
+	if cfg.Strategy != nil {
+		t.Fatal("SetStrategy leaked into the caller's Config")
+	}
+	if cfg.Iterations != 3 || cfg.Seed != 1 {
+		t.Fatalf("engine mutated caller Config: %+v", cfg)
+	}
+}

@@ -1,16 +1,22 @@
 // Package coverage accumulates branch coverage across every process of every
 // test iteration — the "all recorders" half of COMPI's "one focus and all
 // recorders" framework (§III).
+//
+// Tracker is safe for concurrent use: the campaign scheduler merges the
+// trackers of concurrently running engines into per-target union trackers
+// while campaigns are still adding coverage.
 package coverage
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/conc"
 )
 
 // Tracker is the campaign-wide coverage state.
 type Tracker struct {
+	mu      sync.RWMutex
 	covered map[conc.BranchBit]struct{}
 	funcs   map[string]struct{}
 }
@@ -25,6 +31,8 @@ func New() *Tracker {
 
 // AddLog merges one process's log into the tracker.
 func (t *Tracker) AddLog(l *conc.Log) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, b := range l.Covered {
 		t.covered[b] = struct{}{}
 	}
@@ -33,18 +41,61 @@ func (t *Tracker) AddLog(l *conc.Log) {
 	}
 }
 
-// AddBranch marks a single branch covered (used when merging trackers).
-func (t *Tracker) AddBranch(b conc.BranchBit) { t.covered[b] = struct{}{} }
+// AddBranch marks a single branch covered.
+func (t *Tracker) AddBranch(b conc.BranchBit) {
+	t.mu.Lock()
+	t.covered[b] = struct{}{}
+	t.mu.Unlock()
+}
 
 // AddFunc marks a function encountered.
-func (t *Tracker) AddFunc(f string) { t.funcs[f] = struct{}{} }
+func (t *Tracker) AddFunc(f string) {
+	t.mu.Lock()
+	t.funcs[f] = struct{}{}
+	t.mu.Unlock()
+}
+
+// Merge unions src into t (set union of branches and functions). Merging an
+// empty tracker is a no-op. Both trackers may be in concurrent use: src is
+// snapshotted under its read lock before t is written, so Merge(a,b) and
+// Merge(b,a) from different goroutines cannot deadlock.
+func (t *Tracker) Merge(src *Tracker) {
+	if src == nil || src == t {
+		return
+	}
+	src.mu.RLock()
+	bs := make([]conc.BranchBit, 0, len(src.covered))
+	for b := range src.covered {
+		bs = append(bs, b)
+	}
+	fs := make([]string, 0, len(src.funcs))
+	for f := range src.funcs {
+		fs = append(fs, f)
+	}
+	src.mu.RUnlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, b := range bs {
+		t.covered[b] = struct{}{}
+	}
+	for _, f := range fs {
+		t.funcs[f] = struct{}{}
+	}
+}
 
 // Count returns the number of covered branches.
-func (t *Tracker) Count() int { return len(t.covered) }
+func (t *Tracker) Count() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.covered)
+}
 
 // Covered reports whether branch b has been executed.
 func (t *Tracker) Covered(b conc.BranchBit) bool {
+	t.mu.RLock()
 	_, ok := t.covered[b]
+	t.mu.RUnlock()
 	return ok
 }
 
@@ -56,17 +107,27 @@ func (t *Tracker) SiteTouched(site conc.CondID) bool {
 
 // Branches returns the covered branches in sorted order.
 func (t *Tracker) Branches() []conc.BranchBit {
+	t.mu.RLock()
 	out := make([]conc.BranchBit, 0, len(t.covered))
 	for b := range t.covered {
 		out = append(out, b)
 	}
+	t.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// Funcs returns the set of functions encountered, for the reachable-branch
-// estimate.
-func (t *Tracker) Funcs() map[string]struct{} { return t.funcs }
+// Funcs returns a copy of the set of functions encountered, for the
+// reachable-branch estimate.
+func (t *Tracker) Funcs() map[string]struct{} {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[string]struct{}, len(t.funcs))
+	for f := range t.funcs {
+		out[f] = struct{}{}
+	}
+	return out
+}
 
 // Rate returns covered/total, guarding against a zero denominator.
 func (t *Tracker) Rate(total int) float64 {
@@ -79,11 +140,6 @@ func (t *Tracker) Rate(total int) float64 {
 // Clone returns an independent copy (used to snapshot per-phase coverage).
 func (t *Tracker) Clone() *Tracker {
 	n := New()
-	for b := range t.covered {
-		n.covered[b] = struct{}{}
-	}
-	for f := range t.funcs {
-		n.funcs[f] = struct{}{}
-	}
+	n.Merge(t)
 	return n
 }

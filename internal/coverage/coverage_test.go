@@ -2,6 +2,7 @@ package coverage
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/conc"
@@ -67,5 +68,71 @@ func TestCloneIsIndependent(t *testing.T) {
 	}
 	if len(tr.Funcs()) != 1 || len(cp.Funcs()) != 2 {
 		t.Fatal("funcs aliased")
+	}
+}
+
+func TestMergeUnion(t *testing.T) {
+	a, b := New(), New()
+	a.AddBranch(conc.Bit(1, true))
+	a.AddBranch(conc.Bit(2, false))
+	a.AddFunc("f")
+	b.AddBranch(conc.Bit(2, false)) // overlap
+	b.AddBranch(conc.Bit(3, true))
+	b.AddFunc("g")
+
+	a.Merge(b)
+	want := []conc.BranchBit{conc.Bit(1, true), conc.Bit(2, false), conc.Bit(3, true)}
+	if got := a.Branches(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged branches %v, want %v", got, want)
+	}
+	if len(a.Funcs()) != 2 {
+		t.Fatalf("merged funcs: %v", a.Funcs())
+	}
+	// The source must be untouched.
+	if b.Count() != 2 || len(b.Funcs()) != 1 {
+		t.Fatalf("merge mutated source: %d branches, funcs %v", b.Count(), b.Funcs())
+	}
+}
+
+func TestMergeEmptyAndDegenerate(t *testing.T) {
+	tr := New()
+	tr.AddBranch(conc.Bit(1, true))
+
+	tr.Merge(New()) // empty source: no-op
+	tr.Merge(nil)   // nil source: no-op
+	tr.Merge(tr)    // self-merge must not deadlock or change anything
+	if tr.Count() != 1 {
+		t.Fatalf("count after degenerate merges: %d", tr.Count())
+	}
+}
+
+// TestConcurrentAddLogAndMerge hammers one shared union tracker from
+// concurrent writers the way the scheduler does: per-campaign trackers keep
+// absorbing logs while the union tracker merges them. Run under -race this
+// is the tracker's thread-safety proof.
+func TestConcurrentAddLogAndMerge(t *testing.T) {
+	union := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := New()
+			for i := 0; i < 200; i++ {
+				local.AddLog(&conc.Log{
+					Covered: []conc.BranchBit{conc.Bit(conc.CondID(w*1000+i), i%2 == 0)},
+					Funcs:   []string{"f"},
+				})
+				union.Merge(local)
+				// Readers race the writers on both trackers.
+				_ = union.Count()
+				_ = local.Branches()
+				_ = union.Funcs()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := union.Count(); got != 8*200 {
+		t.Fatalf("union covered %d branches, want %d", got, 8*200)
 	}
 }

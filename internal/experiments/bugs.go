@@ -23,8 +23,9 @@ func Bugs(s Scale) *Table {
 			"paper: 3 segfaults from wrong malloc sizes + 1 FP exception needing 2 or 4 processes",
 		},
 	}
-	susy.UnfixAll()
-	defer susy.UnfixAll()
+	// The hunt's fix state is local: it becomes the campaign parameter bag
+	// of each round, never global target state.
+	var fixed susy.Fixes
 
 	type hit struct {
 		kind   string
@@ -41,9 +42,9 @@ func Bugs(s Scale) *Table {
 		case strings.Contains(rec.Msg, "out of range"):
 			// Distinguish the three allocation bugs by which is still live.
 			switch {
-			case !susy.Applied.RHMC:
+			case !fixed.RHMC:
 				return "setup_rhmc-malloc", "segfault"
-			case !susy.Applied.Ploop:
+			case !fixed.Ploop:
 				return "ploop-malloc", "segfault"
 			default:
 				return "congrad-malloc", "segfault"
@@ -52,10 +53,10 @@ func Bugs(s Scale) *Table {
 		return "", ""
 	}
 	fixes := map[string]func(){
-		"setup_rhmc-malloc": func() { susy.Applied.RHMC = true },
-		"ploop-malloc":      func() { susy.Applied.Ploop = true },
-		"congrad-malloc":    func() { susy.Applied.Congrad = true },
-		"update_h-divzero":  func() { susy.Applied.DivZero = true },
+		"setup_rhmc-malloc": func() { fixed.RHMC = true },
+		"ploop-malloc":      func() { fixed.Ploop = true },
+		"congrad-malloc":    func() { fixed.Congrad = true },
+		"update_h-divzero":  func() { fixed.DivZero = true },
 	}
 
 	for round := 0; round < 6 && len(found) < 4; round++ {
@@ -68,6 +69,7 @@ func Bugs(s Scale) *Table {
 			DFSPhase:   30,
 			DepthBound: 120,
 			RunTimeout: s.RunTimeout,
+			Params:     fixed.Params(),
 		}).Run()
 		// Classify with the fix-state the whole round ran under, and apply
 		// at most one fix per round (triage one bug, fix, re-test — the

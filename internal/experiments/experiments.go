@@ -37,6 +37,10 @@ type Scale struct {
 	// variants can spend "tens of minutes to derive a set of inputs"
 	// (§VI-D) — faithfully, but unhelpfully for a laptop run.
 	Budget time.Duration
+	// Workers bounds the campaign scheduler's concurrency for the drivers
+	// that fan out through sched.Run (table3/table4/fig6/fig8); <= 0
+	// selects GOMAXPROCS.
+	Workers int
 }
 
 // Full approximates the paper's budgets at laptop scale.
@@ -126,20 +130,21 @@ type tuning struct {
 	name     string
 	dfsPhase int
 	bound    int
-	prep     func() // e.g. fixing the SUSY bugs for coverage campaigns
+	params   map[string]int64 // e.g. fixing the SUSY bugs for coverage campaigns
 }
 
 func tunings() []tuning {
 	return []tuning{
-		{name: "susy-hmc", dfsPhase: 30, bound: 120, prep: susy.FixAll},
-		{name: "hpl", dfsPhase: 60, bound: 150, prep: func() {}},
-		{name: "imb-mpi1", dfsPhase: 60, bound: 100, prep: func() {}},
+		{name: "susy-hmc", dfsPhase: 30, bound: 120, params: susy.FixAll()},
+		{name: "hpl", dfsPhase: 60, bound: 150},
+		{name: "imb-mpi1", dfsPhase: 60, bound: 100},
 	}
 }
 
-// campaign runs one COMPI campaign with the standard configuration.
-func campaign(tn tuning, s Scale, seed int64, mutate func(*core.Config)) core.Result {
-	tn.prep()
+// campaignCfg assembles the standard campaign configuration for a tuning;
+// the drivers either run it directly (campaign) or hand it to the parallel
+// scheduler as part of a spec list.
+func campaignCfg(tn tuning, s Scale, seed int64, mutate func(*core.Config)) core.Config {
 	cfg := core.Config{
 		Program:    program(tn.name),
 		Iterations: s.Iters,
@@ -150,11 +155,17 @@ func campaign(tn tuning, s Scale, seed int64, mutate func(*core.Config)) core.Re
 		DFSPhase:   tn.dfsPhase,
 		DepthBound: tn.bound,
 		RunTimeout: s.RunTimeout,
+		Params:     tn.params,
 	}
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	return core.NewEngine(cfg).Run()
+	return cfg
+}
+
+// campaign runs one COMPI campaign with the standard configuration.
+func campaign(tn tuning, s Scale, seed int64, mutate func(*core.Config)) core.Result {
+	return core.NewEngine(campaignCfg(tn, s, seed, mutate)).Run()
 }
 
 func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

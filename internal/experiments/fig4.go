@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/target"
 )
 
 // Fig4 reproduces Figure 4: HPL branch coverage under the four CREST search
@@ -21,19 +23,19 @@ func Fig4(s Scale) *Table {
 		},
 	}
 	prog := program("hpl")
-	mkCampaign := func(label string, strat func(cov *core.Engine) core.Strategy) {
+	mkCampaign := func(label string, strat func(p *target.Program, cov *coverage.Tracker) core.Strategy) {
 		cfg := core.Config{
-			Program:    prog,
-			Iterations: s.Fig4Iters,
-			Reduction:  true,
-			Framework:  true,
-			Seed:       11,
-			RunTimeout: s.RunTimeout,
+			Program: prog,
+			// Strategy construction may need the live coverage tracker
+			// (CFG), so it goes through the factory hook.
+			NewStrategy: strat,
+			Iterations:  s.Fig4Iters,
+			Reduction:   true,
+			Framework:   true,
+			Seed:        11,
+			RunTimeout:  s.RunTimeout,
 		}
-		eng := core.NewEngine(cfg)
-		// Strategy construction may need the live coverage tracker (CFG).
-		eng.SetStrategy(strat(eng))
-		res := eng.Run()
+		res := core.NewEngine(cfg).Run()
 		_, solver := res.Coverage.Funcs()["pdgesv"]
 		t.Rows = append(t.Rows, []string{
 			label,
@@ -41,20 +43,18 @@ func Fig4(s Scale) *Table {
 			fmt.Sprint(solver),
 		})
 	}
-	mkCampaign("bounded-dfs(default 1e6)", func(e *core.Engine) core.Strategy {
+	mkCampaign("bounded-dfs(default 1e6)", func(*target.Program, *coverage.Tracker) core.Strategy {
 		return core.NewBoundedDFS(core.Unbounded)
 	})
-	mkCampaign("bounded-dfs(100)", func(e *core.Engine) core.Strategy {
+	mkCampaign("bounded-dfs(100)", func(*target.Program, *coverage.Tracker) core.Strategy {
 		return core.NewBoundedDFS(100)
 	})
-	mkCampaign("random-branch", func(e *core.Engine) core.Strategy {
+	mkCampaign("random-branch", func(*target.Program, *coverage.Tracker) core.Strategy {
 		return core.NewRandomBranch(11)
 	})
-	mkCampaign("uniform-random", func(e *core.Engine) core.Strategy {
+	mkCampaign("uniform-random", func(*target.Program, *coverage.Tracker) core.Strategy {
 		return core.NewUniformRandom(11)
 	})
-	mkCampaign("cfg", func(e *core.Engine) core.Strategy {
-		return core.NewCFG(prog, e.Coverage())
-	})
+	mkCampaign("cfg", core.NewCFG)
 	return t
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 	"repro/internal/targets/hpl"
 	"repro/internal/targets/imb"
 	"repro/internal/targets/susy"
@@ -14,7 +15,9 @@ import (
 // dominant input's cap is varied (SUSY lattice dims 5 vs 10; HPL matrix size
 // 300/600/1200; IMB iterations 50/100/400) and Reps campaigns measure the
 // testing time against the achieved coverage. The paper's shape: bigger caps
-// cost 4-7x more time for comparable coverage.
+// cost 4-7x more time for comparable coverage. Every (program, cap, rep)
+// campaign carries its cap as a per-campaign parameter, so the full grid is
+// one scheduler batch.
 func Fig8(s Scale) *Table {
 	t := &Table{
 		ID:     "fig8",
@@ -28,31 +31,43 @@ func Fig8(s Scale) *Table {
 	type study struct {
 		tn    tuning
 		caps  []int64
-		set   func(cap int64)
+		capOf func(cap int64) map[string]int64
 		iters int
 	}
 	studies := []study{
 		{tn: tunings()[0], caps: []int64{5, 10},
-			set: func(c int64) { susy.DimCap = c }, iters: s.Iters / 4},
+			capOf: susy.CapParams, iters: s.Iters / 4},
 		{tn: tunings()[1], caps: []int64{300, 600, 1200},
-			set: func(c int64) { hpl.NCap = c }, iters: s.Iters / 2},
+			capOf: hpl.CapParams, iters: s.Iters / 2},
 		{tn: tunings()[2], caps: []int64{50, 100, 400},
-			set: func(c int64) { imb.IterCap = c }, iters: s.Iters / 2},
+			capOf: imb.CapParams, iters: s.Iters / 2},
 	}
-	defer func() {
-		susy.DimCap = 5
-		hpl.NCap = 300
-		imb.IterCap = 100
-	}()
 
+	var specs []sched.Spec
 	for _, st := range studies {
 		for _, cap := range st.caps {
-			st.set(cap)
-			var times, covs []float64
+			params := core.MergeParams(st.tn.params, st.capOf(cap))
 			for rep := 0; rep < s.Reps; rep++ {
-				res := campaign(st.tn, s, int64(100*rep+7), func(c *core.Config) {
+				cfg := campaignCfg(st.tn, s, int64(100*rep+7), func(c *core.Config) {
 					c.Iterations = st.iters
+					c.Params = params
 				})
+				specs = append(specs, sched.Spec{
+					Label:  fmt.Sprintf("%s/cap%d/r%d", st.tn.name, cap, rep),
+					Config: cfg,
+				})
+			}
+		}
+	}
+	rep := sched.Run(specs, sched.Options{Workers: s.Workers})
+
+	next := 0
+	for _, st := range studies {
+		for _, cap := range st.caps {
+			var times, covs []float64
+			for r := 0; r < s.Reps; r++ {
+				res := rep.Campaigns[next].Result
+				next++
 				times = append(times, res.Elapsed.Seconds())
 				covs = append(covs, float64(res.Coverage.Count()))
 			}

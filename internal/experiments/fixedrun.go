@@ -1,11 +1,11 @@
 package experiments
 
 import (
+	"strings"
 	"time"
 
-	"repro/internal/conc"
-	"repro/internal/mpi"
-	"repro/internal/target"
+	"repro/internal/core"
+	"repro/internal/sched"
 )
 
 // fixedResult summarizes one fixed-input execution.
@@ -20,52 +20,55 @@ type fixedResult struct {
 	focusPath int
 }
 
-// fixedRun launches prog once with pinned inputs — the "simulated testing"
-// mode of §VI-C where dynamic input derivation is disabled. oneWay makes
-// every rank heavy (the instrumentation ablation).
-func fixedRun(prog *target.Program, inputs map[string]int64, nprocs, focus int, oneWay bool, timeout time.Duration) fixedResult {
-	res := mpi.Launch(mpi.Spec{
-		NProcs: nprocs,
-		Main:   prog.Main,
-		Vars:   conc.NewVarSpace(),
-		VarsFor: func(rank int) *conc.VarSpace {
-			return conc.NewVarSpace()
+// fixedSpec builds a campaign spec that executes a program exactly once
+// with pinned inputs — the "simulated testing" mode of §VI-C where dynamic
+// input derivation is disabled. oneWay makes every rank heavy (the
+// instrumentation ablation). The fixed-configuration grids (Table IV,
+// Figure 6) collect these specs and run them through one sched.Run.
+func fixedSpec(label, progName string, inputs map[string]int64, nprocs, focus int,
+	oneWay bool, params map[string]int64, timeout time.Duration) sched.Spec {
+	return sched.Spec{
+		Label:  label,
+		Target: progName,
+		Config: core.Config{
+			Inputs:       inputs,
+			Iterations:   1,
+			PureRandom:   true, // one execution; no concolic step afterwards
+			Reduction:    true,
+			Framework:    true,
+			OneWay:       oneWay,
+			InitialProcs: nprocs,
+			InitialFocus: focus,
+			Seed:         9,
+			RunTimeout:   timeout,
+			MaxTicks:     200_000_000,
+			Params:       params,
 		},
-		Inputs: inputs,
-		Conc: func(rank int) conc.Config {
-			mode := conc.Light
-			if rank == focus || oneWay {
-				mode = conc.Heavy
-			}
-			return conc.Config{Mode: mode, Reduction: true, Seed: 9, MaxTicks: 200_000_000}
-		},
-		Timeout: timeout,
-	})
-	out := fixedResult{elapsed: res.Elapsed, failed: res.Failed()}
-	if fe, bad := res.FirstError(); bad && fe.Err != nil {
-		out.firstErr = fe.Err.Error()
 	}
-	seen := map[conc.BranchBit]struct{}{}
-	others, sum := 0, 0
-	for _, rr := range res.Ranks {
-		if rr.Log == nil {
-			continue
-		}
-		for _, b := range rr.Log.Covered {
-			seen[b] = struct{}{}
-		}
-		if rr.Rank == focus {
-			out.focusLog = rr.LogBytes
-			out.focusPath = len(rr.Log.Path)
-			out.rawCount = rr.Log.RawCount
-		} else {
-			others++
-			sum += rr.LogBytes
+}
+
+// fixedResultOf extracts the single execution's statistics from a scheduled
+// fixed-spec campaign.
+func fixedResultOf(c sched.Campaign) fixedResult {
+	var out fixedResult
+	if c.Err != nil || len(c.Result.Iterations) == 0 {
+		out.failed = true
+		return out
+	}
+	it := c.Result.Iterations[0]
+	out.elapsed = it.RunTime
+	out.focusLog = it.FocusLog
+	out.covered = c.Result.Coverage.Count()
+	out.rawCount = it.RawCount
+	out.focusPath = it.PathLen
+	out.failed = it.Failed
+	if nonFocus := it.NProcs - 1; nonFocus > 0 {
+		out.otherAvg = (it.LogBytes - it.FocusLog) / nonFocus
+	}
+	if len(c.Result.Errors) > 0 {
+		if msg := c.Result.Errors[0].Msg; !strings.HasPrefix(msg, "exit=") {
+			out.firstErr = msg
 		}
 	}
-	if others > 0 {
-		out.otherAvg = sum / others
-	}
-	out.covered = len(seen)
 	return out
 }

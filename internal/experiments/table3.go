@@ -4,12 +4,14 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 )
 
 // TableIII reproduces Table III: the complexity of the target programs —
 // SLOC, total branches from the instrumentation-time declarations, and the
 // reachable-branch estimate (branches of every function encountered during a
-// probe campaign, per the CREST FAQ methodology).
+// probe campaign, per the CREST FAQ methodology). The three probe campaigns
+// are independent, so they run as one parallel scheduler batch.
 func TableIII(s Scale) *Table {
 	t := &Table{
 		ID:     "table3",
@@ -20,9 +22,20 @@ func TableIII(s Scale) *Table {
 			"the mini applications are smaller by construction; the total>reachable shape is preserved",
 		},
 	}
-	for _, tn := range tunings() {
+	tns := tunings()
+	specs := make([]sched.Spec, len(tns))
+	for i, tn := range tns {
+		specs[i] = sched.Spec{
+			Label: tn.name,
+			Config: campaignCfg(tn, s, 1, func(c *core.Config) {
+				c.Iterations = s.Iters / 2
+			}),
+		}
+	}
+	rep := sched.Run(specs, sched.Options{Workers: s.Workers})
+	for i, tn := range tns {
 		prog := program(tn.name)
-		res := campaign(tn, s, 1, func(c *core.Config) { c.Iterations = s.Iters / 2 })
+		res := rep.Campaigns[i].Result
 		reach := prog.ReachableBranches(res.Coverage.Funcs())
 		t.Rows = append(t.Rows, []string{
 			tn.name,

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/sched"
 	"repro/internal/targets/hpl"
 	"repro/internal/targets/imb"
 	"repro/internal/targets/susy"
@@ -14,7 +16,9 @@ import (
 // disabled). For each program and problem size N, FixedRuns executions run
 // once with every rank heavily instrumented (one-way) and once with only the
 // focus heavy (two-way); the table reports the time saving and the average
-// non-focus log sizes.
+// non-focus log sizes. The whole grid — configs × runs × {one-way,two-way} —
+// is one scheduler batch; the enlarged caps and SUSY fixes ride along as
+// per-campaign parameters instead of mutated globals.
 func TableIV(s Scale) *Table {
 	t := &Table{
 		ID:    "table4",
@@ -33,15 +37,10 @@ func TableIV(s Scale) *Table {
 		nprocs   int
 		inputs   func(n int64) map[string]int64
 	}
-	susy.FixAll()
-	defer susy.UnfixAll()
-	oldCap := hpl.NCap
-	hpl.NCap = 1200
-	oldIter := imb.IterCap
-	imb.IterCap = 2000
-	oldDim := susy.DimCap
-	susy.DimCap = 8
-	defer func() { hpl.NCap = oldCap; imb.IterCap = oldIter; susy.DimCap = oldDim }()
+	params := core.MergeParams(
+		susy.FixAll(), susy.CapParams(8),
+		hpl.CapParams(1200), imb.CapParams(2000),
+	)
 
 	// Like the paper's platform, every job runs 8 processes (the savings of
 	// two-way instrumentation come from relieving a fully subscribed
@@ -85,21 +84,35 @@ func TableIV(s Scale) *Table {
 		}},
 	}
 
+	var specs []sched.Spec
 	for _, c := range configs {
-		prog := program(c.progName)
-		measure := func(oneWay bool) (time.Duration, int) {
+		for _, oneWay := range []bool{true, false} {
+			way := map[bool]string{true: "1way", false: "2way"}[oneWay]
+			for i := 0; i < s.FixedRuns; i++ {
+				label := fmt.Sprintf("%s/N%d/%s/r%d", c.progName, c.n, way, i)
+				specs = append(specs, fixedSpec(label, c.progName, c.inputs(c.n),
+					c.nprocs, 0, oneWay, params, s.RunTimeout))
+			}
+		}
+	}
+	rep := sched.Run(specs, sched.Options{Workers: s.Workers})
+
+	next := 0
+	for _, c := range configs {
+		measure := func() (time.Duration, int) {
 			var total time.Duration
 			var logSum, logN int
 			for i := 0; i < s.FixedRuns; i++ {
-				fr := fixedRun(prog, c.inputs(c.n), c.nprocs, 0, oneWay, s.RunTimeout)
+				fr := fixedResultOf(rep.Campaigns[next])
+				next++
 				total += fr.elapsed
 				logSum += fr.otherAvg
 				logN++
 			}
 			return total, logSum / logN
 		}
-		t1, l1 := measure(true)
-		t2, l2 := measure(false)
+		t1, l1 := measure()
+		t2, l2 := measure()
 		saving := "-"
 		if t1 > 0 {
 			saving = fmt.Sprintf("%.1f%%", 100*(1-t2.Seconds()/t1.Seconds()))

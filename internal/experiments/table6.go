@@ -71,17 +71,8 @@ func noFwkCombined(tn tuning, s Scale, seed int64) int {
 			c.InitialFocus = focus
 			c.Iterations = s.Iters / nprocs
 		})
-		mergeTracker(union, res.Coverage)
+		union.Merge(res.Coverage)
 	}
 	return union.Count()
 }
 
-// mergeTracker folds src into dst.
-func mergeTracker(dst, src *coverage.Tracker) {
-	for _, b := range src.Branches() {
-		dst.AddBranch(b)
-	}
-	for f := range src.Funcs() {
-		dst.AddFunc(f)
-	}
-}

@@ -172,6 +172,12 @@ func (p *Proc) In(name string) conc.Value { return p.CC.InputInt(name) }
 // InCap reads a marked input with an input cap (COMPI_int_with_limit).
 func (p *Proc) InCap(name string, cap int64) conc.Value { return p.CC.InputIntCap(name, cap) }
 
+// Param reads a campaign parameter (per-campaign cap or fix toggle).
+func (p *Proc) Param(name string, def int64) int64 { return p.CC.Param(name, def) }
+
+// ParamBool reads a boolean campaign parameter.
+func (p *Proc) ParamBool(name string, def bool) bool { return p.CC.ParamBool(name, def) }
+
 // If records the branch at site and returns the concrete outcome.
 func (p *Proc) If(site conc.CondID, c conc.Cond) bool { return p.CC.Branch(site, c) }
 

@@ -1,0 +1,265 @@
+// Package sched is the parallel campaign scheduler: it runs many COMPI
+// testing campaigns concurrently on one machine and merges their outcomes.
+//
+// The paper's evaluation (§V–VI) is a grid of fixed-budget campaigns —
+// strategies × targets × configurations — that COMPI executes one at a
+// time. With the target registry immutable after Build and all per-target
+// knobs moved into per-campaign parameter bags (core.Config.Params), those
+// campaigns share no mutable state, so the grid becomes one multi-core run:
+// a worker pool of up to GOMAXPROCS engines, a union coverage.Tracker per
+// target, and one deduplicated error log.
+//
+// Determinism contract: each campaign's Result depends only on its Spec,
+// never on scheduling order or worker count. Specs that need a non-default
+// search strategy must use Config.NewStrategy (a factory) rather than
+// Config.Strategy, so re-running a spec list never reuses a stateful
+// strategy value.
+package sched
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/target"
+)
+
+// Spec describes one campaign: which program, under which Config, with
+// which seed. Specs are values; running the same Spec twice yields the same
+// Result.
+type Spec struct {
+	// Label identifies the campaign in reports; defaults to
+	// "<target>/seed<seed>".
+	Label string
+
+	// Target names a program in the registry; used when Config.Program is
+	// nil. Exactly one of Target and Config.Program must be set.
+	Target string
+
+	// Seed, when non-zero, overrides Config.Seed.
+	Seed int64
+
+	Config core.Config
+}
+
+func (s Spec) label() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return fmt.Sprintf("%s/seed%d", s.targetName(), s.seed())
+}
+
+func (s Spec) targetName() string {
+	if s.Config.Program != nil {
+		return s.Config.Program.Name
+	}
+	return s.Target
+}
+
+func (s Spec) seed() int64 {
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	return s.Config.Seed
+}
+
+// Campaign is one scheduled campaign and its outcome.
+type Campaign struct {
+	Spec   Spec
+	Label  string
+	Target string
+	Result core.Result
+	Err    error // spec error (unknown target); the Result is zero
+}
+
+// Report is the merged outcome of a scheduler run.
+type Report struct {
+	// Campaigns holds one entry per input spec, in spec order regardless
+	// of completion order.
+	Campaigns []Campaign
+
+	// Coverage is the union tracker per target name.
+	Coverage map[string]*coverage.Tracker
+
+	// Errors groups every campaign's error records per target, deduped by
+	// the same key as core.Result.DistinctErrors (the message).
+	Errors map[string]map[string][]core.ErrorRecord
+
+	Elapsed time.Duration
+	Workers int
+}
+
+// DistinctErrorCount returns the number of distinct error keys across all
+// targets.
+func (r *Report) DistinctErrorCount() int {
+	n := 0
+	for _, m := range r.Errors {
+		n += len(m)
+	}
+	return n
+}
+
+// Targets returns the target names appearing in the report, sorted.
+func (r *Report) Targets() []string {
+	names := make([]string, 0, len(r.Coverage))
+	for n := range r.Coverage {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteSummary prints the per-campaign table and per-target rollup the
+// `compi sched` subcommand shows.
+func (r *Report) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %-10s %6s %8s %7s %9s\n",
+		"campaign", "target", "iters", "covered", "errors", "elapsed")
+	for _, c := range r.Campaigns {
+		if c.Err != nil {
+			fmt.Fprintf(w, "%-28s %-10s %s\n", c.Label, c.Target, c.Err)
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %-10s %6d %8d %7d %9s\n",
+			c.Label, c.Target, len(c.Result.Iterations),
+			c.Result.Coverage.Count(), len(c.Result.Errors),
+			c.Result.Elapsed.Round(time.Millisecond))
+	}
+	for _, name := range r.Targets() {
+		cov := r.Coverage[name]
+		reach := 0
+		if prog, ok := target.Lookup(name); ok {
+			reach = prog.ReachableBranches(cov.Funcs())
+		}
+		fmt.Fprintf(w, "\n%s: %d branches covered (reachable est. %d), %d distinct errors\n",
+			name, cov.Count(), reach, len(r.Errors[name]))
+		msgs := make([]string, 0, len(r.Errors[name]))
+		for msg := range r.Errors[name] {
+			msgs = append(msgs, msg)
+		}
+		sort.Strings(msgs)
+		for _, msg := range msgs {
+			recs := r.Errors[name][msg]
+			fmt.Fprintf(w, "  [%s] %s (%d hits, first inputs=%v)\n",
+				recs[0].Status, msg, len(recs), recs[0].Inputs)
+		}
+	}
+	fmt.Fprintf(w, "\n%d campaigns, %d workers, %s\n",
+		len(r.Campaigns), r.Workers, r.Elapsed.Round(time.Millisecond))
+}
+
+// Options configures a scheduler run.
+type Options struct {
+	// Workers bounds the number of concurrently running engines; <= 0
+	// selects GOMAXPROCS.
+	Workers int
+
+	// Trace, when non-nil, receives every campaign's iteration stats live,
+	// tagged with the campaign label. The scheduler serializes calls, so
+	// the callback need not be safe for concurrent use. Ordering across
+	// campaigns follows completion time and is not deterministic.
+	Trace func(label string, it core.IterationStat)
+}
+
+// Run executes every spec through a worker pool and returns the merged
+// report. The per-campaign Results are deterministic in the specs alone;
+// only wall-clock fields (Elapsed, RunTime) vary between runs.
+func Run(specs []Spec, opt Options) *Report {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	rep := &Report{
+		Campaigns: make([]Campaign, len(specs)),
+		Coverage:  map[string]*coverage.Tracker{},
+		Errors:    map[string]map[string][]core.ErrorRecord{},
+		Workers:   workers,
+	}
+	start := time.Now()
+
+	var traceMu sync.Mutex
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				runOne(&rep.Campaigns[i], specs[i], opt.Trace, &traceMu)
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+
+	// Merge in spec order, so the report is deterministic given the specs.
+	for i := range rep.Campaigns {
+		c := &rep.Campaigns[i]
+		if c.Err != nil {
+			continue
+		}
+		cov := rep.Coverage[c.Target]
+		if cov == nil {
+			cov = coverage.New()
+			rep.Coverage[c.Target] = cov
+		}
+		cov.Merge(c.Result.Coverage)
+		for msg, recs := range c.Result.DistinctErrors() {
+			byMsg := rep.Errors[c.Target]
+			if byMsg == nil {
+				byMsg = map[string][]core.ErrorRecord{}
+				rep.Errors[c.Target] = byMsg
+			}
+			byMsg[msg] = append(byMsg[msg], recs...)
+		}
+	}
+	return rep
+}
+
+// runOne executes a single campaign in the calling worker goroutine.
+func runOne(c *Campaign, spec Spec, trace func(string, core.IterationStat), traceMu *sync.Mutex) {
+	c.Spec = spec
+	c.Label = spec.label()
+	c.Target = spec.targetName()
+
+	cfg := spec.Config
+	if cfg.Program == nil {
+		prog, ok := target.Lookup(spec.Target)
+		if !ok {
+			c.Err = fmt.Errorf("sched: unknown target %q", spec.Target)
+			return
+		}
+		cfg.Program = prog
+	}
+	if spec.Seed != 0 {
+		cfg.Seed = spec.Seed
+	}
+	if trace != nil {
+		label := c.Label
+		inner := cfg.Trace
+		cfg.Trace = func(it core.IterationStat) {
+			traceMu.Lock()
+			trace(label, it)
+			traceMu.Unlock()
+			if inner != nil {
+				inner(it)
+			}
+		}
+	}
+	c.Result = core.NewEngine(cfg).Run()
+}

@@ -27,10 +27,7 @@ func TestEveryRegisteredTargetRuns(t *testing.T) {
 	// Fix the seeded bugs: the smoke test checks the pipeline, not the bug
 	// hunt, and the stencil infinite loop would spend the whole watchdog
 	// budget when left live.
-	susy.FixAll()
-	stencil.FixAll()
-	defer susy.UnfixAll()
-	defer stencil.UnfixAll()
+	params := core.MergeParams(susy.FixAll(), stencil.FixAll())
 
 	// The in-package registry tests publish fixtures under this prefix into
 	// the same (global) registry; skip them — they are not runnable targets.
@@ -53,6 +50,7 @@ func TestEveryRegisteredTargetRuns(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			res := core.NewEngine(core.Config{
 				Program:      prog,
+				Params:       params,
 				Iterations:   6,
 				Reduction:    true,
 				Framework:    true,

@@ -116,7 +116,7 @@ var (
 )
 
 func init() {
-	b.InCap("n", NCap)
+	b.InCap("n", DefaultNCap)
 	b.InCap("nb", 64)
 	b.In("pmap")
 	b.InCap("p", 16)

@@ -7,11 +7,19 @@ import (
 	"repro/internal/mpi"
 )
 
-// NCap is the input cap (§IV-A) applied to the matrix size N. The paper's
-// default for HPL is 300; the input-capping experiment re-instruments the
-// program with different caps, which the harness models by setting this
-// variable between campaigns.
-var NCap int64 = 300
+// DefaultNCap is the default input cap (§IV-A) applied to the matrix size
+// N. The paper's default for HPL is 300; the input-capping experiment
+// re-instruments the program with different caps, which campaigns model by
+// setting the ParamNCap campaign parameter.
+const DefaultNCap int64 = 300
+
+// ParamNCap is the campaign parameter key overriding the N cap.
+const ParamNCap = "hpl.ncap"
+
+// CapParams returns the parameter bag overriding the N cap.
+func CapParams(n int64) map[string]int64 {
+	return map[string]int64{ParamNCap: n}
+}
 
 // DefaultInputs is a full valid parameter set (the HPL.dat defaults used by
 // the fixed-input experiments: Figure 6 and Table IV).
@@ -87,7 +95,7 @@ func pdinfo(p *mpi.Proc) (params, bool) {
 	p.Enter("pdinfo")
 	var cfg params
 
-	n := p.CC.InputIntCap("n", NCap)
+	n := p.CC.InputIntCap("n", p.Param(ParamNCap, DefaultNCap))
 	if !p.If(cNPos, conc.GE(n, conc.K(1))) {
 		return cfg, false
 	}

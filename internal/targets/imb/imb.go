@@ -12,9 +12,18 @@ import (
 	"repro/internal/target"
 )
 
-// IterCap is the input cap (§IV-A) on the iteration count; the paper's
-// default for IMB-MPI1 is 100 (Figure 8 also uses 50 and 400).
-var IterCap int64 = 100
+// DefaultIterCap is the default input cap (§IV-A) on the iteration count;
+// the paper's default for IMB-MPI1 is 100 (Figure 8 also uses 50 and 400).
+// Campaigns override it via the ParamIterCap parameter.
+const DefaultIterCap int64 = 100
+
+// ParamIterCap is the campaign parameter key overriding the iteration cap.
+const ParamIterCap = "imb.itercap"
+
+// CapParams returns the parameter bag overriding the iteration cap.
+func CapParams(n int64) map[string]int64 {
+	return map[string]int64{ParamIterCap: n}
+}
 
 // Benchmark selectors.
 const (
@@ -85,7 +94,7 @@ var (
 
 func init() {
 	b.In("bench")
-	b.InCap("niter", IterCap)
+	b.InCap("niter", DefaultIterCap)
 	b.InCap("minlog", 12)
 	b.InCap("maxlog", 12)
 	b.InCap("npmin", 16)
@@ -154,7 +163,7 @@ func input(p *mpi.Proc, size conc.Value) (params, bool) {
 	if !p.If(cBenchHi, conc.LE(bench, conc.K(benchCount-1))) {
 		return cfg, false
 	}
-	niter := p.CC.InputIntCap("niter", IterCap)
+	niter := p.CC.InputIntCap("niter", p.Param(ParamIterCap, DefaultIterCap))
 	if !p.If(cIterPos, conc.GE(niter, conc.K(1))) {
 		return cfg, false
 	}

@@ -20,8 +20,16 @@ import (
 	"repro/internal/target"
 )
 
-// GridCap is the input cap on the grid dimensions.
-var GridCap int64 = 64
+// DefaultGridCap is the default input cap on the grid dimensions.
+// Campaigns override it via the ParamGridCap parameter.
+const DefaultGridCap int64 = 64
+
+// Campaign parameter keys (per-campaign state in core.Config.Params).
+const (
+	ParamGridCap    = "stencil.gridcap"
+	ParamFixNoLimit = "stencil.fix.nolimit"
+	ParamFixGhost   = "stencil.fix.ghost"
+)
 
 // Fixes toggles the developer fixes for the two seeded bugs.
 type Fixes struct {
@@ -29,14 +37,24 @@ type Fixes struct {
 	Ghost   bool // allocate the full ghost row in the column decomposition
 }
 
-// Applied is the current fix state; campaigns set it before launching.
-var Applied Fixes
+// Params renders the fix set as campaign parameters; both keys are always
+// present.
+func (f Fixes) Params() map[string]int64 {
+	out := map[string]int64{ParamFixNoLimit: 0, ParamFixGhost: 0}
+	if f.NoLimit {
+		out[ParamFixNoLimit] = 1
+	}
+	if f.Ghost {
+		out[ParamFixGhost] = 1
+	}
+	return out
+}
 
-// FixAll applies both fixes.
-func FixAll() { Applied = Fixes{NoLimit: true, Ghost: true} }
+// FixAll returns the parameter bag applying both fixes.
+func FixAll() map[string]int64 { return Fixes{NoLimit: true, Ghost: true}.Params() }
 
-// UnfixAll restores both bugs.
-func UnfixAll() { Applied = Fixes{} }
+// UnfixAll returns the parameter bag leaving both bugs live.
+func UnfixAll() map[string]int64 { return Fixes{}.Params() }
 
 var b = target.NewBuilder("stencil", 600)
 
@@ -65,8 +83,8 @@ var (
 )
 
 func init() {
-	b.InCap("nx", GridCap)
-	b.InCap("ny", GridCap)
+	b.InCap("nx", DefaultGridCap)
+	b.InCap("ny", DefaultGridCap)
 	b.InCap("maxiter", 200)
 	b.InCap("tol", 100000)
 	b.In("src")
@@ -117,11 +135,12 @@ func input(p *mpi.Proc, size conc.Value) (params, bool) {
 	p.Enter("input")
 	var cfg params
 
-	nx := p.InCap("nx", GridCap)
+	grid := p.Param(ParamGridCap, DefaultGridCap)
+	nx := p.InCap("nx", grid)
 	if !p.If(cNXMin, conc.GE(nx, conc.K(3))) {
 		return cfg, false
 	}
-	ny := p.InCap("ny", GridCap)
+	ny := p.InCap("ny", grid)
 	if !p.If(cNYMin, conc.GE(ny, conc.K(3))) {
 		return cfg, false
 	}
@@ -215,7 +234,7 @@ func solve(p *mpi.Proc, cfg params, f *field) int {
 		// The column-decomposition variant exchanges ghost *columns*; the
 		// seeded bug under-allocates the exchange buffer by one element.
 		n := f.rows
-		if !Applied.Ghost {
+		if !p.ParamBool(ParamFixGhost, false) {
 			n = f.rows - 1
 		}
 		ghost := make([]float64, n)
@@ -226,7 +245,7 @@ func solve(p *mpi.Proc, cfg params, f *field) int {
 	}
 
 	noLimit := p.If(cNoLimit, conc.EQ(p.In("maxiter"), conc.K(0)))
-	if noLimit && Applied.NoLimit && cfg.tol == 0 {
+	if noLimit && p.ParamBool(ParamFixNoLimit, false) && cfg.tol == 0 {
 		return 3 // fixed: reject the non-terminating configuration
 	}
 

@@ -9,7 +9,9 @@ import (
 	"repro/internal/target"
 )
 
-func launch(t *testing.T, n int, inputs map[string]int64, timeout time.Duration) mpi.RunResult {
+// launch runs one job with the given campaign parameters (fix toggles and
+// caps), the same bag a campaign carries in core.Config.Params.
+func launch(t *testing.T, n int, inputs, params map[string]int64, timeout time.Duration) mpi.RunResult {
 	t.Helper()
 	if timeout == 0 {
 		timeout = 20 * time.Second
@@ -23,23 +25,17 @@ func launch(t *testing.T, n int, inputs map[string]int64, timeout time.Duration)
 			if rank == 0 {
 				mode = conc.Heavy
 			}
-			return conc.Config{Mode: mode, Reduction: true, Seed: 1, MaxTicks: 3_000_000}
+			return conc.Config{Mode: mode, Reduction: true, Seed: 1,
+				MaxTicks: 3_000_000, Params: params}
 		},
 		Inputs:  inputs,
 		Timeout: timeout,
 	})
 }
 
-func fixed(t *testing.T) {
-	t.Helper()
-	FixAll()
-	t.Cleanup(UnfixAll)
-}
-
 func TestDefaultsRunClean(t *testing.T) {
-	fixed(t)
 	for _, np := range []int{1, 2, 4, 8} {
-		res := launch(t, np, DefaultInputs(), 0)
+		res := launch(t, np, DefaultInputs(), FixAll(), 0)
 		for _, rr := range res.Ranks {
 			if rr.Status != mpi.StatusOK || rr.Exit != 0 {
 				t.Fatalf("np=%d rank %d: %v exit=%d err=%v",
@@ -50,13 +46,12 @@ func TestDefaultsRunClean(t *testing.T) {
 }
 
 func TestHeatDiffuses(t *testing.T) {
-	fixed(t)
 	// With a tight tolerance and generous iteration budget the solver must
 	// exit through the convergence branch on the focus.
 	in := DefaultInputs()
 	in["tol"] = 2000
 	in["maxiter"] = 200
-	res := launch(t, 4, in, 0)
+	res := launch(t, 4, in, FixAll(), 0)
 	if res.Failed() {
 		t.Fatal("run failed")
 	}
@@ -72,7 +67,6 @@ func TestHeatDiffuses(t *testing.T) {
 }
 
 func TestSanityRejects(t *testing.T) {
-	fixed(t)
 	for _, c := range []struct {
 		name  string
 		patch map[string]int64
@@ -87,7 +81,7 @@ func TestSanityRejects(t *testing.T) {
 		for k, v := range c.patch {
 			in[k] = v
 		}
-		res := launch(t, 4, in, 0)
+		res := launch(t, 4, in, FixAll(), 0)
 		fe, bad := res.FirstError()
 		if !bad || fe.Exit != 1 {
 			t.Fatalf("%s: want sanity exit 1, got %+v", c.name, fe)
@@ -96,12 +90,10 @@ func TestSanityRejects(t *testing.T) {
 }
 
 func TestInfiniteLoopBugHangs(t *testing.T) {
-	UnfixAll()
-	t.Cleanup(UnfixAll)
 	in := DefaultInputs()
 	in["maxiter"] = 0 // run to convergence...
 	in["tol"] = 0     // ...which never happens
-	res := launch(t, 2, in, 5*time.Second)
+	res := launch(t, 2, in, UnfixAll(), 5*time.Second)
 	fe, bad := res.FirstError()
 	if !bad || fe.Status != mpi.StatusHang {
 		t.Fatalf("want hang, got %+v", fe)
@@ -109,11 +101,10 @@ func TestInfiniteLoopBugHangs(t *testing.T) {
 }
 
 func TestInfiniteLoopFixRejectsConfig(t *testing.T) {
-	fixed(t)
 	in := DefaultInputs()
 	in["maxiter"] = 0
 	in["tol"] = 0
-	res := launch(t, 2, in, 0)
+	res := launch(t, 2, in, FixAll(), 0)
 	fe, bad := res.FirstError()
 	if !bad || fe.Exit != 3 {
 		t.Fatalf("fixed program must reject the config with exit 3, got %+v", fe)
@@ -121,11 +112,10 @@ func TestInfiniteLoopFixRejectsConfig(t *testing.T) {
 }
 
 func TestRunToConvergenceWorksWhenTolerant(t *testing.T) {
-	fixed(t)
 	in := DefaultInputs()
 	in["maxiter"] = 0 // unlimited, but tol > 0 converges
 	in["tol"] = 5000
-	res := launch(t, 2, in, 0)
+	res := launch(t, 2, in, FixAll(), 0)
 	if res.Failed() {
 		fe, _ := res.FirstError()
 		t.Fatalf("run-to-convergence failed: %+v", fe)
@@ -133,17 +123,15 @@ func TestRunToConvergenceWorksWhenTolerant(t *testing.T) {
 }
 
 func TestGhostBugCrashesColumnDecomp(t *testing.T) {
-	UnfixAll()
-	t.Cleanup(UnfixAll)
 	in := DefaultInputs()
 	in["decomp"] = 1
-	res := launch(t, 4, in, 0)
+	res := launch(t, 4, in, UnfixAll(), 0)
 	fe, bad := res.FirstError()
 	if !bad || fe.Status != mpi.StatusCrash {
 		t.Fatalf("want crash, got %+v", fe)
 	}
 	// Single-rank runs never exchange ghosts: no crash.
-	res = launch(t, 1, in, 0)
+	res = launch(t, 1, in, UnfixAll(), 0)
 	if res.Failed() {
 		t.Fatal("ghost bug fired on one rank")
 	}

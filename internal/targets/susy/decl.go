@@ -89,10 +89,10 @@ var (
 )
 
 func init() {
-	b.InCap("nx", DimCap)
-	b.InCap("ny", DimCap)
-	b.InCap("nz", DimCap)
-	b.InCap("nt", DimCap)
+	b.InCap("nx", DefaultDimCap)
+	b.InCap("ny", DefaultDimCap)
+	b.InCap("nz", DefaultDimCap)
+	b.InCap("nt", DefaultDimCap)
 	b.InCap("warms", 5)
 	b.InCap("trajecs", 10)
 	b.InCap("nstep", 10)

@@ -7,9 +7,21 @@ import (
 	"repro/internal/mpi"
 )
 
-// DimCap is the input cap (§IV-A) on each of the four lattice dimensions;
-// the paper's default for SUSY-HMC is 5 (the Figure 8 study also uses 10).
-var DimCap int64 = 5
+// DefaultDimCap is the default input cap (§IV-A) on each of the four
+// lattice dimensions; the paper's default for SUSY-HMC is 5 (the Figure 8
+// study also uses 10). Campaigns override it via the ParamDimCap parameter.
+const DefaultDimCap int64 = 5
+
+// Campaign parameter keys. Caps and fix toggles are per-campaign state
+// carried in core.Config.Params and read through the proc handle, so
+// concurrent campaigns on this target cannot observe each other's settings.
+const (
+	ParamDimCap     = "susy.dimcap"
+	ParamFixRHMC    = "susy.fix.rhmc"
+	ParamFixCongrad = "susy.fix.congrad"
+	ParamFixPloop   = "susy.fix.ploop"
+	ParamFixDivZero = "susy.fix.divzero"
+)
 
 // Fixes toggles the developer-confirmed fix for each seeded bug
 // independently, so a bug-hunting campaign can fix bugs as it confirms them
@@ -22,15 +34,39 @@ type Fixes struct {
 	DivZero bool // bug 4: update_h division by zero at nprocs == 2*nsrc
 }
 
-// Applied is the currently applied set of fixes. Campaigns set it before
-// launching; it must not change while a job is running.
-var Applied Fixes
+// Params renders the fix set as campaign parameters. All four keys are
+// always present, so merging a partial fix bag over a previous one fully
+// replaces the fix state.
+func (f Fixes) Params() map[string]int64 {
+	return map[string]int64{
+		ParamFixRHMC:    b2i(f.RHMC),
+		ParamFixCongrad: b2i(f.Congrad),
+		ParamFixPloop:   b2i(f.Ploop),
+		ParamFixDivZero: b2i(f.DivZero),
+	}
+}
 
-// FixAll applies every fix (coverage campaigns run on the fixed program).
-func FixAll() { Applied = Fixes{RHMC: true, Congrad: true, Ploop: true, DivZero: true} }
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
 
-// UnfixAll restores all four bugs.
-func UnfixAll() { Applied = Fixes{} }
+// FixAll returns the parameter bag applying every fix (coverage campaigns
+// run on the fixed program).
+func FixAll() map[string]int64 {
+	return Fixes{RHMC: true, Congrad: true, Ploop: true, DivZero: true}.Params()
+}
+
+// UnfixAll returns the parameter bag leaving all four bugs live (the
+// default when no parameters are set).
+func UnfixAll() map[string]int64 { return Fixes{}.Params() }
+
+// CapParams returns the parameter bag overriding the dimension cap.
+func CapParams(dim int64) map[string]int64 {
+	return map[string]int64{ParamDimCap: dim}
+}
 
 // DefaultInputs is a valid parameter set for fixed-input experiments.
 func DefaultInputs() map[string]int64 {
@@ -81,19 +117,20 @@ func setup(p *mpi.Proc) (params, bool) {
 	p.Enter("setup")
 	var cfg params
 
-	nx := p.InCap("nx", DimCap)
+	dim := p.Param(ParamDimCap, DefaultDimCap)
+	nx := p.InCap("nx", dim)
 	if !p.If(cNXPos, conc.GE(nx, conc.K(1))) {
 		return cfg, false
 	}
-	ny := p.InCap("ny", DimCap)
+	ny := p.InCap("ny", dim)
 	if !p.If(cNYPos, conc.GE(ny, conc.K(1))) {
 		return cfg, false
 	}
-	nz := p.InCap("nz", DimCap)
+	nz := p.InCap("nz", dim)
 	if !p.If(cNZPos, conc.GE(nz, conc.K(1))) {
 		return cfg, false
 	}
-	nt := p.InCap("nt", DimCap)
+	nt := p.InCap("nt", dim)
 	if !p.If(cNTPos, conc.GE(nt, conc.K(1))) {
 		return cfg, false
 	}
@@ -184,7 +221,7 @@ func layout(p *mpi.Proc, cfg *params, rank, size conc.Value) bool {
 func setupRHMC(p *mpi.Proc, cfg params) []float64 {
 	p.Enter("setup_rhmc")
 	n := cfg.nroot
-	if Applied.RHMC {
+	if p.ParamBool(ParamFixRHMC, false) {
 		n = 2 * cfg.nroot
 	}
 	amp := make([]float64, n)
@@ -300,7 +337,7 @@ func updateH(p *mpi.Proc, cfg params, lat *lattice, amp []float64) {
 		scale = 1 + math.Abs(amp[0])
 	}
 	denom := 2*cfg.nsrc - lat.np
-	if Applied.DivZero {
+	if p.ParamBool(ParamFixDivZero, false) {
 		denom = 2*cfg.nsrc + lat.np
 	}
 	if p.If(cSrcSplit, conc.True(cfg.nsrc >= lat.np)) {
@@ -350,7 +387,7 @@ func congrad(p *mpi.Proc, cfg params, lat *lattice, shift float64) int {
 	w := p.World()
 	sv := lat.sliceVol()
 	n := lat.localVol
-	if lat.np > 1 && Applied.Congrad {
+	if lat.np > 1 && p.ParamBool(ParamFixCongrad, false) {
 		n += 2 * sv // ghost slices; the unfixed allocation misses them
 	}
 	r := make([]float64, n)
@@ -416,7 +453,7 @@ func ploop(p *mpi.Proc, cfg params, lat *lattice) {
 		return
 	}
 	n := cfg.nsrc - 1
-	if Applied.Ploop {
+	if p.ParamBool(ParamFixPloop, false) {
 		n = cfg.nsrc
 	}
 	acc := make([]float64, n)

@@ -10,7 +10,10 @@ import (
 	"repro/internal/target"
 )
 
-func launch(t *testing.T, n int, inputs map[string]int64) mpi.RunResult {
+// launch runs one job with the given campaign parameters (fix toggles and
+// caps) — per-launch state, standing in for what a campaign carries in its
+// core.Config.Params.
+func launch(t *testing.T, n int, inputs, params map[string]int64) mpi.RunResult {
 	t.Helper()
 	return mpi.Launch(mpi.Spec{
 		NProcs: n,
@@ -21,22 +24,16 @@ func launch(t *testing.T, n int, inputs map[string]int64) mpi.RunResult {
 			if rank == 0 {
 				mode = conc.Heavy
 			}
-			return conc.Config{Mode: mode, Reduction: true, Seed: 1, MaxTicks: 20_000_000}
+			return conc.Config{Mode: mode, Reduction: true, Seed: 1,
+				MaxTicks: 20_000_000, Params: params}
 		},
 		Inputs:  inputs,
 		Timeout: 30 * time.Second,
 	})
 }
 
-func fixed(t *testing.T) {
-	t.Helper()
-	FixAll()
-	t.Cleanup(UnfixAll)
-}
-
 func TestFixedProgramRunsClean(t *testing.T) {
-	fixed(t)
-	res := launch(t, 4, DefaultInputs()) // nt=4 divides 4 ranks
+	res := launch(t, 4, DefaultInputs(), FixAll()) // nt=4 divides 4 ranks
 	for _, rr := range res.Ranks {
 		if rr.Status != mpi.StatusOK || rr.Exit != 0 {
 			t.Fatalf("rank %d: %v exit=%d err=%v", rr.Rank, rr.Status, rr.Exit, rr.Err)
@@ -45,8 +42,7 @@ func TestFixedProgramRunsClean(t *testing.T) {
 }
 
 func TestLayoutRejectsIndivisibleNT(t *testing.T) {
-	fixed(t)
-	res := launch(t, 8, DefaultInputs()) // nt=4 does not divide 8
+	res := launch(t, 8, DefaultInputs(), FixAll()) // nt=4 does not divide 8
 	fe, bad := res.FirstError()
 	if !bad || fe.Exit != 1 {
 		t.Fatalf("want layout rejection, got %+v", fe)
@@ -54,7 +50,6 @@ func TestLayoutRejectsIndivisibleNT(t *testing.T) {
 }
 
 func TestSanityRejectsBadInputs(t *testing.T) {
-	fixed(t)
 	for _, c := range []struct {
 		name  string
 		patch map[string]int64
@@ -69,7 +64,7 @@ func TestSanityRejectsBadInputs(t *testing.T) {
 		for k, v := range c.patch {
 			in[k] = v
 		}
-		res := launch(t, 4, in)
+		res := launch(t, 4, in, FixAll())
 		fe, bad := res.FirstError()
 		if !bad || fe.Exit != 1 {
 			t.Fatalf("%s: want sanity exit 1, got %+v", c.name, fe)
@@ -78,9 +73,7 @@ func TestSanityRejectsBadInputs(t *testing.T) {
 }
 
 func TestBug1RHMCSegfault(t *testing.T) {
-	UnfixAll()
-	t.Cleanup(UnfixAll)
-	res := launch(t, 4, DefaultInputs())
+	res := launch(t, 4, DefaultInputs(), UnfixAll())
 	fe, bad := res.FirstError()
 	if !bad || fe.Status != mpi.StatusCrash {
 		t.Fatalf("bug 1 did not crash: %+v", fe)
@@ -91,9 +84,8 @@ func TestBug1RHMCSegfault(t *testing.T) {
 }
 
 func TestBug2CongradSegfault(t *testing.T) {
-	Applied = Fixes{RHMC: true, Ploop: true, DivZero: true} // only bug 2 live
-	t.Cleanup(UnfixAll)
-	res := launch(t, 4, DefaultInputs())
+	params := Fixes{RHMC: true, Ploop: true, DivZero: true}.Params() // only bug 2 live
+	res := launch(t, 4, DefaultInputs(), params)
 	fe, bad := res.FirstError()
 	if !bad || fe.Status != mpi.StatusCrash {
 		t.Fatalf("bug 2 did not crash: %+v", fe)
@@ -101,11 +93,10 @@ func TestBug2CongradSegfault(t *testing.T) {
 }
 
 func TestBug2NeedsMultipleRanks(t *testing.T) {
-	Applied = Fixes{RHMC: true, Ploop: true, DivZero: true}
-	t.Cleanup(UnfixAll)
+	params := Fixes{RHMC: true, Ploop: true, DivZero: true}.Params()
 	in := DefaultInputs()
 	in["nt"] = 2
-	res := launch(t, 1, in) // single rank: no halo exchange, no crash
+	res := launch(t, 1, in, params) // single rank: no halo exchange, no crash
 	if res.Failed() {
 		fe, _ := res.FirstError()
 		t.Fatalf("bug 2 fired on one rank: %+v", fe)
@@ -113,9 +104,8 @@ func TestBug2NeedsMultipleRanks(t *testing.T) {
 }
 
 func TestBug3PloopSegfault(t *testing.T) {
-	Applied = Fixes{RHMC: true, Congrad: true, DivZero: true} // only bug 3 live
-	t.Cleanup(UnfixAll)
-	res := launch(t, 4, DefaultInputs()) // nsrc=3 >= 2, measurement runs
+	params := Fixes{RHMC: true, Congrad: true, DivZero: true}.Params() // only bug 3 live
+	res := launch(t, 4, DefaultInputs(), params) // nsrc=3 >= 2, measurement runs
 	fe, bad := res.FirstError()
 	if !bad || fe.Status != mpi.StatusCrash {
 		t.Fatalf("bug 3 did not crash: %+v", fe)
@@ -123,11 +113,10 @@ func TestBug3PloopSegfault(t *testing.T) {
 }
 
 func TestBug3SilentWithSingleSource(t *testing.T) {
-	Applied = Fixes{RHMC: true, Congrad: true, DivZero: true}
-	t.Cleanup(UnfixAll)
+	params := Fixes{RHMC: true, Congrad: true, DivZero: true}.Params()
 	in := DefaultInputs()
 	in["nsrc"] = 1
-	res := launch(t, 4, in)
+	res := launch(t, 4, in, params)
 	if res.Failed() {
 		fe, _ := res.FirstError()
 		t.Fatalf("bug 3 fired with nsrc=1: %+v", fe)
@@ -137,14 +126,13 @@ func TestBug3SilentWithSingleSource(t *testing.T) {
 // TestBug4DivisionByZeroProcessCounts reproduces the paper's floating-point
 // exception: it manifests with 2 or 4 processes but not with 1 or 3.
 func TestBug4DivisionByZeroProcessCounts(t *testing.T) {
-	Applied = Fixes{RHMC: true, Congrad: true, Ploop: true} // only bug 4 live
-	t.Cleanup(UnfixAll)
+	params := Fixes{RHMC: true, Congrad: true, Ploop: true}.Params() // only bug 4 live
 
 	run := func(np int, nsrc, nt int64) mpi.RunResult {
 		in := DefaultInputs()
 		in["nsrc"] = nsrc
 		in["nt"] = nt
-		return launch(t, np, in)
+		return launch(t, np, in, params)
 	}
 	// 2 procs with nsrc=1 (2*1 == 2) and 4 procs with nsrc=2 (2*2 == 4).
 	for _, c := range []struct {
@@ -172,7 +160,6 @@ func TestBug4DivisionByZeroProcessCounts(t *testing.T) {
 }
 
 func TestVariousLatticeShapes(t *testing.T) {
-	fixed(t)
 	for _, c := range []struct {
 		nx, ny, nz, nt int64
 		np             int
@@ -183,7 +170,7 @@ func TestVariousLatticeShapes(t *testing.T) {
 	} {
 		in := DefaultInputs()
 		in["nx"], in["ny"], in["nz"], in["nt"] = c.nx, c.ny, c.nz, c.nt
-		res := launch(t, c.np, in)
+		res := launch(t, c.np, in, FixAll())
 		if res.Failed() {
 			fe, _ := res.FirstError()
 			t.Fatalf("%+v failed: %+v", c, fe)
@@ -202,8 +189,7 @@ func TestProgramRegistration(t *testing.T) {
 }
 
 func TestRankVariablesMarked(t *testing.T) {
-	fixed(t)
-	res := launch(t, 4, DefaultInputs())
+	res := launch(t, 4, DefaultInputs(), FixAll())
 	kinds := map[conc.VarKind]int{}
 	for _, o := range res.Ranks[0].Log.Obs {
 		kinds[o.Kind]++

@@ -18,4 +18,7 @@ go test ./...
 echo "== go test -race ./internal/target/... =="
 go test -race ./internal/target/...
 
+echo "== go test -race ./internal/sched ./internal/coverage =="
+go test -race ./internal/sched ./internal/coverage
+
 echo "CI green."
