@@ -10,6 +10,9 @@
 //	compi targets                           # declaration summary per target
 //	compi targets --json                    # full static manifests
 //	compi sched -j 8 -seeds 1,2,3,4         # parallel campaign grid
+//	compi drive -bin ./compi-target -- -target stencil
+//	                                        # drive an out-of-process target
+//	                                        # over the pipe protocol
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/proto"
 	"repro/internal/sched"
 	"repro/internal/target"
 	_ "repro/internal/targets/hpl"
@@ -38,6 +42,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "sched" {
 		runSched(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "drive" {
+		runDrive(os.Args[2:])
 		return
 	}
 	var (
@@ -195,6 +203,12 @@ func main() {
 		f.Close()
 	}
 
+	printResult(prog, res)
+}
+
+// printResult writes the end-of-campaign summary shared by the default
+// campaign flow and `compi drive`.
+func printResult(prog *target.Program, res core.Result) {
 	reach := prog.ReachableBranches(res.Coverage.Funcs())
 	fmt.Printf("\ntarget          %s\n", prog.Name)
 	fmt.Printf("iterations      %d (restarts %d)\n", len(res.Iterations), res.Restarts)
@@ -211,6 +225,133 @@ func main() {
 		fmt.Printf("  [%s] %s\n", r.Status, msg)
 		fmt.Printf("      first at iter %d, np=%d focus=%d inputs=%v\n",
 			r.Iter, r.NProcs, r.Focus, r.Inputs)
+	}
+}
+
+// runDrive implements `compi drive`: a campaign against an out-of-process
+// target binary spoken to over the pipe protocol. The program model comes
+// from the target's handshake manifest, or from a `compi targets --json`
+// style manifest file given with -manifest (cross-checked against the
+// handshake). Arguments after "--" are passed to the target binary.
+func runDrive(args []string) {
+	fs := flag.NewFlagSet("compi drive", flag.ExitOnError)
+	var (
+		bin      = fs.String("bin", "", "target binary speaking the pipe protocol (required)")
+		manifest = fs.String("manifest", "", "load the program model from this manifest file instead of the handshake")
+		name     = fs.String("target", "", "program to select from a multi-program manifest file")
+		iters    = fs.Int("iters", 200, "test iterations (program executions)")
+		seed     = fs.Int64("seed", 1, "campaign seed")
+		procs    = fs.Int("np", 8, "initial number of processes")
+		maxProcs = fs.Int("max-np", 16, "process-count cap")
+		dfsPhase = fs.Int("dfs-phase", 50, "pure-DFS executions before BoundedDFS")
+		budget   = fs.Duration("budget", 0, "wall-clock budget (0 = none)")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-execution watchdog")
+		bugs     = fs.Bool("bugs", false, "leave the seeded bugs live")
+		verbose  = fs.Bool("v", false, "per-iteration trace")
+		errlog   = fs.String("errlog", "", "append error-inducing inputs as JSON lines to this file")
+	)
+	var rest []string
+	for i, a := range args {
+		if a == "--" {
+			rest = args[i+1:]
+			args = args[:i]
+			break
+		}
+	}
+	fs.Parse(args)
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "compi drive: -bin is required")
+		os.Exit(2)
+	}
+
+	drv, err := proto.Start(*bin, proto.Options{Args: rest})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compi drive: %v\n", err)
+		os.Exit(1)
+	}
+	defer drv.Close()
+
+	m := drv.Manifest()
+	if *manifest != "" {
+		f, err := os.Open(*manifest)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compi drive: %v\n", err)
+			os.Exit(1)
+		}
+		ms, err := target.ReadManifests(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compi drive: %s: %v\n", *manifest, err)
+			os.Exit(1)
+		}
+		want := *name
+		if want == "" {
+			want = m.Program
+		}
+		idx := -1
+		for i := range ms {
+			if ms[i].Program == want {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			fmt.Fprintf(os.Stderr, "compi drive: manifest file %s has no program %q\n", *manifest, want)
+			os.Exit(1)
+		}
+		if ms[idx].Program != m.Program {
+			fmt.Fprintf(os.Stderr, "compi drive: manifest file describes %q but the target serves %q\n",
+				ms[idx].Program, m.Program)
+			os.Exit(1)
+		}
+		m = ms[idx]
+	}
+	prog, err := target.FromManifest(m)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compi drive: %v\n", err)
+		os.Exit(1)
+	}
+
+	params := map[string]int64{}
+	if !*bugs {
+		params = core.MergeParams(susy.FixAll(), stencil.FixAll())
+	}
+	cfg := core.Config{
+		Program:      prog,
+		Backend:      drv,
+		Params:       params,
+		Iterations:   *iters,
+		TimeBudget:   *budget,
+		InitialProcs: *procs,
+		MaxProcs:     *maxProcs,
+		Reduction:    true,
+		Framework:    true,
+		DFSPhase:     *dfsPhase,
+		Seed:         *seed,
+		RunTimeout:   *timeout,
+	}
+	if *errlog != "" {
+		f, err := os.OpenFile(*errlog, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening %s: %v\n", *errlog, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.ErrorLog = f
+	}
+	if *verbose {
+		cfg.Trace = func(it core.IterationStat) {
+			fmt.Printf("iter %4d  np=%-2d focus=%-2d covered=%-5d set=%-5d %s\n",
+				it.Iter, it.NProcs, it.Focus, it.Covered, it.PathLen,
+				map[bool]string{true: "FAILED", false: ""}[it.Failed])
+		}
+	}
+
+	res := core.NewEngine(cfg).Run()
+	printResult(prog, res)
+	if err := drv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "compi drive: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -77,6 +77,14 @@ type Config struct {
 	// under the same caps (§VI-E Random).
 	PureRandom bool
 
+	// Backend, when non-nil, executes the campaign's iterations instead of
+	// the default in-process MPI runtime — this is how out-of-process
+	// targets are driven over the pipe protocol (internal/proto). A
+	// backend carries cross-iteration session state, so it must be used by
+	// exactly one engine; the caller keeps ownership and closes it after
+	// the campaign.
+	Backend Backend
+
 	Seed       int64
 	RunTimeout time.Duration // per-iteration watchdog (default 10s)
 	MaxTicks   int64         // per-rank instrumentation-event budget (default 5e6)
@@ -180,6 +188,7 @@ func (r Result) DistinctErrors() map[string][]ErrorRecord {
 type Engine struct {
 	cfg      Config
 	strategy Strategy
+	backend  Backend
 	started  atomic.Bool
 	vars     *conc.VarSpace
 	cov      *coverage.Tracker
@@ -187,6 +196,7 @@ type Engine struct {
 	inputs   map[string]int64
 	caps     map[string]capInfo
 	prev     map[expr.Var]int64
+	names    map[expr.Var]string // learned from observations (Snapshot)
 	cur      setup
 }
 
@@ -206,7 +216,12 @@ func NewEngine(cfg Config) *Engine {
 		inputs: cloneInputs(cfg.Inputs),
 		caps:   map[string]capInfo{},
 		prev:   map[expr.Var]int64{},
+		names:  map[expr.Var]string{},
 		cur:    setup{nprocs: cfg.InitialProcs, focus: cfg.InitialFocus},
+	}
+	e.backend = cfg.Backend
+	if e.backend == nil {
+		e.backend = NewInProcess(cfg.Program, e.vars)
 	}
 	switch {
 	case cfg.NewStrategy != nil:
@@ -313,6 +328,7 @@ func (e *Engine) iterate(it int, res *Result) IterationStat {
 	// Learn the values actually used this run.
 	for _, o := range focusLog.Obs {
 		e.prev[o.V] = o.Val
+		e.names[o.V] = o.Name
 		if o.Kind == conc.KindInput {
 			e.inputs[o.Name] = o.Val
 			e.caps[o.Name] = capInfo{cap: o.Cap, hasCap: o.HasCap}
@@ -418,40 +434,21 @@ func (e *Engine) randomizeAll() {
 	}
 }
 
-// launch runs one MPMD test: Heavy at the focus, Light elsewhere (or Heavy
-// everywhere under the one-way ablation).
+// launch runs one MPMD test — Heavy at the focus, Light elsewhere (or Heavy
+// everywhere under the one-way ablation) — through the configured execution
+// backend.
 func (e *Engine) launch(it int) mpi.RunResult {
-	seed := e.cfg.Seed + int64(it)
-	deadline := time.Now().Add(e.cfg.RunTimeout)
-	focus := e.cur.focus
-	return mpi.Launch(mpi.Spec{
-		NProcs: e.cur.nprocs,
-		Main:   e.cfg.Program.Main,
-		Vars:   e.vars,
-		VarsFor: func(rank int) *conc.VarSpace {
-			if rank == focus {
-				return e.vars
-			}
-			// One-way instrumentation: non-focus Heavy ranks do the full
-			// symbolic work against private spaces.
-			return conc.NewVarSpace()
-		},
-		Inputs: cloneInputs(e.inputs),
-		Conc: func(rank int) conc.Config {
-			mode := conc.Light
-			if rank == focus || e.cfg.OneWay {
-				mode = conc.Heavy
-			}
-			return conc.Config{
-				Mode:      mode,
-				Reduction: e.cfg.Reduction,
-				Seed:      seed,
-				Deadline:  deadline,
-				MaxTicks:  e.cfg.MaxTicks,
-				Params:    e.cfg.Params,
-			}
-		},
-		Timeout: e.cfg.RunTimeout,
+	return e.backend.Launch(LaunchSpec{
+		Iter:      it,
+		NProcs:    e.cur.nprocs,
+		Focus:     e.cur.focus,
+		Inputs:    cloneInputs(e.inputs),
+		Params:    e.cfg.Params,
+		Seed:      e.cfg.Seed + int64(it),
+		Timeout:   e.cfg.RunTimeout,
+		MaxTicks:  e.cfg.MaxTicks,
+		Reduction: e.cfg.Reduction,
+		OneWay:    e.cfg.OneWay,
 	})
 }
 

@@ -43,7 +43,14 @@ func (e *Engine) Snapshot() *Snapshot {
 		}
 	}
 	for v, x := range e.prev {
-		if name := e.vars.Name(v); name != "" {
+		// Prefer the name observed from the run logs: with an external
+		// backend the variable space lives in the target process, so the
+		// engine-side space only knows names it allocated itself.
+		name := e.names[v]
+		if name == "" {
+			name = e.vars.Name(v)
+		}
+		if name != "" {
 			s.Prev[name] = x
 		}
 	}

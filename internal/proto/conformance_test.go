@@ -1,0 +1,241 @@
+package proto_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/sched"
+	"repro/internal/target"
+
+	_ "repro/internal/targets/hpl"
+	_ "repro/internal/targets/imb"
+	_ "repro/internal/targets/skeleton"
+	_ "repro/internal/targets/stencil"
+	_ "repro/internal/targets/susy"
+)
+
+// The cross-process conformance suite: for every registered target, a piped
+// campaign (engine here, program in a separate compi-target process) must
+// yield exactly the outcome of the in-process campaign over the same Config —
+// same coverage set, same error keys, same per-iteration trajectory. This is
+// the protocol's determinism contract; a divergence means state leaked into
+// or got lost across the process boundary.
+
+var buildOnce struct {
+	sync.Once
+	bin string
+	err error
+}
+
+// targetBin returns a compi-target binary: $COMPI_TARGET_BIN when set (CI
+// builds it once), otherwise `go build` into a temp dir, once per test run.
+func targetBin(t *testing.T) string {
+	t.Helper()
+	if bin := os.Getenv("COMPI_TARGET_BIN"); bin != "" {
+		return bin
+	}
+	buildOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			buildOnce.err = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "compi-target-*")
+		if err != nil {
+			buildOnce.err = err
+			return
+		}
+		bin := filepath.Join(dir, "compi-target")
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/compi-target")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildOnce.err = fmt.Errorf("building compi-target: %v\n%s", err, out)
+			return
+		}
+		buildOnce.bin = bin
+	})
+	if buildOnce.err != nil {
+		t.Fatal(buildOnce.err)
+	}
+	return buildOnce.bin
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}
+
+// conformanceConfig is the shared campaign setup: framework on, reduction on,
+// seeded bugs live (no fix params), enough iterations to cover solver-driven
+// negation, restarts, and error logging on every target.
+func conformanceConfig() core.Config {
+	return core.Config{
+		Iterations:   10,
+		InitialProcs: 4,
+		MaxProcs:     8,
+		Reduction:    true,
+		Framework:    true,
+		DFSPhase:     4,
+		Seed:         11,
+		RunTimeout:   20 * time.Second,
+		MaxTicks:     300_000,
+	}
+}
+
+// assertConformant fails the test unless the two campaign results are
+// observationally identical (wall-clock fields excepted).
+func assertConformant(t *testing.T, inproc, piped core.Result) {
+	t.Helper()
+	if got, want := len(piped.Iterations), len(inproc.Iterations); got != want {
+		t.Fatalf("piped campaign ran %d iterations, in-process ran %d", got, want)
+	}
+	for i := range inproc.Iterations {
+		a, b := inproc.Iterations[i], piped.Iterations[i]
+		if a.NProcs != b.NProcs || a.Focus != b.Focus || a.Covered != b.Covered ||
+			a.PathLen != b.PathLen || a.RawCount != b.RawCount ||
+			a.LogBytes != b.LogBytes || a.Failed != b.Failed || a.Restarted != b.Restarted {
+			t.Fatalf("iteration %d diverged across the pipe:\nin-process: %+v\npiped:      %+v", i, a, b)
+		}
+	}
+	if !reflect.DeepEqual(inproc.Coverage.Branches(), piped.Coverage.Branches()) {
+		t.Fatalf("coverage sets diverged: in-process %d branches, piped %d branches",
+			inproc.Coverage.Count(), piped.Coverage.Count())
+	}
+	if got, want := errorKeys(piped), errorKeys(inproc); !reflect.DeepEqual(got, want) {
+		t.Fatalf("error keys diverged:\nin-process: %q\npiped:      %q", want, got)
+	}
+	if inproc.Restarts != piped.Restarts {
+		t.Fatalf("restarts diverged: in-process %d, piped %d", inproc.Restarts, piped.Restarts)
+	}
+	if inproc.SolverCall != piped.SolverCall || inproc.UnsatCalls != piped.UnsatCalls {
+		t.Fatalf("solver trajectory diverged: in-process %d/%d calls/unsat, piped %d/%d",
+			inproc.SolverCall, inproc.UnsatCalls, piped.SolverCall, piped.UnsatCalls)
+	}
+}
+
+func errorKeys(r core.Result) []string {
+	keys := make([]string, 0)
+	for k := range r.DistinctErrors() {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestCrossProcessConformance(t *testing.T) {
+	bin := targetBin(t)
+	for _, name := range target.Names() {
+		t.Run(name, func(t *testing.T) {
+			prog, ok := target.Lookup(name)
+			if !ok {
+				t.Fatalf("target %q vanished from the registry", name)
+			}
+
+			cfg := conformanceConfig()
+			cfg.Program = prog
+			inproc := core.NewEngine(cfg).Run()
+
+			drv, err := proto.Start(bin, proto.Options{Args: []string{"-target", name}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := drv.Close(); err != nil {
+					t.Errorf("closing driver: %v", err)
+				}
+			}()
+			if got := drv.Manifest().Program; got != name {
+				t.Fatalf("handshake announced program %q, want %q", got, name)
+			}
+			remote, err := drv.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			pcfg := conformanceConfig()
+			pcfg.Program = remote
+			pcfg.Backend = drv
+			piped := core.NewEngine(pcfg).Run()
+
+			assertConformant(t, inproc, piped)
+		})
+	}
+}
+
+// TestSchedMixedConformance runs the same in-process/piped pairs through the
+// scheduler — all targets in one batch, at one and at four workers — and
+// checks that each piped campaign matches its in-process twin and that the
+// worker count changes nothing. External and in-process specs must mix.
+func TestSchedMixedConformance(t *testing.T) {
+	bin := targetBin(t)
+	names := target.Names()
+	specs := make([]sched.Spec, 0, 2*len(names))
+	for _, name := range names {
+		specs = append(specs,
+			sched.Spec{Label: name + "/inproc", Target: name, Config: conformanceConfig()},
+			sched.Spec{Label: name + "/piped", Target: name, Config: conformanceConfig(),
+				External: &sched.External{Bin: bin, Args: []string{"-target", name}}},
+		)
+	}
+
+	var reports []*sched.Report
+	for _, workers := range []int{1, 4} {
+		rep := sched.Run(specs, sched.Options{Workers: workers})
+		for i := 0; i < len(rep.Campaigns); i += 2 {
+			in, ext := rep.Campaigns[i], rep.Campaigns[i+1]
+			if in.Err != nil || ext.Err != nil {
+				t.Fatalf("workers=%d: campaign errors: %v / %v", workers, in.Err, ext.Err)
+			}
+			t.Run(fmt.Sprintf("workers=%d/%s", workers, in.Target), func(t *testing.T) {
+				assertConformant(t, in.Result, ext.Result)
+			})
+		}
+		reports = append(reports, rep)
+	}
+
+	// -j1 and -j4 must merge to identical per-target outcomes.
+	r1, r4 := reports[0], reports[1]
+	if !reflect.DeepEqual(r1.Targets(), r4.Targets()) {
+		t.Fatalf("worker counts saw different targets: %v vs %v", r1.Targets(), r4.Targets())
+	}
+	for _, name := range r1.Targets() {
+		if !reflect.DeepEqual(r1.Coverage[name].Branches(), r4.Coverage[name].Branches()) {
+			t.Errorf("%s: merged coverage differs between -j1 and -j4", name)
+		}
+		k1 := sortedKeys(r1.Errors[name])
+		k4 := sortedKeys(r4.Errors[name])
+		if !reflect.DeepEqual(k1, k4) {
+			t.Errorf("%s: merged error keys differ between -j1 and -j4:\n%q\n%q", name, k1, k4)
+		}
+	}
+}
+
+func sortedKeys(m map[string][]core.ErrorRecord) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

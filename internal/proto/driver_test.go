@@ -1,0 +1,143 @@
+package proto_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/sched"
+)
+
+// startFault re-execs this test binary as a misbehaving protocol target (see
+// TestMain) and wires a driver to it with a short watchdog.
+func startFault(t *testing.T, mode string) *proto.Driver {
+	t.Helper()
+	drv, err := proto.Start(os.Args[0], proto.Options{
+		Env:    []string{"COMPI_PROTO_FAULT=" + mode},
+		Stderr: os.Stderr,
+		Grace:  500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("starting %q fault target: %v", mode, err)
+	}
+	t.Cleanup(func() { drv.Close() })
+	return drv
+}
+
+// runFaultCampaign drives a short campaign against a fault target and returns
+// the result. The run must terminate well inside the test timeout even though
+// the target dies on iteration 0: the driver's sticky failure turns every
+// later iteration into an immediate failed launch.
+func runFaultCampaign(t *testing.T, drv *proto.Driver) core.Result {
+	t.Helper()
+	prog, err := drv.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "mini" {
+		t.Fatalf("handshake program = %q, want mini", prog.Name)
+	}
+	eng := core.NewEngine(core.Config{
+		Program:      prog,
+		Backend:      drv,
+		Iterations:   4,
+		InitialProcs: 2,
+		MaxProcs:     4,
+		Framework:    true,
+		Seed:         1,
+		RunTimeout:   time.Second,
+	})
+	return eng.Run()
+}
+
+// assertSingleFault checks the shared postcondition of every fault mode: the
+// campaign completes its budget, every iteration fails through the restart
+// path, and the dead target collapses to exactly one distinct error record.
+func assertSingleFault(t *testing.T, res core.Result, wantMsg string) {
+	t.Helper()
+	if len(res.Iterations) != 4 {
+		t.Fatalf("campaign ran %d iterations, want the full budget of 4", len(res.Iterations))
+	}
+	for _, it := range res.Iterations {
+		if !it.Failed || !it.Restarted {
+			t.Fatalf("iteration %d: Failed=%v Restarted=%v, want both true", it.Iter, it.Failed, it.Restarted)
+		}
+	}
+	distinct := res.DistinctErrors()
+	if len(distinct) != 1 {
+		keys := make([]string, 0, len(distinct))
+		for k := range distinct {
+			keys = append(keys, k)
+		}
+		t.Fatalf("got %d distinct error keys %q, want exactly 1", len(distinct), keys)
+	}
+	for msg, recs := range distinct {
+		if !strings.Contains(msg, wantMsg) {
+			t.Fatalf("error key %q does not mention %q", msg, wantMsg)
+		}
+		if len(recs) != 4 {
+			t.Fatalf("error key has %d records, want one per iteration (4)", len(recs))
+		}
+	}
+}
+
+func TestDriverTargetExitsMidIteration(t *testing.T) {
+	res := runFaultCampaign(t, startFault(t, "exit-mid"))
+	assertSingleFault(t, res, "exited with code 3")
+}
+
+func TestDriverTargetWritesGarbage(t *testing.T) {
+	res := runFaultCampaign(t, startFault(t, "garbage"))
+	assertSingleFault(t, res, "unreadable frame")
+}
+
+func TestDriverTargetStopsResponding(t *testing.T) {
+	start := time.Now()
+	res := runFaultCampaign(t, startFault(t, "stall"))
+	assertSingleFault(t, res, "stopped responding")
+	// Watchdog = RunTimeout (1s) + Grace (500ms), and only the first
+	// iteration waits on it; the sticky failure short-circuits the rest.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("stalled target held the campaign for %s; watchdog did not fire in time", elapsed)
+	}
+}
+
+// TestSchedSurvivesDeadExternalTarget runs a dying external target through
+// the scheduler next to nothing else: the batch must complete (no worker
+// hang) with the campaign reporting its single deduplicated error.
+func TestSchedSurvivesDeadExternalTarget(t *testing.T) {
+	rep := sched.Run([]sched.Spec{{
+		Label: "fault/exit-mid",
+		External: &sched.External{
+			Bin: os.Args[0],
+			Env: []string{"COMPI_PROTO_FAULT=exit-mid"},
+		},
+		Config: core.Config{
+			Iterations:   4,
+			InitialProcs: 2,
+			MaxProcs:     4,
+			Framework:    true,
+			Seed:         1,
+			RunTimeout:   time.Second,
+		},
+	}}, sched.Options{Workers: 2})
+
+	c := rep.Campaigns[0]
+	if c.Err != nil {
+		t.Fatalf("campaign errored instead of recording the fault: %v", c.Err)
+	}
+	if c.Target != "mini" {
+		t.Fatalf("target resolved to %q, want mini (from the handshake manifest)", c.Target)
+	}
+	if n := rep.DistinctErrorCount(); n != 1 {
+		t.Fatalf("report has %d distinct errors, want 1", n)
+	}
+	for msg := range rep.Errors["mini"] {
+		if !strings.Contains(msg, "exited with code 3") {
+			t.Fatalf("merged error key %q does not carry the exit code", msg)
+		}
+	}
+}

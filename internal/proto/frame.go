@@ -1,0 +1,230 @@
+// Package proto is the out-of-process target protocol: the wire format and
+// the two endpoints that let COMPI drive a program it did not compile.
+//
+// COMPI proper instruments arbitrary C MPI programs and runs them as
+// separate processes under mpiexec, talking to them through files. This
+// package is that process boundary for the reproduction: a length-prefixed
+// JSON protocol over a pair of pipes (the target's stdin/stdout), with the
+// engine side and the target side each holding one half.
+//
+//   - Frame/WriteFrame/ReadFrame: the wire format. Every frame is a 4-byte
+//     big-endian length followed by one JSON object; ReadFrame refuses
+//     zero-length and oversized frames before allocating anything.
+//   - Driver: the engine side. It launches the target binary, performs the
+//     handshake (the target announces its target.Manifest), and implements
+//     core.Backend: each engine iteration becomes one assign-inputs frame
+//     out and a stream of branch-event/error frames back, terminated by
+//     iteration-done. A frame-read watchdog and exit-code capture translate
+//     a crashed, garbage-spewing, or wedged target into the same error
+//     records the in-process MPI runtime produces.
+//   - Serve: the target side. Any Go binary that links a registered
+//     target.Program (or builds one with internal/target's Builder) calls
+//     Serve(os.Stdin, os.Stdout, prog) to become drivable; cmd/compi-target
+//     is the reference binary exposing the built-in targets.
+//
+// Session lifecycle, from the driver's point of view:
+//
+//	start target process
+//	<- handshake {proto, manifest}
+//	repeat per engine iteration:
+//	    -> assign-inputs {iter, nprocs, focus, seed, inputs, params, ...}
+//	    <- branch-event {iter, rank, log}      (one per rank that produced a log)
+//	    <- error {iter, rank, status, exit, msg}  (one per abnormal rank)
+//	    <- iteration-done {iter, elapsed_us}
+//	close stdin; target exits 0
+//
+// The target side executes each iteration through the exact same in-process
+// backend the engine uses locally (core.NewInProcess), so a piped campaign
+// and an in-process campaign over the same Config are bit-identical — the
+// determinism contract the cross-process conformance suite pins.
+package proto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/target"
+)
+
+// Version is the protocol version carried in the handshake. The driver
+// refuses a target speaking a different version: the frame schema is an
+// interface contract, pinned by a golden-file test.
+const Version = 1
+
+// MaxFrameBytes bounds a single frame's JSON payload. Branch-event frames
+// carry whole rank logs (the focus trace scales with the instrumentation
+// tick budget), so the bound is generous; anything larger is a corrupt or
+// hostile peer and is rejected before allocation.
+const MaxFrameBytes = 64 << 20
+
+// FrameType discriminates the protocol's frames.
+type FrameType string
+
+// The five frame types of protocol version 1.
+const (
+	// FrameHandshake opens a session (target → driver): protocol version
+	// and the target's static manifest.
+	FrameHandshake FrameType = "handshake"
+	// FrameAssign starts one iteration (driver → target): the concrete
+	// launch setup and input assignment.
+	FrameAssign FrameType = "assign-inputs"
+	// FrameBranch carries one rank's instrumentation log — its branch
+	// events — back to the driver (target → driver).
+	FrameBranch FrameType = "branch-event"
+	// FrameError reports one rank's abnormal outcome (target → driver).
+	FrameError FrameType = "error"
+	// FrameDone ends one iteration (target → driver).
+	FrameDone FrameType = "iteration-done"
+)
+
+// Frame is the wire envelope: a type tag plus exactly one payload, the one
+// matching the type. ReadFrame enforces the pairing.
+type Frame struct {
+	Type      FrameType   `json:"type"`
+	Handshake *Handshake  `json:"handshake,omitempty"`
+	Assign    *Assign     `json:"assign,omitempty"`
+	Branch    *Branch     `json:"branch,omitempty"`
+	Error     *ErrorEvent `json:"error,omitempty"`
+	Done      *Done       `json:"done,omitempty"`
+}
+
+// Handshake is the session-opening payload: the target announces which
+// protocol it speaks and what program it serves. The manifest is the same
+// artifact `compi targets --json` exports, and it is validated on receipt —
+// a target with duplicate branch IDs or §IV-A-violating inputs is refused
+// before any campaign starts.
+type Handshake struct {
+	Proto    int             `json:"proto"`
+	Manifest target.Manifest `json:"manifest"`
+}
+
+// Assign is the per-iteration request: everything core.LaunchSpec carries,
+// flattened to plain JSON values. Times travel as explicit units (ms) so
+// both ends agree without sharing a clock.
+type Assign struct {
+	Iter      int              `json:"iter"`
+	NProcs    int              `json:"nprocs"`
+	Focus     int              `json:"focus"`
+	Seed      int64            `json:"seed"`
+	TimeoutMS int64            `json:"timeout_ms,omitempty"`
+	MaxTicks  int64            `json:"max_ticks,omitempty"`
+	Reduction bool             `json:"reduction,omitempty"`
+	OneWay    bool             `json:"one_way,omitempty"`
+	Inputs    map[string]int64 `json:"inputs,omitempty"`
+	Params    map[string]int64 `json:"params,omitempty"`
+}
+
+// Branch carries one rank's branch events: the conc.Log wire encoding
+// (base64 inside JSON), exactly the bytes the in-process runtime hands the
+// engine, so coverage and the focus constraint path survive the pipe
+// unchanged.
+type Branch struct {
+	Iter int    `json:"iter"`
+	Rank int    `json:"rank"`
+	Log  []byte `json:"log"`
+}
+
+// ErrorEvent reports one rank's abnormal end: the mpi.RankStatus enum value
+// (1 crash, 2 hang, 3 aborted), the exit code, and the error message the
+// in-process runtime would have recorded — the engine's error-dedup key.
+type ErrorEvent struct {
+	Iter   int    `json:"iter"`
+	Rank   int    `json:"rank"`
+	Status int    `json:"status"`
+	Exit   int    `json:"exit,omitempty"`
+	Msg    string `json:"msg,omitempty"`
+}
+
+// Done ends one iteration; elapsed is the target-side wall clock.
+type Done struct {
+	Iter      int   `json:"iter"`
+	ElapsedUS int64 `json:"elapsed_us,omitempty"`
+}
+
+// validate checks the type tag is known and its payload present.
+func (f *Frame) validate() error {
+	var ok bool
+	switch f.Type {
+	case FrameHandshake:
+		ok = f.Handshake != nil
+	case FrameAssign:
+		ok = f.Assign != nil
+	case FrameBranch:
+		ok = f.Branch != nil
+	case FrameError:
+		ok = f.Error != nil
+	case FrameDone:
+		ok = f.Done != nil
+	default:
+		return fmt.Errorf("proto: unknown frame type %q", f.Type)
+	}
+	if !ok {
+		return fmt.Errorf("proto: %q frame without its payload", f.Type)
+	}
+	return nil
+}
+
+// EncodeFrame serializes f to its wire form: 4-byte big-endian payload
+// length, then the JSON payload.
+func EncodeFrame(f Frame) ([]byte, error) {
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return nil, fmt.Errorf("proto: encoding %q frame: %w", f.Type, err)
+	}
+	if len(payload) > MaxFrameBytes {
+		return nil, fmt.Errorf("proto: %q frame is %d bytes, limit %d", f.Type, len(payload), MaxFrameBytes)
+	}
+	b := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(b, uint32(len(payload)))
+	copy(b[4:], payload)
+	return b, nil
+}
+
+// WriteFrame writes f to w as one wire frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	b, err := EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadFrame reads one frame from r. It returns io.EOF only on a clean
+// boundary (no bytes before the length prefix); a frame cut off mid-way is
+// io.ErrUnexpectedEOF. The length prefix is bounds-checked before the
+// payload buffer is allocated, so corrupt input cannot force huge
+// allocations, and the payload must be exactly one valid frame envelope.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Frame{}, fmt.Errorf("proto: truncated length prefix: %w", err)
+		}
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return Frame{}, fmt.Errorf("proto: zero-length frame")
+	}
+	if n > MaxFrameBytes {
+		return Frame{}, fmt.Errorf("proto: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+	}
+	payload := make([]byte, n)
+	if m, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, fmt.Errorf("proto: truncated frame payload (%d of %d bytes): %w", m, n, err)
+	}
+	var f Frame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return Frame{}, fmt.Errorf("proto: bad frame payload: %w", err)
+	}
+	if err := f.validate(); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}

@@ -1,0 +1,117 @@
+package proto_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// handshakeGolden pins the on-the-wire schema of the session-opening frame
+// (protocol version 1). It embeds the manifest schema `compi targets --json`
+// exports, so drift in either layer is an explicit interface break for
+// external targets: update deliberately, alongside README/DESIGN and the
+// protocol Version.
+const handshakeGolden = `{"type":"handshake","handshake":{"proto":1,"manifest":{"program":"mini","sloc":42,"total_branches":4,"functions":["sanity","solve","main"],"conds":[{"id":0,"func":"sanity","label":"x \u003e= 1"},{"id":1,"func":"solve","label":"i \u003c x"}],"calls":[{"id":0,"caller":"main","callee":"sanity"},{"id":1,"caller":"main","callee":"solve"}],"inputs":[{"name":"x","cap":100,"capped":true},{"name":"seed"}]}}}`
+
+func TestHandshakeGolden(t *testing.T) {
+	raw, err := proto.EncodeFrame(proto.Frame{Type: proto.FrameHandshake, Handshake: &proto.Handshake{
+		Proto:    proto.Version,
+		Manifest: fixtureProgram().Manifest(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 4 {
+		t.Fatalf("frame of %d bytes has no length prefix", len(raw))
+	}
+	if n := binary.BigEndian.Uint32(raw); int(n) != len(raw)-4 {
+		t.Fatalf("length prefix says %d, payload is %d bytes", n, len(raw)-4)
+	}
+	if got := string(raw[4:]); got != handshakeGolden {
+		t.Fatalf("handshake frame drifted from the golden wire form.\ngot:\n%s\nwant:\n%s", got, handshakeGolden)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []proto.Frame{
+		{Type: proto.FrameHandshake, Handshake: &proto.Handshake{Proto: proto.Version, Manifest: fixtureProgram().Manifest()}},
+		{Type: proto.FrameAssign, Assign: &proto.Assign{
+			Iter: 3, NProcs: 8, Focus: 2, Seed: 99, TimeoutMS: 10_000, MaxTicks: 5_000_000,
+			Reduction: true, Inputs: map[string]int64{"x": 7}, Params: map[string]int64{"susy.dimcap": 4},
+		}},
+		{Type: proto.FrameBranch, Branch: &proto.Branch{Iter: 3, Rank: 1, Log: []byte{1, 2, 3}}},
+		{Type: proto.FrameError, Error: &proto.ErrorEvent{Iter: 3, Rank: 0, Status: 1, Exit: 2, Msg: "rank 0: boom"}},
+		{Type: proto.FrameDone, Done: &proto.Done{Iter: 3, ElapsedUS: 1234}},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := proto.WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range frames {
+		got, err := proto.ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		gb, _ := json.Marshal(got)
+		wb, _ := json.Marshal(want)
+		if !reflect.DeepEqual(gb, wb) {
+			t.Fatalf("frame %d drifted through the wire:\ngot  %s\nwant %s", i, gb, wb)
+		}
+	}
+	if _, err := proto.ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("clean stream end returned %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejects(t *testing.T) {
+	valid, err := proto.EncodeFrame(proto.Frame{Type: proto.FrameDone, Done: &proto.Done{Iter: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"zero length", []byte{0, 0, 0, 0}, "zero-length"},
+		{"oversized", []byte{0xff, 0xff, 0xff, 0xff}, "exceeds limit"},
+		{"truncated prefix", valid[:2], "truncated length prefix"},
+		{"truncated payload", valid[:len(valid)-3], "truncated frame payload"},
+		{"not json", append([]byte{0, 0, 0, 4}, "junk"...), "bad frame payload"},
+		{"unknown type", mustEncodeJSON(t, map[string]any{"type": "nonsense"}), "unknown frame type"},
+		{"payload missing", mustEncodeJSON(t, map[string]any{"type": "iteration-done"}), "without its payload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := proto.ReadFrame(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("ReadFrame accepted corrupt input")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// mustEncodeJSON frames an arbitrary JSON object with a correct length
+// prefix, for protocol-level (rather than framing-level) rejection cases.
+func mustEncodeJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	payload, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(b, uint32(len(payload)))
+	copy(b[4:], payload)
+	return b
+}

@@ -1,0 +1,64 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/target"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the wire decoder. The decoder's
+// contract under corruption — flipped length prefixes, truncated payloads,
+// oversized claims — is to return an error: it must never panic, and it must
+// reject an oversized length prefix before allocating the payload buffer, so
+// hostile input cannot force unbounded allocation.
+func FuzzDecodeFrame(f *testing.F) {
+	b := target.NewBuilder("fuzz", 1)
+	b.Cond("f", "x > 0")
+	b.In("x")
+	manifest := b.Build(func(*mpi.Proc) int { return 0 }).Manifest()
+
+	for _, fr := range []Frame{
+		{Type: FrameHandshake, Handshake: &Handshake{Proto: Version, Manifest: manifest}},
+		{Type: FrameAssign, Assign: &Assign{Iter: 1, NProcs: 4, Focus: 1, Seed: 7,
+			Inputs: map[string]int64{"x": 3}}},
+		{Type: FrameBranch, Branch: &Branch{Iter: 1, Rank: 2, Log: []byte{0, 1, 2, 3}}},
+		{Type: FrameError, Error: &ErrorEvent{Iter: 1, Rank: 0, Status: 3, Exit: 1, Msg: "boom"}},
+		{Type: FrameDone, Done: &Done{Iter: 1, ElapsedUS: 42}},
+	} {
+		raw, err := EncodeFrame(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+		f.Add(raw[:len(raw)-3]) // truncated payload
+		f.Add(raw[:2])          // truncated length prefix
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})             // zero-length frame
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // 4 GiB length claim
+	f.Add(append([]byte{0, 0, 0, 4}, "junk"...))
+	f.Add(append([]byte{0, 0, 0, 2}, "{}"...)) // valid JSON, no type
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			if err == io.EOF && len(data) != 0 {
+				t.Fatalf("io.EOF for %d leftover bytes; EOF must mean a clean frame boundary", len(data))
+			}
+			return
+		}
+		// Anything the decoder accepts must re-encode: accepted frames are
+		// well-formed envelopes by construction.
+		raw, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+		if n := binary.BigEndian.Uint32(raw); int(n) != len(raw)-4 {
+			t.Fatalf("re-encoded frame has bad length prefix %d for %d payload bytes", n, len(raw)-4)
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package proto_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/conc"
+	"repro/internal/mpi"
+	"repro/internal/proto"
+	"repro/internal/target"
+)
+
+// TestMain doubles as the fault-injection target zoo: when re-executed with
+// COMPI_PROTO_FAULT set, the test binary plays a misbehaving out-of-process
+// target instead of running the tests. The driver tests exec os.Args[0] with
+// the mode in the environment, so no extra binaries are needed to exercise
+// every failure path across a real process boundary.
+func TestMain(m *testing.M) {
+	switch mode := os.Getenv("COMPI_PROTO_FAULT"); mode {
+	case "":
+		os.Exit(m.Run())
+	case "exit-mid":
+		// Dies mid-iteration after reporting one rank, like an
+		// instrumented program crashing under mpiexec.
+		writeHandshake()
+		readAssign()
+		mustWrite(proto.Frame{Type: proto.FrameBranch, Branch: &proto.Branch{
+			Rank: 0, Log: (&conc.Log{Mode: conc.Light}).Encode(),
+		}})
+		os.Exit(3)
+	case "garbage":
+		// Answers the first iteration with bytes that are not a frame.
+		writeHandshake()
+		readAssign()
+		os.Stdout.Write([]byte{0xff, 0xff, 0xff, 0xff, 'j', 'u', 'n', 'k'})
+		os.Exit(0)
+	case "stall":
+		// Accepts the iteration and never answers: the driver's
+		// frame-read watchdog must fire.
+		writeHandshake()
+		readAssign()
+		time.Sleep(time.Hour)
+		os.Exit(0)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown COMPI_PROTO_FAULT mode %q\n", mode)
+		os.Exit(2)
+	}
+}
+
+// fixtureProgram builds the static model the protocol tests speak about —
+// the same shape as internal/target's manifest fixture, unregistered.
+func fixtureProgram() *target.Program {
+	b := target.NewBuilder("mini", 42)
+	b.Cond("sanity", "x >= 1")
+	b.Cond("solve", "i < x")
+	b.InCap("x", 100)
+	b.In("seed")
+	b.Call("main", "sanity")
+	b.Call("main", "solve")
+	return b.Build(func(*mpi.Proc) int { return 0 })
+}
+
+func writeHandshake() {
+	mustWrite(proto.Frame{Type: proto.FrameHandshake, Handshake: &proto.Handshake{
+		Proto:    proto.Version,
+		Manifest: fixtureProgram().Manifest(),
+	}})
+}
+
+func readAssign() proto.Frame {
+	f, err := proto.ReadFrame(os.Stdin)
+	if err != nil || f.Type != proto.FrameAssign {
+		fmt.Fprintf(os.Stderr, "fault target: expected assign-inputs, got %v %v\n", f.Type, err)
+		os.Exit(2)
+	}
+	return f
+}
+
+func mustWrite(f proto.Frame) {
+	if err := proto.WriteFrame(os.Stdout, f); err != nil {
+		fmt.Fprintf(os.Stderr, "fault target: %v\n", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,123 @@
+package proto
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/conc"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/target"
+)
+
+// maxServeProcs bounds the per-iteration rank count a target accepts. The
+// engine caps process counts at Config.MaxProcs (16 in the paper); anything
+// past this is a confused or hostile driver, not a campaign.
+const maxServeProcs = 1024
+
+// Serve is the target side of the protocol: it turns the calling process
+// into a drivable COMPI target for prog. It writes the handshake to w, then
+// serves assign-inputs frames from r until EOF — each one executed through
+// the same in-process backend the engine uses locally, with one variable
+// space held for the whole session so symbolic variable IDs stay stable
+// across iterations exactly as they do in-process.
+//
+// Any Go binary linking internal/conc-instrumented code can expose itself:
+// build a target.Program (or look one up in the registry) and call
+// Serve(os.Stdin, os.Stdout, prog). cmd/compi-target is the reference
+// binary. Serve returns nil on a clean driver disconnect (EOF between
+// iterations) and an error on a protocol violation, which the binary should
+// turn into a non-zero exit so the driver's crash capture records it.
+func Serve(r io.Reader, w io.Writer, prog *target.Program) error {
+	if prog == nil {
+		return fmt.Errorf("proto: Serve with a nil program")
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	err := WriteFrame(bw, Frame{Type: FrameHandshake, Handshake: &Handshake{
+		Proto:    Version,
+		Manifest: prog.Manifest(),
+	}})
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		return fmt.Errorf("proto: writing handshake: %w", err)
+	}
+
+	backend := core.NewInProcess(prog, conc.NewVarSpace())
+	defer backend.Close()
+
+	br := bufio.NewReaderSize(r, 1<<16)
+	for {
+		f, err := ReadFrame(br)
+		if errors.Is(err, io.EOF) {
+			return nil // driver closed the session
+		}
+		if err != nil {
+			return fmt.Errorf("proto: reading frame: %w", err)
+		}
+		if f.Type != FrameAssign {
+			return fmt.Errorf("proto: unexpected %q frame from driver", f.Type)
+		}
+		a := f.Assign
+		if a.NProcs < 1 || a.NProcs > maxServeProcs {
+			return fmt.Errorf("proto: assign-inputs with nprocs %d (want 1..%d)", a.NProcs, maxServeProcs)
+		}
+		if a.Focus < 0 || a.Focus >= a.NProcs {
+			return fmt.Errorf("proto: assign-inputs with focus %d outside 0..%d", a.Focus, a.NProcs-1)
+		}
+
+		run := backend.Launch(core.LaunchSpec{
+			Iter:      a.Iter,
+			NProcs:    a.NProcs,
+			Focus:     a.Focus,
+			Inputs:    a.Inputs,
+			Params:    a.Params,
+			Seed:      a.Seed,
+			Timeout:   time.Duration(a.TimeoutMS) * time.Millisecond,
+			MaxTicks:  a.MaxTicks,
+			Reduction: a.Reduction,
+			OneWay:    a.OneWay,
+		})
+
+		for _, rr := range run.Ranks {
+			if rr.Log == nil {
+				continue // hard hang: the rank never produced a log
+			}
+			err := WriteFrame(bw, Frame{Type: FrameBranch, Branch: &Branch{
+				Iter: a.Iter, Rank: rr.Rank, Log: rr.Log.Encode(),
+			}})
+			if err != nil {
+				return fmt.Errorf("proto: writing branch-event: %w", err)
+			}
+		}
+		for _, rr := range run.Ranks {
+			if rr.Status == mpi.StatusOK && rr.Exit == 0 {
+				continue
+			}
+			msg := ""
+			if rr.Err != nil {
+				msg = rr.Err.Error()
+			}
+			err := WriteFrame(bw, Frame{Type: FrameError, Error: &ErrorEvent{
+				Iter: a.Iter, Rank: rr.Rank, Status: int(rr.Status),
+				Exit: rr.Exit, Msg: msg,
+			}})
+			if err != nil {
+				return fmt.Errorf("proto: writing error frame: %w", err)
+			}
+		}
+		err = WriteFrame(bw, Frame{Type: FrameDone, Done: &Done{
+			Iter: a.Iter, ElapsedUS: run.Elapsed.Microseconds(),
+		}})
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			return fmt.Errorf("proto: writing iteration-done: %w", err)
+		}
+	}
+}

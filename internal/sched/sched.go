@@ -19,6 +19,7 @@ package sched
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/coverage"
+	"repro/internal/proto"
 	"repro/internal/target"
 )
 
@@ -44,7 +46,26 @@ type Spec struct {
 	// Seed, when non-zero, overrides Config.Seed.
 	Seed int64
 
+	// External, when non-nil, runs the campaign against an out-of-process
+	// target: the scheduler starts one fresh instance of the binary for
+	// this campaign, drives it over the pipe protocol, and closes it when
+	// the campaign ends. The program model comes from the registry (when
+	// Target or Config.Program is set) or from the target's handshake
+	// manifest; either way the campaign flows through the same engine, so
+	// external and in-process specs mix freely in one batch and the
+	// determinism contract holds for both.
+	External *External
+
 	Config core.Config
+}
+
+// External identifies an out-of-process target binary for a Spec.
+type External struct {
+	// Bin is the target binary path; Args and Env are passed through to
+	// the process.
+	Bin  string
+	Args []string
+	Env  []string
 }
 
 func (s Spec) label() string {
@@ -57,6 +78,10 @@ func (s Spec) label() string {
 func (s Spec) targetName() string {
 	if s.Config.Program != nil {
 		return s.Config.Program.Name
+	}
+	if s.Target == "" && s.External != nil {
+		// Resolved from the handshake manifest once the target starts.
+		return filepath.Base(s.External.Bin)
 	}
 	return s.Target
 }
@@ -238,6 +263,27 @@ func runOne(c *Campaign, spec Spec, trace func(string, core.IterationStat), trac
 	c.Target = spec.targetName()
 
 	cfg := spec.Config
+	if spec.External != nil {
+		drv, err := proto.Start(spec.External.Bin, proto.Options{
+			Args: spec.External.Args,
+			Env:  spec.External.Env,
+		})
+		if err != nil {
+			c.Err = fmt.Errorf("sched: external target for %q: %w", c.Label, err)
+			return
+		}
+		defer drv.Close()
+		cfg.Backend = drv
+		if cfg.Program == nil && spec.Target == "" {
+			prog, err := drv.Program()
+			if err != nil {
+				c.Err = fmt.Errorf("sched: external target for %q: %w", c.Label, err)
+				return
+			}
+			cfg.Program = prog
+			c.Target = prog.Name
+		}
+	}
 	if cfg.Program == nil {
 		prog, ok := target.Lookup(spec.Target)
 		if !ok {

@@ -2,7 +2,11 @@ package target
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+
+	"repro/internal/conc"
+	"repro/internal/mpi"
 )
 
 // Manifest is the JSON-exportable form of a program's static declarations —
@@ -52,11 +56,132 @@ func WriteManifests(w io.Writer) error {
 	return enc.Encode(Manifests())
 }
 
-// ReadManifests decodes a manifest array written by WriteManifests.
+// ReadManifests decodes a manifest array written by WriteManifests. Every
+// manifest is validated before it is returned: a manifest that would corrupt
+// a campaign — duplicate conditional-site IDs, inputs violating the §IV-A
+// cap rules — is rejected here, before anything is built or registered.
 func ReadManifests(r io.Reader) ([]Manifest, error) {
 	var out []Manifest
 	if err := json.NewDecoder(r).Decode(&out); err != nil {
 		return nil, err
 	}
+	for i := range out {
+		if err := out[i].Validate(); err != nil {
+			return nil, fmt.Errorf("manifest %d: %w", i, err)
+		}
+	}
 	return out, nil
+}
+
+// Validate checks the manifest's internal consistency: the same invariants
+// the Builder enforces at declaration time, re-checked on the trust boundary
+// where a manifest arrives from outside the process (a file, a pipe
+// handshake). Every error names the offending field.
+func (m Manifest) Validate() error {
+	if m.Program == "" {
+		return fmt.Errorf("manifest: empty program name")
+	}
+	if m.SLOC < 0 {
+		return fmt.Errorf("manifest %q: negative sloc %d", m.Program, m.SLOC)
+	}
+	if len(m.Conds) == 0 {
+		return fmt.Errorf("manifest %q: no conditional sites (conds is empty); an uninstrumented program gives the engine nothing to negate", m.Program)
+	}
+	seenCond := map[conc.CondID]CondDecl{}
+	for _, c := range m.Conds {
+		if c.ID < 0 {
+			return fmt.Errorf("manifest %q: conds: negative conditional-site ID %d (%s/%q)", m.Program, c.ID, c.Func, c.Label)
+		}
+		if c.Func == "" {
+			return fmt.Errorf("manifest %q: conds: site %d has an empty func", m.Program, c.ID)
+		}
+		if prev, dup := seenCond[c.ID]; dup {
+			return fmt.Errorf("manifest %q: conds: duplicate conditional-site ID %d (%s/%q and %s/%q)",
+				m.Program, c.ID, prev.Func, prev.Label, c.Func, c.Label)
+		}
+		seenCond[c.ID] = c
+	}
+	if m.TotalBranches != 0 && m.TotalBranches != 2*len(m.Conds) {
+		return fmt.Errorf("manifest %q: total_branches is %d, want %d (two per conditional site)",
+			m.Program, m.TotalBranches, 2*len(m.Conds))
+	}
+	seenCall := map[int32]struct{}{}
+	for _, c := range m.Calls {
+		if c.Caller == "" || c.Callee == "" {
+			return fmt.Errorf("manifest %q: calls: callsite %d has an empty endpoint (caller %q, callee %q)",
+				m.Program, c.ID, c.Caller, c.Callee)
+		}
+		if _, dup := seenCall[c.ID]; dup {
+			return fmt.Errorf("manifest %q: calls: duplicate callsite ID %d", m.Program, c.ID)
+		}
+		seenCall[c.ID] = struct{}{}
+	}
+	seenInput := map[string]struct{}{}
+	for _, in := range m.Inputs {
+		if in.Name == "" {
+			return fmt.Errorf("manifest %q: inputs: input with an empty name", m.Program)
+		}
+		if _, dup := seenInput[in.Name]; dup {
+			return fmt.Errorf("manifest %q: inputs: input %q declared twice", m.Program, in.Name)
+		}
+		seenInput[in.Name] = struct{}{}
+		if in.HasCap && in.Cap < 1 {
+			return fmt.Errorf("manifest %q: inputs: input %q has §IV-A cap %d; a capped input needs a positive cap",
+				m.Program, in.Name, in.Cap)
+		}
+		if !in.HasCap && in.Cap != 0 {
+			return fmt.Errorf("manifest %q: inputs: input %q carries cap %d but is not marked capped",
+				m.Program, in.Name, in.Cap)
+		}
+	}
+	return nil
+}
+
+// FromManifest reconstructs a Program from its manifest — the inverse of
+// Program.Manifest, and the way an out-of-process target's static model
+// enters this process (loaded from a file by `compi drive -manifest`, or
+// received in the pipe-protocol handshake). The manifest is validated first.
+//
+// The returned Program has no in-process entry point: it can only be driven
+// through an external execution backend (core.Config.Backend). Its Main
+// panics with a message saying so, which the MPI harness surfaces as a crash
+// record rather than taking down a scheduler.
+func FromManifest(m Manifest) (*Program, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Program{
+		Name: m.Program,
+		SLOC: m.SLOC,
+		Main: func(*mpi.Proc) int {
+			panic(fmt.Sprintf("target: program %q was loaded from a manifest and has no in-process entry point; drive it through an external backend", m.Program))
+		},
+		conds:  append([]CondDecl(nil), m.Conds...),
+		calls:  append([]CallDecl(nil), m.Calls...),
+		inputs: append([]InputDecl(nil), m.Inputs...),
+	}
+	// Rebuild the function table in the manifest's order, then sweep the
+	// declarations for any function the manifest's list missed so the
+	// call-graph distance queries still see every node.
+	seen := map[string]struct{}{}
+	touch := func(fn string) {
+		if fn == "" {
+			return
+		}
+		if _, ok := seen[fn]; !ok {
+			seen[fn] = struct{}{}
+			p.funcs = append(p.funcs, fn)
+		}
+	}
+	for _, f := range m.Functions {
+		touch(f)
+	}
+	for _, c := range m.Conds {
+		touch(c.Func)
+	}
+	for _, c := range m.Calls {
+		touch(c.Caller)
+		touch(c.Callee)
+	}
+	return p, nil
 }

@@ -1,0 +1,170 @@
+package target
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// encodeManifests serializes manifests exactly as WriteManifests would, so
+// the rejection tests exercise ReadManifests on realistic input.
+func encodeManifests(t *testing.T, ms []Manifest) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ms); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+// TestReadManifestsRejectsInvalid pins the trust boundary: a manifest that
+// arrives from outside the process must be rejected before registration when
+// it declares duplicate branch IDs or inputs violating the §IV-A cap rules,
+// with an error message naming the offending field.
+func TestReadManifestsRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+		want   []string // substrings the error must carry
+	}{
+		{
+			name: "duplicate conditional-site ID",
+			mutate: func(m *Manifest) {
+				m.Conds = append(m.Conds, CondDecl{ID: m.Conds[0].ID, Func: "extra", Label: "dup"})
+			},
+			want: []string{"duplicate conditional-site ID 0", "sanity", "extra"},
+		},
+		{
+			name: "capped input with non-positive cap",
+			mutate: func(m *Manifest) {
+				m.Inputs[0].Cap = 0
+			},
+			want: []string{"input \"x\"", "§IV-A cap 0"},
+		},
+		{
+			name: "negative cap",
+			mutate: func(m *Manifest) {
+				m.Inputs[0].Cap = -5
+			},
+			want: []string{"input \"x\"", "§IV-A cap -5"},
+		},
+		{
+			name: "cap without capped flag",
+			mutate: func(m *Manifest) {
+				m.Inputs[1].Cap = 7 // "seed" is declared uncapped
+			},
+			want: []string{"input \"seed\"", "cap 7", "not marked capped"},
+		},
+		{
+			name: "duplicate input name",
+			mutate: func(m *Manifest) {
+				m.Inputs = append(m.Inputs, InputDecl{Name: "x"})
+			},
+			want: []string{"input \"x\"", "twice"},
+		},
+		{
+			name:   "empty program name",
+			mutate: func(m *Manifest) { m.Program = "" },
+			want:   []string{"empty program name"},
+		},
+		{
+			name:   "no conditional sites",
+			mutate: func(m *Manifest) { m.Conds = nil; m.TotalBranches = 0 },
+			want:   []string{"no conditional sites"},
+		},
+		{
+			name:   "branch count mismatch",
+			mutate: func(m *Manifest) { m.TotalBranches = 6 },
+			want:   []string{"total_branches is 6", "want 4"},
+		},
+		{
+			name: "empty func on a site",
+			mutate: func(m *Manifest) {
+				m.Conds[1].Func = ""
+			},
+			want: []string{"site 1", "empty func"},
+		},
+		{
+			name: "empty callsite endpoint",
+			mutate: func(m *Manifest) {
+				m.Calls[0].Callee = ""
+			},
+			want: []string{"callsite 0", "empty endpoint"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := manifestFixture()
+			tc.mutate(&m)
+			_, err := ReadManifests(encodeManifests(t, []Manifest{m}))
+			if err == nil {
+				t.Fatalf("ReadManifests accepted an invalid manifest (%s)", tc.name)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Fatalf("error %q does not name the offender: want substring %q", err, w)
+				}
+			}
+			if _, err := FromManifest(m); err == nil {
+				t.Fatalf("FromManifest accepted an invalid manifest (%s)", tc.name)
+			}
+		})
+	}
+}
+
+// TestFromManifestRoundTrip checks that a Program rebuilt from a manifest
+// answers the same static queries as the original: the model survives the
+// export → import cycle that out-of-process driving relies on.
+func TestFromManifestRoundTrip(t *testing.T) {
+	m := manifestFixture()
+	p, err := FromManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := p.Manifest()
+	bs, _ := json.Marshal(back)
+	ms, _ := json.Marshal(m)
+	if string(bs) != string(ms) {
+		t.Fatalf("manifest did not round-trip through FromManifest:\ngot  %s\nwant %s", bs, ms)
+	}
+	if p.TotalBranches() != m.TotalBranches {
+		t.Fatalf("TotalBranches = %d, want %d", p.TotalBranches(), m.TotalBranches)
+	}
+	funcs := map[string]struct{}{"sanity": {}, "solve": {}}
+	if got, want := p.ReachableBranches(funcs), 4; got != want {
+		t.Fatalf("ReachableBranches = %d, want %d", got, want)
+	}
+}
+
+// TestFromManifestMainPanics pins the guard: a manifest-built Program has no
+// in-process entry point, and accidentally launching it must say so.
+func TestFromManifestMainPanics(t *testing.T) {
+	p, err := FromManifest(manifestFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Main of a manifest-built Program did not panic")
+		}
+		if !strings.Contains(r.(string), "no in-process entry point") {
+			t.Fatalf("panic %v does not explain the misuse", r)
+		}
+	}()
+	p.Main(nil)
+}
+
+// TestRegisteredManifestsValidate checks every bundled target's exported
+// manifest passes the same validation external manifests face — the built-in
+// declarations are themselves §IV-A-conformant.
+func TestRegisteredManifestsValidate(t *testing.T) {
+	for _, m := range Manifests() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("registered target %q exports an invalid manifest: %v", m.Program, err)
+		}
+	}
+}

@@ -12,13 +12,27 @@ go build ./...
 echo "== go vet ./... =="
 go vet ./...
 
+echo "== go build compi-target =="
+BIN_DIR="$(mktemp -d)"
+trap 'rm -rf "$BIN_DIR"' EXIT
+go build -o "$BIN_DIR/compi-target" ./cmd/compi-target
+# The cross-process conformance suite drives this binary; exporting the
+# path keeps the test from rebuilding it per package run.
+export COMPI_TARGET_BIN="$BIN_DIR/compi-target"
+
 echo "== go test ./... =="
 go test ./...
+
+echo "== go test -race ./internal/proto =="
+go test -race ./internal/proto
 
 echo "== go test -race ./internal/target/... =="
 go test -race ./internal/target/...
 
 echo "== go test -race ./internal/sched ./internal/coverage =="
 go test -race ./internal/sched ./internal/coverage
+
+echo "== cross-process conformance (piped == in-process) =="
+go test ./internal/proto -run 'TestCrossProcessConformance|TestSchedMixedConformance' -count=1
 
 echo "CI green."
