@@ -12,7 +12,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/expr"
 	"repro/internal/sched"
+	"repro/internal/solver"
 	"repro/internal/target"
 	_ "repro/internal/targets/hpl"
 	_ "repro/internal/targets/imb"
@@ -128,6 +130,72 @@ func BenchmarkSUSYTrajectory(b *testing.B) {
 			Framework: true, Seed: 9,
 		}).Run()
 	}
+}
+
+// solverCall is one recorded engine→solver request.
+type solverCall struct {
+	preds []expr.Pred
+	prev  map[expr.Var]int64
+	opt   solver.Options
+}
+
+// recordingSolver captures the solving workload of a campaign so it can be
+// replayed against fresh and warmed services.
+type recordingSolver struct {
+	svc   core.SolverService
+	calls []solverCall
+}
+
+func (r *recordingSolver) SolveIncremental(preds []expr.Pred, prev map[expr.Var]int64, opt solver.Options) (solver.Result, bool) {
+	p := make(map[expr.Var]int64, len(prev))
+	for v, x := range prev { // the engine mutates prev between calls
+		p[v] = x
+	}
+	r.calls = append(r.calls, solverCall{preds: preds, prev: p, opt: opt})
+	return r.svc.SolveIncremental(preds, prev, opt)
+}
+
+func (r *recordingSolver) Stats() solver.Stats { return r.svc.Stats() }
+
+// BenchmarkSolverCache measures the solver service on a recorded constraint
+// corpus: "cold" replays the workload through an empty service (every call a
+// live solve), "warm" through a pre-warmed one (the sharded-campaign steady
+// state). The warm case also reports the cache hit rate per call.
+func BenchmarkSolverCache(b *testing.B) {
+	prog, _ := target.Lookup("skeleton")
+	rec := &recordingSolver{svc: solver.NewService(solver.ServiceConfig{})}
+	core.NewEngine(core.Config{
+		Program: prog, Iterations: 80, Reduction: true,
+		Framework: true, Seed: 5, Solver: rec,
+	}).Run()
+	if len(rec.calls) == 0 {
+		b.Fatal("recorded no solver calls")
+	}
+	replay := func(svc *solver.Service) {
+		for _, c := range rec.calls {
+			svc.SolveIncremental(c.preds, c.prev, c.opt)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			replay(solver.NewService(solver.ServiceConfig{}))
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		svc := solver.NewService(solver.ServiceConfig{})
+		replay(svc)
+		before := svc.Stats()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			replay(svc)
+		}
+		b.StopTimer()
+		d := svc.Stats().Delta(before)
+		b.ReportMetric(d.HitRate(), "hit/call")
+	})
 }
 
 // BenchmarkSchedSpeedup measures the scheduler's parallel speedup on four

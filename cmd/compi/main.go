@@ -10,9 +10,13 @@
 //	compi targets                           # declaration summary per target
 //	compi targets --json                    # full static manifests
 //	compi sched -j 8 -seeds 1,2,3,4         # parallel campaign grid
+//	compi sched -targets hpl -shard 8 -j 8  # one campaign split into 8 shards
 //	compi drive -bin ./compi-target -- -target stencil
 //	                                        # drive an out-of-process target
 //	                                        # over the pipe protocol
+//	compi drive -bin ./compi-target -shard 4 -- -target stencil
+//	                                        # sharded out-of-process campaign,
+//	                                        # one target process per shard
 package main
 
 import (
@@ -217,6 +221,7 @@ func printResult(prog *target.Program, res core.Result) {
 		res.Coverage.Count(), prog.TotalBranches(), reach)
 	fmt.Printf("coverage rate   %.1f%% of reachable\n", 100*res.CoverageRate(prog))
 	fmt.Printf("solver calls    %d (%d unsat)\n", res.SolverCall, res.UnsatCalls)
+	fmt.Printf("%s\n", res.Solver.Summary())
 
 	distinct := res.DistinctErrors()
 	fmt.Printf("error kinds     %d\n", len(distinct))
@@ -247,6 +252,8 @@ func runDrive(args []string) {
 		budget   = fs.Duration("budget", 0, "wall-clock budget (0 = none)")
 		timeout  = fs.Duration("timeout", 30*time.Second, "per-execution watchdog")
 		bugs     = fs.Bool("bugs", false, "leave the seeded bugs live")
+		shard    = fs.Int("shard", 1, "split the campaign into N shards by initial setup, one target process each (reported merged)")
+		workers  = fs.Int("j", 0, "concurrently running shards (0 = GOMAXPROCS)")
 		verbose  = fs.Bool("v", false, "per-iteration trace")
 		errlog   = fs.String("errlog", "", "append error-inducing inputs as JSON lines to this file")
 	)
@@ -339,6 +346,31 @@ func runDrive(args []string) {
 		defer f.Close()
 		cfg.ErrorLog = f
 	}
+	if *shard > 1 {
+		// Sharded drive: the handshake driver only supplied the program
+		// model; the scheduler starts one fresh target process per shard and
+		// wires every shard into its shared solver service.
+		if err := drv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "compi drive: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Backend = nil
+		base := sched.Spec{
+			Label:    prog.Name + "/drive",
+			Config:   cfg,
+			External: &sched.External{Bin: *bin, Args: rest},
+		}
+		opt := sched.Options{Workers: *workers}
+		if *verbose {
+			opt.Trace = func(label string, it core.IterationStat) {
+				fmt.Printf("%-24s iter %4d  np=%-2d focus=%-2d covered=%-5d %s\n",
+					label, it.Iter, it.NProcs, it.Focus, it.Covered,
+					map[bool]string{true: "FAILED", false: ""}[it.Failed])
+			}
+		}
+		sched.Run(sched.Shard(base, *shard), opt).WriteSummary(os.Stdout)
+		return
+	}
 	if *verbose {
 		cfg.Trace = func(it core.IterationStat) {
 			fmt.Printf("iter %4d  np=%-2d focus=%-2d covered=%-5d set=%-5d %s\n",
@@ -371,6 +403,7 @@ func runSched(args []string) {
 		maxProcs = fs.Int("max-np", 16, "process-count cap")
 		dfsPhase = fs.Int("dfs-phase", 50, "pure-DFS executions before BoundedDFS")
 		bugs     = fs.Bool("bugs", false, "leave the seeded bugs live")
+		shard    = fs.Int("shard", 1, "split every campaign into N shards by initial setup (reported merged)")
 		verbose  = fs.Bool("v", false, "per-iteration trace")
 	)
 	fs.Parse(args)
@@ -418,6 +451,14 @@ func runSched(args []string) {
 				},
 			})
 		}
+	}
+
+	if *shard > 1 {
+		sharded := make([]sched.Spec, 0, len(specs)*(*shard))
+		for _, sp := range specs {
+			sharded = append(sharded, sched.Shard(sp, *shard)...)
+		}
+		specs = sharded
 	}
 
 	opt := sched.Options{Workers: *workers}

@@ -85,6 +85,15 @@ type Config struct {
 	// the campaign.
 	Backend Backend
 
+	// Solver, when non-nil, answers the engine's constraint-solving
+	// requests instead of a private per-campaign solver.Service. Unlike a
+	// Backend, a SolverService may be shared by many engines — the
+	// scheduler wires one Service across a whole batch so sharded
+	// campaigns reuse each other's SAT/UNSAT results. Because a service
+	// must return exactly what a live solve would (see SolverService),
+	// sharing never changes a campaign's trajectory.
+	Solver SolverService
+
 	Seed       int64
 	RunTimeout time.Duration // per-iteration watchdog (default 10s)
 	MaxTicks   int64         // per-rank instrumentation-event budget (default 5e6)
@@ -162,8 +171,17 @@ type Result struct {
 	Errors     []ErrorRecord
 	Elapsed    time.Duration
 	Restarts   int
+	RestartAt  []int // iteration index of each restart, in order
 	SolverCall int
 	UnsatCalls int
+
+	// Solver is the campaign's window of the solver-service counters
+	// (Stats at campaign end minus Stats at campaign start). For the
+	// default private service this is exactly the campaign's own cache
+	// activity; for a shared service it also includes whatever the other
+	// campaigns did in the window, so per-campaign attribution should use
+	// SolverCall/UnsatCalls and read cache rates off the shared service.
+	Solver solver.Stats
 }
 
 // CoverageRate returns covered / reachable-branch estimate.
@@ -189,6 +207,7 @@ type Engine struct {
 	cfg      Config
 	strategy Strategy
 	backend  Backend
+	solver   SolverService
 	started  atomic.Bool
 	vars     *conc.VarSpace
 	cov      *coverage.Tracker
@@ -223,6 +242,10 @@ func NewEngine(cfg Config) *Engine {
 	if e.backend == nil {
 		e.backend = NewInProcess(cfg.Program, e.vars)
 	}
+	e.solver = cfg.Solver
+	if e.solver == nil {
+		e.solver = solver.NewService(solver.ServiceConfig{})
+	}
 	switch {
 	case cfg.NewStrategy != nil:
 		e.strategy = cfg.NewStrategy(cfg.Program, e.cov)
@@ -252,6 +275,7 @@ func (e *Engine) SetStrategy(s Strategy) {
 func (e *Engine) Run() Result {
 	e.started.Store(true)
 	res := Result{Coverage: e.cov}
+	solver0 := e.solver.Stats()
 	start := time.Now()
 	for it := 0; it < e.cfg.Iterations; it++ {
 		if e.cfg.TimeBudget > 0 && time.Since(start) > e.cfg.TimeBudget {
@@ -267,6 +291,7 @@ func (e *Engine) Run() Result {
 		}
 	}
 	res.Elapsed = time.Since(start)
+	res.Solver = e.solver.Stats().Delta(solver0)
 	return res
 }
 
@@ -351,7 +376,7 @@ func (e *Engine) iterate(it int, res *Result) IterationStat {
 		}
 		preds := e.constraintSet(focusLog.Obs, path, idx)
 		res.SolverCall++
-		sol, sat := solver.SolveIncremental(preds, e.prev, solver.Options{
+		sol, sat := e.solver.SolveIncremental(preds, e.prev, solver.Options{
 			Seed:     e.cfg.Seed + int64(it)*7919,
 			MaxNodes: e.cfg.SolverMaxNodes,
 		})
@@ -398,9 +423,11 @@ func (e *Engine) apply(focusLog *conc.Log, sol solver.Result) {
 }
 
 // restart begins a fresh exploration from random inputs (the paper redoes
-// the testing when exploration gets stuck or the tree is exhausted).
+// the testing when exploration gets stuck or the tree is exhausted) and
+// records at which iteration it happened.
 func (e *Engine) restart(it int, res *Result) {
 	res.Restarts++
+	res.RestartAt = append(res.RestartAt, it)
 	e.strategy.Reset()
 	e.randomizeAll()
 	if e.cfg.Framework {
@@ -409,7 +436,6 @@ func (e *Engine) restart(it int, res *Result) {
 			e.cur.focus = 0
 		}
 	}
-	_ = it
 }
 
 // randomizeAll draws fresh random values for every known input under its cap

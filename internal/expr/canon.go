@@ -1,0 +1,515 @@
+package expr
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file gives predicate sets a canonical form: a deterministic
+// serialization that is invariant under renaming of the symbolic variables
+// and under reordering of the predicates. Sharded campaigns on one target
+// repeatedly negate overlapping path prefixes, so the same conjunction
+// reaches the solver again and again with shuffled predicate order and
+// (across engines) freshly numbered variables; the canonical key is what
+// lets a solver cache collide those requests.
+//
+// The construction is sound by design: the canonical string spells out the
+// complete normalized predicates under the canonical variable numbering, so
+// two sets share a string only when they are literally identical up to a
+// variable renaming — and therefore equisatisfiable. Completeness (every
+// pair of rename-equivalent sets colliding) is best-effort: variable
+// numbering uses Weisfeiler-Lehman-style refinement plus a greedy minimal
+// ordering, which resolves every asymmetric case; residual ties are
+// genuinely symmetric and either choice serializes identically.
+
+// Key is the 128-bit fingerprint of a predicate set's canonical form.
+type Key [16]byte
+
+// String renders the key as hex for logs.
+func (k Key) String() string { return fmt.Sprintf("%x", k[:]) }
+
+// CanonicalKey returns the canonical-form fingerprint of preds. Renaming
+// variables or reordering predicates preserves the key; changing any
+// predicate (in particular, negating one) changes it.
+func CanonicalKey(preds []Pred) Key {
+	sum := sha256.Sum256([]byte(CanonicalString(preds)))
+	var k Key
+	copy(k[:], sum[:16])
+	return k
+}
+
+// CanonicalString returns the canonical serialization the key hashes. It is
+// exported so tests can assert invariance on the readable form; callers
+// wanting a compact cache key should use CanonicalKey.
+func CanonicalString(preds []Pred) string {
+	n := make([]normPred, len(preds))
+	for i, p := range preds {
+		n[i] = normalize(p)
+	}
+	labels := refineLabels(n)
+	return assemble(n, labels)
+}
+
+// normPred is one predicate after normalization. Linear predicates are
+// rewritten to "Σ terms REL bound" with REL ∈ {≤, =, ≠} (strict and ≥-family
+// relations are folded away over the integers) and coefficients divided by
+// their gcd; variable-free predicates fold to true/false sentinels; anything
+// else (division, remainder, overflow-risky coefficients) is kept as the
+// raw tree, which is always sound.
+type normPred struct {
+	kind  byte // 'T' true, 'F' false, 'L' linear, 'X' raw tree
+	rel   Rel  // 'L': LE, EQ or NE; 'X': the original relation
+	bound int64
+	terms map[Var]int64
+	tree  *Expr
+	vars  []Var // sorted occurrence set (both kinds)
+}
+
+// safeK bounds constants and coefficients so the ±1 and negation rewrites
+// below cannot overflow; predicates outside the range stay raw trees.
+const safeK = int64(1) << 61
+
+func normalize(p Pred) normPred {
+	if p.E == nil {
+		return normPred{kind: 'X', rel: p.Rel}
+	}
+	if k, ok := p.E.IsConst(); ok {
+		return constPred(p.Rel.Holds(k))
+	}
+	lin, ok := p.E.AsLinear()
+	if ok && linSafe(lin) {
+		if np, ok := normalizeLinear(lin, p.Rel); ok {
+			return np
+		}
+	}
+	vs := map[Var]struct{}{}
+	p.E.Vars(vs)
+	return normPred{kind: 'X', rel: p.Rel, tree: p.E, vars: sortedVars(vs)}
+}
+
+func constPred(holds bool) normPred {
+	if holds {
+		return normPred{kind: 'T'}
+	}
+	return normPred{kind: 'F'}
+}
+
+func linSafe(l Linear) bool {
+	if l.K <= -safeK || l.K >= safeK {
+		return false
+	}
+	for _, c := range l.Terms {
+		if c <= -safeK || c >= safeK {
+			return false
+		}
+	}
+	return true
+}
+
+// normalizeLinear rewrites "K + Σc·x REL 0" into the canonical
+// "Σc'·x REL' b" form. Over the integers every inequality folds to ≤:
+//
+//	Σ <  b  ≡  Σ ≤ b-1
+//	Σ >  b  ≡  -Σ ≤ -b-1
+//	Σ >= b  ≡  -Σ ≤ -b
+//
+// so "x < 6" and "x ≤ 5" collide, as do "-x ≤ -1" and "x ≥ 1". Dividing by
+// the coefficient gcd then collides "2x ≤ 5" with "x ≤ 2" (floor division),
+// and turns unsatisfiable equalities like "2x = 1" into the false sentinel.
+func normalizeLinear(l Linear, rel Rel) (normPred, bool) {
+	terms := make(map[Var]int64, len(l.Terms))
+	for v, c := range l.Terms {
+		terms[v] = c
+	}
+	if len(terms) == 0 {
+		return constPred(rel.Holds(l.K)), true
+	}
+	var b int64
+	switch rel {
+	case LE: // Σ ≤ -K
+		b = -l.K
+	case LT: // Σ ≤ -K-1
+		b = -l.K - 1
+	case GE: // -Σ ≤ K
+		negateTerms(terms)
+		b = l.K
+	case GT: // -Σ ≤ K-1
+		negateTerms(terms)
+		b = l.K - 1
+	case EQ, NE: // Σ = / ≠ -K
+		b = -l.K
+	default:
+		return normPred{}, false
+	}
+	nrel := rel
+	if nrel == LT || nrel == GE || nrel == GT {
+		nrel = LE
+	}
+
+	g := int64(0)
+	for _, c := range terms {
+		g = gcd(g, c)
+	}
+	if g > 1 {
+		switch nrel {
+		case LE:
+			b = floorDiv(b, g)
+		case EQ:
+			if b%g != 0 {
+				return constPred(false), true
+			}
+			b /= g
+		case NE:
+			if b%g != 0 {
+				return constPred(true), true
+			}
+			b /= g
+		}
+		for v := range terms {
+			terms[v] /= g
+		}
+	}
+
+	vset := make(map[Var]struct{}, len(terms))
+	for v := range terms {
+		vset[v] = struct{}{}
+	}
+	return normPred{kind: 'L', rel: nrel, bound: b, terms: terms, vars: sortedVars(vset)}, true
+}
+
+func negateTerms(terms map[Var]int64) {
+	for v, c := range terms {
+		terms[v] = -c
+	}
+}
+
+func gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func sortedVars(set map[Var]struct{}) []Var {
+	vs := make([]Var, 0, len(set))
+	for v := range set {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// shape is the variable-independent summary of a predicate: relation, bound,
+// and the sorted coefficient multiset (or the tree skeleton with variables
+// blanked). Equalities and disequalities are sign-symmetric, so their shape
+// takes the lexicographically smaller of the two sign variants.
+func (np normPred) shape() string {
+	switch np.kind {
+	case 'T':
+		return "T"
+	case 'F':
+		return "F"
+	case 'L':
+		s := linShape(np.rel, np.bound, np.terms, false)
+		if np.rel == EQ || np.rel == NE {
+			if alt := linShape(np.rel, np.bound, np.terms, true); alt < s {
+				s = alt
+			}
+		}
+		return s
+	default:
+		var b strings.Builder
+		b.WriteString("X")
+		b.WriteString(np.rel.String())
+		writeTree(&b, np.tree, func(Var) string { return "?" })
+		return b.String()
+	}
+}
+
+func linShape(rel Rel, bound int64, terms map[Var]int64, neg bool) string {
+	cs := make([]int64, 0, len(terms))
+	for _, c := range terms {
+		if neg {
+			c = -c
+		}
+		cs = append(cs, c)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	b := bound
+	if neg {
+		b = -b
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "L%s;%d;", rel, b)
+	for _, c := range cs {
+		fmt.Fprintf(&sb, "%d,", c)
+	}
+	return sb.String()
+}
+
+// writeTree serializes a raw tree with each variable rendered through name.
+func writeTree(b *strings.Builder, e *Expr, name func(Var) string) {
+	if e == nil {
+		b.WriteString("nil")
+		return
+	}
+	switch e.Op {
+	case OpConst:
+		fmt.Fprintf(b, "%d", e.K)
+	case OpVar:
+		b.WriteString(name(e.V))
+	case OpNeg:
+		b.WriteString("-(")
+		writeTree(b, e.L, name)
+		b.WriteString(")")
+	default:
+		b.WriteString("(")
+		writeTree(b, e.L, name)
+		fmt.Fprintf(b, " %s ", e.Op)
+		writeTree(b, e.R, name)
+		b.WriteString(")")
+	}
+}
+
+// refineLabels runs Weisfeiler-Lehman-style refinement over the variables:
+// each round relabels every variable by (its current label, the sorted
+// multiset of its roles across the predicates it occurs in, where a role
+// records the predicate's shape, the variable's own coefficient or tree
+// positions, and the labels of its co-occurring variables). Refinement is
+// monotone, so it stabilizes; variables left with equal labels are
+// symmetric as far as the predicate structure can tell.
+func refineLabels(preds []normPred) map[Var]int {
+	byVar := map[Var][]int{}
+	for i, np := range preds {
+		for _, v := range np.vars {
+			byVar[v] = append(byVar[v], i)
+		}
+	}
+	labels := make(map[Var]int, len(byVar))
+	for v := range byVar {
+		labels[v] = 0
+	}
+	distinct := 1
+	rounds := len(byVar)
+	if rounds > 8 {
+		rounds = 8
+	}
+	for round := 0; round < rounds; round++ {
+		sigs := make(map[Var]string, len(labels))
+		for v, idxs := range byVar {
+			roles := make([]string, 0, len(idxs))
+			for _, i := range idxs {
+				roles = append(roles, roleSig(preds[i], v, labels))
+			}
+			sort.Strings(roles)
+			sigs[v] = fmt.Sprintf("%d|%s", labels[v], strings.Join(roles, "|"))
+		}
+		uniq := make([]string, 0, len(sigs))
+		seen := map[string]struct{}{}
+		for _, s := range sigs {
+			if _, dup := seen[s]; !dup {
+				seen[s] = struct{}{}
+				uniq = append(uniq, s)
+			}
+		}
+		sort.Strings(uniq)
+		rank := make(map[string]int, len(uniq))
+		for i, s := range uniq {
+			rank[s] = i
+		}
+		for v, s := range sigs {
+			labels[v] = rank[s]
+		}
+		if len(uniq) == distinct {
+			break
+		}
+		distinct = len(uniq)
+	}
+	return labels
+}
+
+// roleSig describes v's role inside np under the current labels.
+func roleSig(np normPred, v Var, labels map[Var]int) string {
+	var b strings.Builder
+	b.WriteString(np.shape())
+	switch np.kind {
+	case 'L':
+		c := np.terms[v]
+		if c < 0 {
+			c = -c // sign-insensitive: EQ/NE variants must agree
+		}
+		fmt.Fprintf(&b, ";me=%d;", c)
+		others := make([]string, 0, len(np.terms))
+		for u, cu := range np.terms {
+			if u == v {
+				continue
+			}
+			if cu < 0 {
+				cu = -cu
+			}
+			others = append(others, fmt.Sprintf("%d:%d", cu, labels[u]))
+		}
+		sort.Strings(others)
+		b.WriteString(strings.Join(others, ","))
+	case 'X':
+		b.WriteString(";")
+		writeTree(&b, np.tree, func(u Var) string {
+			if u == v {
+				return "*"
+			}
+			return fmt.Sprintf("l%d", labels[u])
+		})
+	}
+	return b.String()
+}
+
+// assemble picks the canonical predicate order and variable numbering:
+// repeatedly render every remaining predicate (numbered variables as "v<n>",
+// unnumbered ones as "u<label>#<occurrence>"), choose the lexicographically
+// smallest rendering, and commit numbers to its unnumbered variables in
+// rendering order. Both the trial renderings and the choice depend only on
+// rename-invariant data, so the final string does too.
+func assemble(preds []normPred, labels map[Var]int) string {
+	num := map[Var]int{}
+	next := 0
+	remaining := make([]int, len(preds))
+	for i := range preds {
+		remaining[i] = i
+	}
+	out := make([]string, 0, len(preds))
+	for len(remaining) > 0 {
+		best, bestStr := -1, ""
+		for pos, i := range remaining {
+			s := renderPred(preds[i], num, labels, nil)
+			if best < 0 || s < bestStr {
+				best, bestStr = pos, s
+			}
+		}
+		chosen := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		// Re-render, this time committing numbers to new variables.
+		final := renderPred(preds[chosen], num, labels, &next)
+		out = append(out, final)
+	}
+	return strings.Join(out, " & ")
+}
+
+// renderPred serializes one normalized predicate under the partial
+// numbering. When assign is non-nil, unnumbered variables are committed to
+// fresh numbers (in rendering order) instead of rendered as placeholders.
+func renderPred(np normPred, num map[Var]int, labels map[Var]int, assign *int) string {
+	switch np.kind {
+	case 'T':
+		return "T"
+	case 'F':
+		return "F"
+	case 'L':
+		s := renderLinear(np, num, labels, false, nil)
+		if np.rel == EQ || np.rel == NE {
+			if alt := renderLinear(np, num, labels, true, nil); alt < s {
+				if assign != nil {
+					return renderLinear(np, num, labels, true, assign)
+				}
+				return alt
+			}
+		}
+		if assign != nil {
+			return renderLinear(np, num, labels, false, assign)
+		}
+		return s
+	default:
+		return renderTree(np, num, labels, assign)
+	}
+}
+
+func renderLinear(np normPred, num map[Var]int, labels map[Var]int, neg bool, assign *int) string {
+	type term struct {
+		v Var
+		c int64
+	}
+	ts := make([]term, 0, len(np.terms))
+	for _, v := range np.vars { // deterministic input order
+		c := np.terms[v]
+		if neg {
+			c = -c
+		}
+		ts = append(ts, term{v, c})
+	}
+	// Numbered variables first (by number), then unnumbered by (label,
+	// coefficient). Fully tied unnumbered terms are symmetric: either order
+	// renders identically.
+	sort.SliceStable(ts, func(i, j int) bool {
+		ni, iok := num[ts[i].v]
+		nj, jok := num[ts[j].v]
+		if iok != jok {
+			return iok
+		}
+		if iok {
+			return ni < nj
+		}
+		li, lj := labels[ts[i].v], labels[ts[j].v]
+		if li != lj {
+			return li < lj
+		}
+		return ts[i].c < ts[j].c
+	})
+	var b strings.Builder
+	local := map[Var]int{}
+	for _, t := range ts {
+		fmt.Fprintf(&b, "%+d*%s", t.c, varName(t.v, num, labels, local, assign))
+	}
+	bound := np.bound
+	if neg {
+		bound = -bound
+	}
+	fmt.Fprintf(&b, " %s %d", np.rel, bound)
+	return b.String()
+}
+
+func renderTree(np normPred, num map[Var]int, labels map[Var]int, assign *int) string {
+	var b strings.Builder
+	local := map[Var]int{}
+	writeTree(&b, np.tree, func(v Var) string {
+		return varName(v, num, labels, local, assign)
+	})
+	fmt.Fprintf(&b, " %s 0", np.rel)
+	return b.String()
+}
+
+// varName renders v under the partial numbering; unnumbered variables show
+// their refinement label plus a per-variable slot within this rendering
+// (repeated occurrences of one variable share a slot, so "x*x" and "x*y"
+// render differently), or are committed to the next free number when assign
+// is non-nil.
+func varName(v Var, num map[Var]int, labels map[Var]int, local map[Var]int, assign *int) string {
+	if n, ok := num[v]; ok {
+		return fmt.Sprintf("v%d", n)
+	}
+	if assign != nil {
+		num[v] = *assign
+		*assign++
+		return fmt.Sprintf("v%d", num[v])
+	}
+	slot, ok := local[v]
+	if !ok {
+		slot = len(local) + 1
+		local[v] = slot
+	}
+	return fmt.Sprintf("u%d#%d", labels[v], slot)
+}

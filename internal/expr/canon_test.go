@@ -1,0 +1,270 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// renameExpr rebuilds e with every variable mapped through m. Using the
+// constructors keeps constant folding identical to the original build.
+func renameExpr(e *Expr, m map[Var]Var) *Expr {
+	if e == nil {
+		return nil
+	}
+	switch e.Op {
+	case OpConst:
+		return Const(e.K)
+	case OpVar:
+		return VarRef(m[e.V])
+	case OpNeg:
+		return Neg(renameExpr(e.L, m))
+	default:
+		return &Expr{Op: e.Op, L: renameExpr(e.L, m), R: renameExpr(e.R, m)}
+	}
+}
+
+func renamePreds(preds []Pred, m map[Var]Var) []Pred {
+	out := make([]Pred, len(preds))
+	for i, p := range preds {
+		out[i] = Pred{E: renameExpr(p.E, m), Rel: p.Rel}
+	}
+	return out
+}
+
+// randPredSet generates a random conjunction mixing linear predicates and
+// nonlinear (division/remainder) trees over a small variable pool.
+func randPredSet(r *rand.Rand) []Pred {
+	nvars := 2 + r.Intn(4)
+	vars := make([]Var, nvars)
+	for i := range vars {
+		vars[i] = Var(i)
+	}
+	preds := make([]Pred, 1+r.Intn(6))
+	for i := range preds {
+		preds[i] = randPred(r, vars)
+	}
+	return preds
+}
+
+func randPred(r *rand.Rand, vars []Var) Pred {
+	rels := []Rel{EQ, NE, LT, LE, GT, GE}
+	rel := rels[r.Intn(len(rels))]
+	v := func() *Expr { return VarRef(vars[r.Intn(len(vars))]) }
+	coeff := func() int64 { return int64(r.Intn(9) - 4) }
+	switch r.Intn(5) {
+	case 0, 1, 2: // linear: c0 + Σ c_i * v_i
+		e := Const(int64(r.Intn(41) - 20))
+		for i := 0; i < 1+r.Intn(3); i++ {
+			e = Add(e, Mul(Const(coeff()), v()))
+		}
+		return Pred{E: e, Rel: rel}
+	case 3: // division
+		return Pred{E: Add(Div(v(), Const(int64(2+r.Intn(5)))), v()), Rel: rel}
+	default: // remainder
+		return Pred{E: Sub(Mod(v(), Const(int64(2+r.Intn(5)))), Const(int64(r.Intn(3)))), Rel: rel}
+	}
+}
+
+// TestCanonicalRenameReorderInvariance is the core property: applying a
+// random variable bijection and shuffling the predicate order never changes
+// the canonical form.
+func TestCanonicalRenameReorderInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		preds := randPredSet(r)
+		want := CanonicalString(preds)
+		wantKey := CanonicalKey(preds)
+
+		// Random bijection onto fresh IDs.
+		m := map[Var]Var{}
+		used := map[Var]struct{}{}
+		vs := map[Var]struct{}{}
+		for _, p := range preds {
+			p.Vars(vs)
+		}
+		for v := range vs {
+			for {
+				nv := Var(r.Intn(1000))
+				if _, dup := used[nv]; !dup {
+					used[nv] = struct{}{}
+					m[v] = nv
+					break
+				}
+			}
+		}
+		renamed := renamePreds(preds, m)
+		r.Shuffle(len(renamed), func(i, j int) {
+			renamed[i], renamed[j] = renamed[j], renamed[i]
+		})
+
+		if got := CanonicalString(renamed); got != want {
+			t.Fatalf("trial %d: canonical form not invariant\noriginal: %s\nrenamed:  %s", trial, want, got)
+		}
+		if got := CanonicalKey(renamed); got != wantKey {
+			t.Fatalf("trial %d: key not invariant", trial)
+		}
+	}
+}
+
+// TestCanonicalNegateLastChangesKey: negating the final predicate (the
+// engine's freshly negated branch) must always produce a different key —
+// a conjunction and its sibling branch may never collide.
+func TestCanonicalNegateLastChangesKey(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		preds := randPredSet(r)
+		key := CanonicalKey(preds)
+		neg := append(append([]Pred{}, preds[:len(preds)-1]...), preds[len(preds)-1].Negate())
+		if CanonicalKey(neg) == key {
+			t.Fatalf("trial %d: negating last predicate kept the key\nset: %v", trial, preds)
+		}
+	}
+}
+
+// TestCanonicalCollisions pins the specific normalizations the UNSAT cache
+// relies on: strict/≥-family folding, gcd reduction, and sign symmetry.
+func TestCanonicalCollisions(t *testing.T) {
+	x, y := VarRef(3), VarRef(8)
+	cases := []struct {
+		name string
+		a, b Pred
+	}{
+		{"lt-vs-le", // x < 6  ≡  x ≤ 5
+			Compare(x, Const(6), LT),
+			Compare(x, Const(5), LE)},
+		{"ge-vs-negated-le", // x ≥ 1  ≡  -x ≤ -1
+			Compare(x, Const(1), GE),
+			Compare(Neg(x), Const(-1), LE)},
+		{"gcd-floor", // 2x ≤ 5  ≡  x ≤ 2
+			Compare(Mul(Const(2), x), Const(5), LE),
+			Compare(x, Const(2), LE)},
+		{"eq-sign-flip", // x - y = 0  ≡  y - x = 0
+			Compare(Sub(x, y), Const(0), EQ),
+			Compare(Sub(y, x), Const(0), EQ)},
+		{"eq-indivisible-is-false", // 2x = 1  ≡  false
+			Compare(Mul(Const(2), x), Const(1), EQ),
+			Pred{E: Const(1), Rel: EQ}},
+		{"ne-indivisible-is-true", // 2x ≠ 1  ≡  true
+			Compare(Mul(Const(2), x), Const(1), NE),
+			Pred{E: Const(0), Rel: EQ}},
+	}
+	for _, tc := range cases {
+		if CanonicalKey([]Pred{tc.a}) != CanonicalKey([]Pred{tc.b}) {
+			t.Errorf("%s: %s and %s should share a canonical key\na: %s\nb: %s",
+				tc.name, tc.a, tc.b,
+				CanonicalString([]Pred{tc.a}), CanonicalString([]Pred{tc.b}))
+		}
+	}
+}
+
+// TestCanonicalDistinguishes pins sets that must NOT collide.
+func TestCanonicalDistinguishes(t *testing.T) {
+	x, y := VarRef(0), VarRef(1)
+	cases := []struct {
+		name string
+		a, b []Pred
+	}{
+		{"different-bound",
+			[]Pred{Compare(x, Const(5), LE)},
+			[]Pred{Compare(x, Const(6), LE)}},
+		{"different-rel",
+			[]Pred{Compare(x, Const(5), LE)},
+			[]Pred{Compare(x, Const(5), EQ)}},
+		{"square-vs-product", // x*x and x*y are different shapes
+			[]Pred{Compare(Mul(x, x), Const(4), LE)},
+			[]Pred{Compare(Mul(x, y), Const(4), LE)}},
+		{"duplicate-counts",
+			[]Pred{Compare(x, Const(5), LE)},
+			[]Pred{Compare(x, Const(5), LE), Compare(x, Const(5), LE)}},
+		{"shared-vs-distinct-vars",
+			[]Pred{Compare(x, Const(1), GE), Compare(x, Const(9), LE)},
+			[]Pred{Compare(x, Const(1), GE), Compare(y, Const(9), LE)}},
+	}
+	for _, tc := range cases {
+		if CanonicalKey(tc.a) == CanonicalKey(tc.b) {
+			t.Errorf("%s: sets should not collide\na: %s\nb: %s",
+				tc.name, CanonicalString(tc.a), CanonicalString(tc.b))
+		}
+	}
+}
+
+// TestCanonicalOverflowSafety: coefficients near the int64 edge must not be
+// folded into the ±1 rewrites (which would overflow and alias inequivalent
+// predicates); the raw-tree fallback keeps them distinct.
+func TestCanonicalOverflowSafety(t *testing.T) {
+	x := VarRef(0)
+	huge := int64(1) << 62
+	a := []Pred{Compare(Mul(Const(huge), x), Const(0), GT)}
+	b := []Pred{Compare(Mul(Const(-huge), x), Const(-1), LE)}
+	if CanonicalKey(a) == CanonicalKey(b) {
+		t.Fatalf("overflow-range coefficients must stay raw trees:\na: %s\nb: %s",
+			CanonicalString(a), CanonicalString(b))
+	}
+}
+
+// decodePreds builds a predicate set from fuzz bytes via a tiny stack
+// machine, so the fuzzer can reach arbitrary tree shapes.
+func decodePreds(data []byte) []Pred {
+	var stack []*Expr
+	var preds []Pred
+	pop := func() *Expr {
+		if len(stack) == 0 {
+			return Const(1)
+		}
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return e
+	}
+	for i := 0; i < len(data); i++ {
+		op := data[i] % 12
+		arg := int64(int8(data[i] / 12))
+		switch op {
+		case 0:
+			stack = append(stack, Const(arg))
+		case 1:
+			stack = append(stack, Const(arg*(int64(1)<<55)))
+		case 2:
+			stack = append(stack, VarRef(Var(arg&7)))
+		case 3:
+			stack = append(stack, Add(pop(), pop()))
+		case 4:
+			stack = append(stack, Sub(pop(), pop()))
+		case 5:
+			stack = append(stack, Mul(pop(), pop()))
+		case 6:
+			stack = append(stack, Div(pop(), pop()))
+		case 7:
+			stack = append(stack, Mod(pop(), pop()))
+		case 8:
+			stack = append(stack, Neg(pop()))
+		default:
+			preds = append(preds, Pred{E: pop(), Rel: Rel(op % 6)})
+		}
+		if len(preds) > 16 {
+			break
+		}
+	}
+	return preds
+}
+
+// FuzzCanonicalKey checks that canonicalization never panics, is
+// deterministic, and is invariant under reversal (a reordering).
+func FuzzCanonicalKey(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 14, 0, 40, 3, 130, 9})
+	f.Add([]byte{1, 1, 2, 5, 11, 2, 26, 6, 10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		preds := decodePreds(data)
+		k1 := CanonicalKey(preds)
+		if k2 := CanonicalKey(preds); k2 != k1 {
+			t.Fatalf("key not deterministic: %s vs %s", k1, k2)
+		}
+		rev := make([]Pred, len(preds))
+		for i, p := range preds {
+			rev[len(preds)-1-i] = p
+		}
+		if k3 := CanonicalKey(rev); k3 != k1 {
+			t.Fatalf("key not reorder-invariant: %s vs %s", k1, k3)
+		}
+	})
+}

@@ -128,6 +128,10 @@ func assertConformant(t *testing.T, inproc, piped core.Result) {
 	if inproc.Restarts != piped.Restarts {
 		t.Fatalf("restarts diverged: in-process %d, piped %d", inproc.Restarts, piped.Restarts)
 	}
+	if !reflect.DeepEqual(inproc.RestartAt, piped.RestartAt) {
+		t.Fatalf("restart positions diverged: in-process %v, piped %v",
+			inproc.RestartAt, piped.RestartAt)
+	}
 	if inproc.SolverCall != piped.SolverCall || inproc.UnsatCalls != piped.UnsatCalls {
 		t.Fatalf("solver trajectory diverged: in-process %d/%d calls/unsat, piped %d/%d",
 			inproc.SolverCall, inproc.UnsatCalls, piped.SolverCall, piped.UnsatCalls)
@@ -228,6 +232,72 @@ func TestSchedMixedConformance(t *testing.T) {
 		if !reflect.DeepEqual(k1, k4) {
 			t.Errorf("%s: merged error keys differ between -j1 and -j4:\n%q\n%q", name, k1, k4)
 		}
+	}
+}
+
+// TestSchedShardedServiceConformance drives piped targets through a sharded
+// batch on the shared solver service: every piped shard must remain
+// observationally identical to its in-process twin (the service's caches are
+// populated by both sides interleaved, so any cache-induced perturbation
+// would show up here), and the merged shard-group rollups must agree between
+// the two sides and across worker counts.
+func TestSchedShardedServiceConformance(t *testing.T) {
+	bin := targetBin(t)
+	const nShards = 3
+	names := []string{"skeleton", "stencil"}
+	mkSpecs := func() []sched.Spec {
+		var specs []sched.Spec
+		for _, name := range names {
+			in := sched.Spec{Label: name + "/in", Target: name, Config: conformanceConfig()}
+			piped := sched.Spec{Label: name + "/piped", Target: name, Config: conformanceConfig(),
+				External: &sched.External{Bin: bin, Args: []string{"-target", name}}}
+			specs = append(specs, sched.Shard(in, nShards)...)
+			specs = append(specs, sched.Shard(piped, nShards)...)
+		}
+		return specs
+	}
+
+	groupCov := map[int]map[string]int{} // workers -> group -> branch count
+	for _, workers := range []int{1, 4} {
+		rep := sched.Run(mkSpecs(), sched.Options{Workers: workers})
+		if rep.Solver.Calls == 0 {
+			t.Fatalf("workers=%d: shared solver service saw no calls", workers)
+		}
+		for ti, name := range names {
+			base := ti * 2 * nShards
+			for s := 0; s < nShards; s++ {
+				in, ext := rep.Campaigns[base+s], rep.Campaigns[base+nShards+s]
+				if in.Err != nil || ext.Err != nil {
+					t.Fatalf("workers=%d %s shard %d: campaign errors: %v / %v",
+						workers, name, s, in.Err, ext.Err)
+				}
+				t.Run(fmt.Sprintf("workers=%d/%s/shard%d", workers, name, s), func(t *testing.T) {
+					assertConformant(t, in.Result, ext.Result)
+				})
+			}
+		}
+		cov := map[string]int{}
+		groups := rep.Groups()
+		if want := 2 * len(names); len(groups) != want {
+			t.Fatalf("workers=%d: want %d shard groups, got %d", workers, want, len(groups))
+		}
+		for _, g := range groups {
+			if g.Shards != nShards {
+				t.Fatalf("workers=%d: group %s has %d shards", workers, g.Group, g.Shards)
+			}
+			cov[g.Group] = g.Coverage.Count()
+		}
+		for _, name := range names {
+			if cov[name+"/in"] != cov[name+"/piped"] {
+				t.Errorf("workers=%d: %s group rollups diverged: in-process %d branches, piped %d",
+					workers, name, cov[name+"/in"], cov[name+"/piped"])
+			}
+		}
+		groupCov[workers] = cov
+	}
+	if !reflect.DeepEqual(groupCov[1], groupCov[4]) {
+		t.Errorf("shard-group rollups differ between -j1 and -j4:\n%v\n%v",
+			groupCov[1], groupCov[4])
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/proto"
+	"repro/internal/solver"
 	"repro/internal/target"
 )
 
@@ -45,6 +46,12 @@ type Spec struct {
 
 	// Seed, when non-zero, overrides Config.Seed.
 	Seed int64
+
+	// Group, when non-empty, marks this campaign as one shard of a larger
+	// search: the report merges all campaigns sharing a Group into one
+	// rollup (union coverage, deduped errors) alongside the per-campaign
+	// rows. Shard sets it; hand-built specs may too.
+	Group string
 
 	// External, when non-nil, runs the campaign against an out-of-process
 	// target: the scheduler starts one fresh instance of the binary for
@@ -115,6 +122,10 @@ type Report struct {
 	// the same key as core.Result.DistinctErrors (the message).
 	Errors map[string]map[string][]core.ErrorRecord
 
+	// Solver is the shared solver service's counter window for this run
+	// (zero when the run was executed with private per-campaign solvers).
+	Solver solver.Stats
+
 	Elapsed time.Duration
 	Workers int
 }
@@ -173,6 +184,13 @@ func (r *Report) WriteSummary(w io.Writer) {
 				recs[0].Status, msg, len(recs), recs[0].Inputs)
 		}
 	}
+	for _, g := range r.Groups() {
+		fmt.Fprintf(w, "\nshard group %s (%s): %d shards, %d iterations, %d branches covered, %d distinct errors\n",
+			g.Group, g.Target, g.Shards, g.Iterations, g.Coverage.Count(), len(g.Errors))
+	}
+	if r.Solver.Calls > 0 {
+		fmt.Fprintf(w, "\n%s\n", r.Solver.Summary())
+	}
 	fmt.Fprintf(w, "\n%d campaigns, %d workers, %s\n",
 		len(r.Campaigns), r.Workers, r.Elapsed.Round(time.Millisecond))
 }
@@ -188,6 +206,20 @@ type Options struct {
 	// the callback need not be safe for concurrent use. Ordering across
 	// campaigns follows completion time and is not deterministic.
 	Trace func(label string, it core.IterationStat)
+
+	// Solver, when non-nil, is the shared solver service every campaign in
+	// the batch uses (specs whose Config.Solver is already set keep their
+	// own). When nil, Run constructs one solver.Service for the batch —
+	// sharded campaigns negate overlapping path prefixes, so sharing the
+	// SAT/UNSAT caches across them is where the batching win comes from.
+	// Sharing is safe for the determinism contract because a service hit
+	// returns exactly what the live solve would (see core.SolverService).
+	Solver core.SolverService
+
+	// PrivateSolvers disables the shared service: every campaign gets the
+	// engine's default private solver.Service. Trajectories are identical
+	// either way; this exists for cache-attribution tests and benchmarks.
+	PrivateSolvers bool
 }
 
 // Run executes every spec through a worker pool and returns the merged
@@ -213,6 +245,18 @@ func Run(specs []Spec, opt Options) *Report {
 	}
 	start := time.Now()
 
+	// One solver service per batch: campaigns negating overlapping path
+	// prefixes (shards of one target in particular) reuse each other's
+	// SAT results and proven-UNSAT sets.
+	shared := opt.Solver
+	if shared == nil && !opt.PrivateSolvers {
+		shared = solver.NewService(solver.ServiceConfig{})
+	}
+	var solver0 solver.Stats
+	if shared != nil {
+		solver0 = shared.Stats()
+	}
+
 	var traceMu sync.Mutex
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -221,7 +265,7 @@ func Run(specs []Spec, opt Options) *Report {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				runOne(&rep.Campaigns[i], specs[i], opt.Trace, &traceMu)
+				runOne(&rep.Campaigns[i], specs[i], shared, opt.Trace, &traceMu)
 			}
 		}()
 	}
@@ -231,6 +275,9 @@ func Run(specs []Spec, opt Options) *Report {
 	close(jobs)
 	wg.Wait()
 	rep.Elapsed = time.Since(start)
+	if shared != nil {
+		rep.Solver = shared.Stats().Delta(solver0)
+	}
 
 	// Merge in spec order, so the report is deterministic given the specs.
 	for i := range rep.Campaigns {
@@ -257,12 +304,15 @@ func Run(specs []Spec, opt Options) *Report {
 }
 
 // runOne executes a single campaign in the calling worker goroutine.
-func runOne(c *Campaign, spec Spec, trace func(string, core.IterationStat), traceMu *sync.Mutex) {
+func runOne(c *Campaign, spec Spec, shared core.SolverService, trace func(string, core.IterationStat), traceMu *sync.Mutex) {
 	c.Spec = spec
 	c.Label = spec.label()
 	c.Target = spec.targetName()
 
 	cfg := spec.Config
+	if cfg.Solver == nil {
+		cfg.Solver = shared
+	}
 	if spec.External != nil {
 		drv, err := proto.Start(spec.External.Bin, proto.Options{
 			Args: spec.External.Args,

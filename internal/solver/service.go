@@ -1,0 +1,315 @@
+package solver
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/expr"
+)
+
+// Service is the shared, concurrency-safe solving front end. It wraps the
+// free functions Solve/SolveIncremental with two caches:
+//
+//   - a SAT-result memo, keyed on the exact solving input (the literal
+//     predicate partition, the previous values it can see, and the options).
+//     The backtracking search is sensitive to predicate order, variable
+//     identity and seed, so only an exact match is guaranteed to reproduce
+//     the live result; a hit therefore returns bit-for-bit what the live
+//     solver would have returned. Cached assignments are re-verified against
+//     the full predicate set before reuse and fall back to a live solve on
+//     mismatch.
+//
+//   - an UNSAT-set cache, keyed on the canonical form of the partition
+//     (expr.CanonicalKey): renamed or reordered but equivalent constraint
+//     sets collide. Only *refuted* conjunctions enter this cache — a
+//     constant-false predicate or bounds propagation emptying a domain —
+//     because refutation is independent of previous values, seed and search
+//     budget, so serving a cached UNSAT is indistinguishable from solving
+//     live. An UNSAT hit lets the engine Reject a proposal without touching
+//     the search at all.
+//
+// Because every hit returns exactly what the live call would have, a Service
+// never perturbs an engine's trajectory: campaigns sharing one Service are
+// byte-identical to campaigns solving privately, which is what lets the
+// scheduler wire a single Service across a whole sharded batch without
+// breaking its determinism contract.
+type Service struct {
+	mu    sync.Mutex
+	sat   *lru[[32]byte, map[expr.Var]int64]
+	unsat *lru[unsatKey, struct{}]
+	stats Stats
+}
+
+// unsatKey is a refuted canonical form. Bounds propagation depends on the
+// variable domain, so the domain bounds are part of the key.
+type unsatKey struct {
+	canon  expr.Key
+	lo, hi int64
+}
+
+// ServiceConfig sizes the Service caches. Zero values select the defaults.
+type ServiceConfig struct {
+	// MaxSAT and MaxUnsat bound the entry counts of the two caches
+	// (least-recently-used eviction). Negative disables that cache.
+	MaxSAT   int
+	MaxUnsat int
+}
+
+// Default cache bounds.
+const (
+	DefaultMaxSAT   = 4096
+	DefaultMaxUnsat = 4096
+)
+
+// NewService returns an empty solver service.
+func NewService(cfg ServiceConfig) *Service {
+	if cfg.MaxSAT == 0 {
+		cfg.MaxSAT = DefaultMaxSAT
+	}
+	if cfg.MaxUnsat == 0 {
+		cfg.MaxUnsat = DefaultMaxUnsat
+	}
+	return &Service{
+		sat:   newLRU[[32]byte, map[expr.Var]int64](cfg.MaxSAT),
+		unsat: newLRU[unsatKey, struct{}](cfg.MaxUnsat),
+	}
+}
+
+// Stats is the service's counter snapshot. All counters are cumulative;
+// subtract two snapshots (Delta) for a window.
+type Stats struct {
+	Calls     int64 // solve requests through the service
+	SATHits   int64 // answered from the SAT memo
+	UnsatHits int64 // rejected from the UNSAT cache without solving
+	Misses    int64 // live solves
+	Evicted   int64 // cache entries evicted (both caches)
+	LiveTime  time.Duration
+}
+
+// Delta returns the counters accumulated since the earlier snapshot.
+func (s Stats) Delta(since Stats) Stats {
+	return Stats{
+		Calls:     s.Calls - since.Calls,
+		SATHits:   s.SATHits - since.SATHits,
+		UnsatHits: s.UnsatHits - since.UnsatHits,
+		Misses:    s.Misses - since.Misses,
+		Evicted:   s.Evicted - since.Evicted,
+		LiveTime:  s.LiveTime - since.LiveTime,
+	}
+}
+
+// HitRate is the fraction of calls served from either cache.
+func (s Stats) HitRate() float64 {
+	if s.Calls == 0 {
+		return 0
+	}
+	return float64(s.SATHits+s.UnsatHits) / float64(s.Calls)
+}
+
+// Summary renders the one-line service report the CLIs print.
+func (s Stats) Summary() string {
+	if s.Calls == 0 {
+		return "solver service: no calls"
+	}
+	avg := time.Duration(0)
+	if s.Misses > 0 {
+		avg = s.LiveTime / time.Duration(s.Misses)
+	}
+	return fmt.Sprintf(
+		"solver service: %d calls, %d sat hits, %d unsat hits (%.1f%% cached), %d live solves (avg %s), %d evicted",
+		s.Calls, s.SATHits, s.UnsatHits, 100*s.HitRate(), s.Misses,
+		avg.Round(time.Microsecond), s.Evicted)
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// SolveIncremental is the cached equivalent of the package-level
+// SolveIncremental: identical inputs yield identical results, hit or miss.
+func (s *Service) SolveIncremental(preds []expr.Pred, prev map[expr.Var]int64, opt Options) (Result, bool) {
+	opt = opt.normalized()
+	if len(preds) == 0 {
+		return carryStale(map[expr.Var]int64{}, prev), true
+	}
+	sub := incrementalSubset(preds)
+	vals, ok := s.solveCached(sub, prev, opt)
+	if !ok {
+		return Result{}, false
+	}
+	return carryStale(vals, prev), true
+}
+
+// Solve is the cached equivalent of the package-level Solve.
+func (s *Service) Solve(preds []expr.Pred, prev map[expr.Var]int64, opt Options) (Result, bool) {
+	opt = opt.normalized()
+	vals, ok := s.solveCached(preds, prev, opt)
+	if !ok {
+		return Result{}, false
+	}
+	return makeResult(vals, prev), true
+}
+
+// solveCached answers one conjunction from the caches or a live solve. The
+// returned map is private to the caller.
+func (s *Service) solveCached(sub []expr.Pred, prev map[expr.Var]int64, opt Options) (map[expr.Var]int64, bool) {
+	uk := unsatKey{canon: expr.CanonicalKey(sub), lo: opt.Lo, hi: opt.Hi}
+	sk := satFingerprint(sub, prev, opt)
+
+	s.mu.Lock()
+	s.stats.Calls++
+	if _, hit := s.unsat.get(uk); hit {
+		s.stats.UnsatHits++
+		s.mu.Unlock()
+		return nil, false
+	}
+	if vals, hit := s.sat.get(sk); hit {
+		if satisfiesAll(sub, vals) {
+			s.stats.SATHits++
+			s.mu.Unlock()
+			return cloneVals(vals), true
+		}
+		// A verification miss means the memo entry is stale or corrupt;
+		// drop it and solve live.
+		s.sat.remove(sk)
+	}
+	s.stats.Misses++
+	s.mu.Unlock()
+
+	start := time.Now()
+	p := newProblem(sub, prev, opt)
+	vals, ok, proven := p.solve()
+	elapsed := time.Since(start)
+
+	s.mu.Lock()
+	s.stats.LiveTime += elapsed
+	switch {
+	case ok:
+		s.stats.Evicted += s.sat.add(sk, cloneVals(vals))
+	case proven:
+		s.stats.Evicted += s.unsat.add(uk, struct{}{})
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return vals, true
+}
+
+// satisfiesAll re-verifies a cached assignment against the predicate set.
+func satisfiesAll(preds []expr.Pred, vals map[expr.Var]int64) bool {
+	env := func(v expr.Var) int64 { return vals[v] }
+	for _, p := range preds {
+		vs := map[expr.Var]struct{}{}
+		p.Vars(vs)
+		for v := range vs {
+			if _, ok := vals[v]; !ok {
+				return false
+			}
+		}
+		hold, ok := p.Eval(env)
+		if !ok || !hold {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneVals(vals map[expr.Var]int64) map[expr.Var]int64 {
+	out := make(map[expr.Var]int64, len(vals))
+	for v, x := range vals {
+		out[v] = x
+	}
+	return out
+}
+
+// satFingerprint keys the SAT memo: the literal predicate serialization (in
+// order — the search is order-sensitive), the previous values projected onto
+// the partition's variables (the only ones the search can read), and the
+// normalized options including the seed.
+func satFingerprint(sub []expr.Pred, prev map[expr.Var]int64, opt Options) [32]byte {
+	h := sha256.New()
+	vs := map[expr.Var]struct{}{}
+	for _, p := range sub {
+		io.WriteString(h, p.String())
+		io.WriteString(h, "\n")
+		p.Vars(vs)
+	}
+	vars := make([]expr.Var, 0, len(vs))
+	for v := range vs {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	for _, v := range vars {
+		if x, ok := prev[v]; ok {
+			fmt.Fprintf(h, "p%d=%d\n", v, x)
+		}
+	}
+	fmt.Fprintf(h, "o%d,%d,%d,%d", opt.Lo, opt.Hi, opt.MaxNodes, opt.Seed)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// lru is a minimal mutex-free (caller-locked) LRU map with bounded size.
+type lru[K comparable, V any] struct {
+	max   int
+	ll    *list.List
+	items map[K]*list.Element
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRU[K comparable, V any](max int) *lru[K, V] {
+	return &lru[K, V]{max: max, ll: list.New(), items: map[K]*list.Element{}}
+}
+
+func (c *lru[K, V]) get(k K) (V, bool) {
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// add inserts or refreshes an entry and returns the number of evictions.
+func (c *lru[K, V]) add(k K, v V) int64 {
+	if c.max < 0 {
+		return 0
+	}
+	if el, ok := c.items[k]; ok {
+		el.Value = lruEntry[K, V]{k, v}
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.items[k] = c.ll.PushFront(lruEntry[K, V]{k, v})
+	var evicted int64
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(lruEntry[K, V]).key)
+		evicted++
+	}
+	return evicted
+}
+
+func (c *lru[K, V]) remove(k K) {
+	if el, ok := c.items[k]; ok {
+		c.ll.Remove(el)
+		delete(c.items, k)
+	}
+}
+
+func (c *lru[K, V]) len() int { return len(c.items) }

@@ -68,7 +68,7 @@ type Result struct {
 func Solve(preds []expr.Pred, prev map[expr.Var]int64, opt Options) (Result, bool) {
 	opt = opt.normalized()
 	p := newProblem(preds, prev, opt)
-	vals, ok := p.solve()
+	vals, ok, _ := p.solve()
 	if !ok {
 		return Result{}, false
 	}
@@ -88,23 +88,35 @@ func SolveIncremental(preds []expr.Pred, prev map[expr.Var]int64, opt Options) (
 		}
 		return makeResult(vals, prev), true
 	}
+	sub := incrementalSubset(preds)
+	p := newProblem(sub, prev, opt)
+	vals, ok, _ := p.solve()
+	if !ok {
+		return Result{}, false
+	}
+	return carryStale(vals, prev), true
+}
+
+// incrementalSubset extracts the predicates transitively connected to the
+// last (freshly negated) one — the partition SolveIncremental re-solves.
+func incrementalSubset(preds []expr.Pred) []expr.Pred {
 	dep := dependentSet(preds, len(preds)-1)
 	sub := make([]expr.Pred, 0, len(dep))
 	for _, i := range dep {
 		sub = append(sub, preds[i])
 	}
-	p := newProblem(sub, prev, opt)
-	vals, ok := p.solve()
-	if !ok {
-		return Result{}, false
-	}
-	// Carry stale values for variables outside the re-solved partition.
+	return sub
+}
+
+// carryStale completes a partition solution with the previous values of
+// every variable outside the re-solved partition, then derives Changed.
+func carryStale(vals, prev map[expr.Var]int64) Result {
 	for v, x := range prev {
 		if _, done := vals[v]; !done {
 			vals[v] = x
 		}
 	}
-	return makeResult(vals, prev), true
+	return makeResult(vals, prev)
 }
 
 func makeResult(vals, prev map[expr.Var]int64) Result {
@@ -215,25 +227,30 @@ func newProblem(preds []expr.Pred, prev map[expr.Var]int64, opt Options) *proble
 	return p
 }
 
-// solve runs propagation then backtracking search.
-func (p *problem) solve() (map[expr.Var]int64, bool) {
+// solve runs propagation then backtracking search. provenUnsat is true only
+// when the conjunction is *refuted* — a constant-false predicate or root
+// bounds propagation emptying a domain — which, unlike a failed search (an
+// incomplete enumeration under a node budget), holds for every choice of
+// previous values, seed and budget. The solver service's UNSAT cache relies
+// on exactly that distinction.
+func (p *problem) solve() (vals map[expr.Var]int64, ok, provenUnsat bool) {
 	// Trivially reject constant-false predicates.
 	for _, c := range p.cons {
 		if k, ok := c.pred.E.IsConst(); ok {
 			if !c.pred.Rel.Holds(k) {
-				return nil, false
+				return nil, false, true
 			}
 		}
 	}
 	dom := copyDom(p.dom)
 	if !p.propagate(dom) {
-		return nil, false
+		return nil, false, true
 	}
 	asg := map[expr.Var]int64{}
 	if !p.search(dom, asg) {
-		return nil, false
+		return nil, false, false
 	}
-	return asg, true
+	return asg, true, false
 }
 
 func copyDom(d map[expr.Var]iv) map[expr.Var]iv {

@@ -29,10 +29,13 @@ go test -race ./internal/proto
 echo "== go test -race ./internal/target/... =="
 go test -race ./internal/target/...
 
-echo "== go test -race ./internal/sched ./internal/coverage =="
-go test -race ./internal/sched ./internal/coverage
+echo "== go test -race ./internal/solver ./internal/sched ./internal/coverage =="
+go test -race ./internal/solver ./internal/sched ./internal/coverage
 
 echo "== cross-process conformance (piped == in-process) =="
-go test ./internal/proto -run 'TestCrossProcessConformance|TestSchedMixedConformance' -count=1
+go test ./internal/proto -run 'TestCrossProcessConformance|TestSchedMixedConformance|TestSchedShardedServiceConformance' -count=1
+
+echo "== solver cache benchmark (cold vs warm) =="
+go test -run '^$' -bench BenchmarkSolverCache -benchtime 5x .
 
 echo "CI green."
