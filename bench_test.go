@@ -7,6 +7,7 @@ package repro
 
 import (
 	"io"
+	"reflect"
 	"testing"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/sched"
 	"repro/internal/solver"
+	"repro/internal/store"
 	"repro/internal/target"
 	_ "repro/internal/targets/hpl"
 	_ "repro/internal/targets/imb"
@@ -195,6 +197,68 @@ func BenchmarkSolverCache(b *testing.B) {
 		b.StopTimer()
 		d := svc.Stats().Delta(before)
 		b.ReportMetric(d.HitRate(), "hit/call")
+	})
+}
+
+// BenchmarkWarmResume measures a second campaign run against a campaign
+// store's persisted proven-UNSAT cache: "cold" starts from an empty solver
+// service, "warm" imports the cache a first run saved. The warm runs must
+// answer part of the workload from the cache (reported as unsathit/run)
+// while producing exactly the cold trajectory — the cache is invisible in
+// the results, visible only in the work skipped.
+func BenchmarkWarmResume(b *testing.B) {
+	prog, _ := target.Lookup("skeleton")
+	mkCfg := func(svc core.SolverService) core.Config {
+		return core.Config{
+			Program: prog, Iterations: 80, Reduction: true,
+			Framework: true, Seed: 5, Solver: svc,
+		}
+	}
+	stats := func(res core.Result) []core.IterationStat {
+		its := append([]core.IterationStat(nil), res.Iterations...)
+		for i := range its {
+			its[i].Elapsed, its[i].RunTime = 0, 0
+		}
+		return its
+	}
+	ref := core.NewEngine(mkCfg(solver.NewService(solver.ServiceConfig{}))).Run()
+
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	seedSvc := solver.NewService(solver.ServiceConfig{})
+	core.NewEngine(mkCfg(seedSvc)).Run()
+	if err := st.SaveSolverCache(seedSvc); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.NewEngine(mkCfg(solver.NewService(solver.ServiceConfig{}))).Run()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		var hits int64
+		for i := 0; i < b.N; i++ {
+			svc := solver.NewService(solver.ServiceConfig{})
+			if n, err := st.LoadSolverCacheInto(svc); err != nil || n == 0 {
+				b.Fatalf("warm import: n=%d err=%v", n, err)
+			}
+			res := core.NewEngine(mkCfg(svc)).Run()
+			d := svc.Stats()
+			if d.UnsatHits == 0 {
+				b.Fatal("warm run never hit the imported UNSAT cache")
+			}
+			hits += d.UnsatHits
+			if !reflect.DeepEqual(res.Coverage.Branches(), ref.Coverage.Branches()) ||
+				!reflect.DeepEqual(stats(res), stats(ref)) {
+				b.Fatal("warm trajectory diverged from the cache-free run")
+			}
+		}
+		b.ReportMetric(float64(hits)/float64(b.N), "unsathit/run")
 	})
 }
 

@@ -20,10 +20,11 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment ID (default: all); see -list")
-		quick  = flag.Bool("quick", false, "use reduced budgets")
-		list   = flag.Bool("list", false, "list experiment IDs")
-		csvOut = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp      = flag.String("exp", "", "experiment ID (default: all); see -list")
+		quick    = flag.Bool("quick", false, "use reduced budgets")
+		list     = flag.Bool("list", false, "list experiment IDs")
+		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		stateDir = flag.String("state-dir", "", "campaign store directory: a killed run resumes its campaign batches instead of starting over")
 	)
 	flag.Parse()
 
@@ -35,6 +36,7 @@ func main() {
 	if *quick {
 		scale = experiments.Quick
 	}
+	scale.StateDir = *stateDir
 	if *exp == "" {
 		experiments.RunAll(os.Stdout, scale)
 		return

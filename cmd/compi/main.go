@@ -31,6 +31,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/proto"
 	"repro/internal/sched"
+	"repro/internal/solver"
+	"repro/internal/store"
 	"repro/internal/target"
 	_ "repro/internal/targets/hpl"
 	_ "repro/internal/targets/imb"
@@ -50,6 +52,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "drive" {
 		runDrive(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "store" {
+		runStore(os.Args[2:])
 		return
 	}
 	var (
@@ -184,27 +190,25 @@ func main() {
 				fmt.Fprintf(os.Stderr, "loading %s: %v\n", *state, err)
 				os.Exit(1)
 			}
-			if snap.Program != prog.Name {
-				fmt.Fprintf(os.Stderr, "state file is for %q, not %q\n", snap.Program, prog.Name)
+			// Restore validates the snapshot against the program (schema
+			// version, branch bits, input names) and says what is wrong.
+			if err := eng.Restore(snap); err != nil {
+				fmt.Fprintf(os.Stderr, "loading %s: %v\n", *state, err)
 				os.Exit(1)
 			}
-			eng.Restore(snap)
-			fmt.Printf("resumed campaign: %d branches already covered\n", eng.Coverage().Count())
+			fmt.Printf("resumed campaign: %d iterations done, %d branches already covered\n",
+				snap.Iters, eng.Coverage().Count())
 		}
 	}
 
 	res := eng.Run()
 
 	if *state != "" {
-		f, err := os.Create(*state)
+		err := store.WriteAtomic(*state, eng.Snapshot().Save)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "saving %s: %v\n", *state, err)
 			os.Exit(1)
 		}
-		if err := eng.Snapshot().Save(f); err != nil {
-			fmt.Fprintf(os.Stderr, "saving %s: %v\n", *state, err)
-		}
-		f.Close()
 	}
 
 	printResult(prog, res)
@@ -254,6 +258,7 @@ func runDrive(args []string) {
 		bugs     = fs.Bool("bugs", false, "leave the seeded bugs live")
 		shard    = fs.Int("shard", 1, "split the campaign into N shards by initial setup, one target process each (reported merged)")
 		workers  = fs.Int("j", 0, "concurrently running shards (0 = GOMAXPROCS)")
+		stateDir = fs.String("state-dir", "", "campaign store directory: checkpoint the campaign, resume or reuse prior explorations")
 		verbose  = fs.Bool("v", false, "per-iteration trace")
 		errlog   = fs.String("errlog", "", "append error-inducing inputs as JSON lines to this file")
 	)
@@ -346,10 +351,11 @@ func runDrive(args []string) {
 		defer f.Close()
 		cfg.ErrorLog = f
 	}
-	if *shard > 1 {
-		// Sharded drive: the handshake driver only supplied the program
-		// model; the scheduler starts one fresh target process per shard and
-		// wires every shard into its shared solver service.
+	if *shard > 1 || *stateDir != "" {
+		// Sharded (or store-backed) drive: the handshake driver only supplied
+		// the program model; the scheduler starts one fresh target process
+		// per shard, wires every shard into its shared solver service, and —
+		// with a store attached — checkpoints and resumes each campaign.
 		if err := drv.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "compi drive: %v\n", err)
 			os.Exit(1)
@@ -361,6 +367,9 @@ func runDrive(args []string) {
 			External: &sched.External{Bin: *bin, Args: rest},
 		}
 		opt := sched.Options{Workers: *workers}
+		if *stateDir != "" {
+			opt.Store = openStateDir(*stateDir)
+		}
 		if *verbose {
 			opt.Trace = func(label string, it core.IterationStat) {
 				fmt.Printf("%-24s iter %4d  np=%-2d focus=%-2d covered=%-5d %s\n",
@@ -387,6 +396,125 @@ func runDrive(args []string) {
 	}
 }
 
+// openStateDir opens (creating if needed) the campaign store behind a
+// -state-dir flag, exiting with the store's explanation when it is
+// unusable (e.g. written by a newer schema).
+func openStateDir(dir string) *store.Store {
+	st, err := store.Open(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compi: %v\n", err)
+		os.Exit(1)
+	}
+	return st
+}
+
+// runStore implements `compi store`: inspect a campaign store directory —
+// schema version, stored campaigns and their progress, batch manifests, the
+// setup index, and the persisted solver cache.
+func runStore(args []string) {
+	fs := flag.NewFlagSet("compi store", flag.ExitOnError)
+	dir := fs.String("dir", "", "campaign store directory (required)")
+	jsonOut := fs.Bool("json", false, "emit the inventory as JSON")
+	fs.Parse(args)
+	if *dir == "" && fs.NArg() == 1 {
+		*dir = fs.Arg(0)
+	}
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "compi store: -dir is required")
+		os.Exit(2)
+	}
+	if fi, err := os.Stat(*dir); err != nil || !fi.IsDir() {
+		fmt.Fprintf(os.Stderr, "compi store: %s is not a store directory\n", *dir)
+		os.Exit(1)
+	}
+	st, err := store.Open(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compi store: %v\n", err)
+		os.Exit(1)
+	}
+
+	type campaignInfo struct {
+		Name    string `json:"name"`
+		Program string `json:"program"`
+		Iters   int    `json:"iters"`
+		Covered int    `json:"covered"`
+		Errors  int    `json:"errors"`
+	}
+	type batchInfo struct {
+		ID     string         `json:"id"`
+		Counts map[string]int `json:"counts"` // status → entries
+	}
+	type inventory struct {
+		Dir         string         `json:"dir"`
+		Version     int            `json:"version"`
+		Campaigns   []campaignInfo `json:"campaigns"`
+		Batches     []batchInfo    `json:"batches"`
+		Setups      int            `json:"setups"`
+		SolverUnsat int            `json:"solverUnsat"`
+		SolverErr   string         `json:"solverErr,omitempty"`
+	}
+	inv := inventory{Dir: st.Dir(), Version: store.Version}
+
+	names, _ := st.Campaigns()
+	for _, n := range names {
+		ci := campaignInfo{Name: n}
+		if snap, err := st.LoadCampaign(n); err == nil {
+			ci.Program = snap.Program
+			ci.Iters = snap.Iters
+			ci.Covered = len(snap.Covered)
+			ci.Errors = len(snap.Errors)
+		}
+		inv.Campaigns = append(inv.Campaigns, ci)
+	}
+	ids, _ := st.Batches()
+	for _, id := range ids {
+		bi := batchInfo{ID: id, Counts: map[string]int{}}
+		if man, err := st.LoadBatch(id); err == nil && man != nil {
+			for _, e := range man.Entries {
+				bi.Counts[e.Status]++
+			}
+		}
+		inv.Batches = append(inv.Batches, bi)
+	}
+	if setups, err := st.Setups(); err == nil {
+		inv.Setups = len(setups)
+	}
+	n, err := st.LoadSolverCacheInto(solver.NewService(solver.ServiceConfig{}))
+	inv.SolverUnsat = n
+	if err != nil {
+		inv.SolverErr = err.Error()
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(inv)
+		return
+	}
+	fmt.Printf("store %s (schema v%d)\n", inv.Dir, inv.Version)
+	fmt.Printf("campaigns %d\n", len(inv.Campaigns))
+	for _, c := range inv.Campaigns {
+		fmt.Printf("  %-40s %-10s iters=%-5d covered=%-5d errors=%d\n",
+			c.Name, c.Program, c.Iters, c.Covered, c.Errors)
+	}
+	fmt.Printf("batches %d\n", len(inv.Batches))
+	for _, b := range inv.Batches {
+		fmt.Printf("  %-24s", b.ID)
+		for _, status := range []string{"pending", "running", "done", "reused", "error"} {
+			if b.Counts[status] > 0 {
+				fmt.Printf(" %s=%d", status, b.Counts[status])
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("setup index %d entries\n", inv.Setups)
+	if inv.SolverErr != "" {
+		fmt.Printf("solver cache unusable: %s\n", inv.SolverErr)
+	} else {
+		fmt.Printf("solver cache %d proven-unsat entries\n", inv.SolverUnsat)
+	}
+}
+
 // runSched implements `compi sched`: a grid of campaigns (every requested
 // target × every seed) run concurrently through the parallel scheduler, with
 // a merged per-target summary at the end.
@@ -404,6 +532,8 @@ func runSched(args []string) {
 		dfsPhase = fs.Int("dfs-phase", 50, "pure-DFS executions before BoundedDFS")
 		bugs     = fs.Bool("bugs", false, "leave the seeded bugs live")
 		shard    = fs.Int("shard", 1, "split every campaign into N shards by initial setup (reported merged)")
+		stateDir = fs.String("state-dir", "", "campaign store directory: checkpoint campaigns, resume interrupted batches, reuse setups explored by prior batches")
+		batchID  = fs.String("batch", "", "batch manifest name in the store (default: derived from the spec list)")
 		verbose  = fs.Bool("v", false, "per-iteration trace")
 	)
 	fs.Parse(args)
@@ -461,7 +591,10 @@ func runSched(args []string) {
 		specs = sharded
 	}
 
-	opt := sched.Options{Workers: *workers}
+	opt := sched.Options{Workers: *workers, BatchID: *batchID}
+	if *stateDir != "" {
+		opt.Store = openStateDir(*stateDir)
+	}
 	if *verbose {
 		opt.Trace = func(label string, it core.IterationStat) {
 			fmt.Printf("%-24s iter %4d  np=%-2d focus=%-2d covered=%-5d %s\n",

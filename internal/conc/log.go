@@ -49,16 +49,7 @@ func (l *Log) Encode() []byte {
 		b = appendString(b, f)
 	}
 	b = binary.AppendVarint(b, l.RawCount)
-	b = binary.AppendUvarint(b, uint64(len(l.Path)))
-	for _, e := range l.Path {
-		b = binary.AppendVarint(b, int64(e.Site))
-		if e.Outcome {
-			b = append(b, 1)
-		} else {
-			b = append(b, 0)
-		}
-		b = appendPred(b, e.Pred)
-	}
+	b = appendPath(b, l.Path)
 	b = binary.AppendUvarint(b, uint64(len(l.Obs)))
 	for _, o := range l.Obs {
 		b = binary.AppendUvarint(b, uint64(o.V))
@@ -105,14 +96,7 @@ func Decode(b []byte) (*Log, error) {
 		l.Funcs = append(l.Funcs, d.str())
 	}
 	l.RawCount = d.varint()
-	n = d.count()
-	for i := uint64(0); i < n; i++ {
-		var e PathEntry
-		e.Site = CondID(d.varint())
-		e.Outcome = d.byte() == 1
-		e.Pred = d.pred()
-		l.Path = append(l.Path, e)
-	}
+	l.Path = d.path()
 	n = d.count()
 	for i := uint64(0); i < n; i++ {
 		var o VarObs
@@ -148,6 +132,57 @@ func Decode(b []byte) (*Log, error) {
 func appendString(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
+}
+
+// appendPath writes a constraint path (count + entries) in the log wire
+// format.
+func appendPath(b []byte, path []PathEntry) []byte {
+	b = binary.AppendUvarint(b, uint64(len(path)))
+	for _, e := range path {
+		b = binary.AppendVarint(b, int64(e.Site))
+		if e.Outcome {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendPred(b, e.Pred)
+	}
+	return b
+}
+
+// path reads what appendPath wrote.
+func (d *decoder) path() []PathEntry {
+	n := d.count()
+	var path []PathEntry
+	for i := uint64(0); i < n; i++ {
+		var e PathEntry
+		e.Site = CondID(d.varint())
+		e.Outcome = d.byte() == 1
+		e.Pred = d.pred()
+		path = append(path, e)
+	}
+	return path
+}
+
+// EncodePath serializes one constraint path standalone, in the same wire
+// format Log.Encode uses for its path section. Search-strategy persistence
+// (core.PersistentStrategy) uses it to carry DFS stacks — paths with their
+// predicate trees — inside a campaign snapshot.
+func EncodePath(path []PathEntry) []byte {
+	return appendPath(nil, path)
+}
+
+// DecodePath parses a path written by EncodePath.
+func DecodePath(b []byte) ([]PathEntry, error) {
+	d := &decoder{b: b}
+	path := d.path()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("conc: %d trailing bytes after path", len(d.b))
+	}
+	return path, nil
 }
 
 func appendPred(b []byte, p expr.Pred) []byte {

@@ -1,0 +1,42 @@
+package conc
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+func TestEncodeDecodePathRoundTrip(t *testing.T) {
+	path := []PathEntry{
+		{Site: 3, Outcome: true,
+			Pred: expr.Pred{E: expr.Add(expr.VarRef(0), expr.Const(4)), Rel: expr.LE}},
+		{Site: 9, Outcome: false,
+			Pred: expr.Pred{E: expr.Mul(expr.VarRef(2), expr.VarRef(1)), Rel: expr.NE}},
+		{Site: 1, Outcome: true,
+			Pred: expr.Pred{E: expr.Neg(expr.VarRef(5)), Rel: expr.GT}},
+	}
+	got, err := DecodePath(EncodePath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, path) {
+		t.Fatalf("round trip changed the path:\nwant %+v\ngot  %+v", path, got)
+	}
+
+	empty, err := DecodePath(EncodePath(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty path round trip: %v %v", empty, err)
+	}
+}
+
+func TestDecodePathRejectsCorruptInput(t *testing.T) {
+	b := EncodePath([]PathEntry{{Site: 1, Outcome: true,
+		Pred: expr.Pred{E: expr.VarRef(0), Rel: expr.EQ}}})
+	if _, err := DecodePath(b[:len(b)-1]); err == nil {
+		t.Error("truncated path decoded without error")
+	}
+	if _, err := DecodePath(append(append([]byte(nil), b...), 0xff)); err == nil {
+		t.Error("trailing bytes decoded without error")
+	}
+}

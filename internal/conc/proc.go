@@ -143,6 +143,11 @@ func (s *VarSpace) Name(v expr.Var) string {
 // Len returns the number of allocated variables.
 func (s *VarSpace) Len() int { return len(s.names) }
 
+// Names returns the allocated names in variable-ID order. A campaign
+// snapshot records this so a resumed engine can re-allocate the same IDs in
+// the same order before any new name appears.
+func (s *VarSpace) Names() []string { return append([]string(nil), s.names...) }
+
 // ErrHang is the panic value raised when a process exceeds its deadline; the
 // launch harness reports it as a hang (the paper's infinite-loop bugs).
 type ErrHang struct{ Rank int }

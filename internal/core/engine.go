@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -109,6 +108,15 @@ type Config struct {
 	// JSON line the moment it is recorded — the persistent bug log COMPI
 	// writes for later analysis and replay.
 	ErrorLog io.Writer
+
+	// Checkpoint, when non-nil, receives a freshly taken Snapshot after
+	// every CheckpointEvery-th iteration (default: every iteration). The
+	// engine calls it synchronously from the campaign loop between
+	// iterations, so the callback always sees a quiescent engine. The
+	// campaign store wires this to persist the campaign as it runs: a
+	// killed process loses at most the in-flight iteration.
+	Checkpoint      func(*Snapshot)
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +137,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.InitialFocus < 0 || c.InitialFocus >= c.InitialProcs {
 		c.InitialFocus = 0
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
 	}
 	return c
 }
@@ -175,6 +186,14 @@ type Result struct {
 	SolverCall int
 	UnsatCalls int
 
+	// RefutedSkips counts solver calls answered by the engine's own
+	// restart-loop dedup: the constraint set's canonical key matched a
+	// conjunction already proven unsatisfiable earlier in the campaign, so
+	// the engine rejected the proposal without consulting the solver at
+	// all. These calls are included in SolverCall and UnsatCalls (the
+	// trajectory is unchanged; only the work is skipped).
+	RefutedSkips int
+
 	// Solver is the campaign's window of the solver-service counters
 	// (Stats at campaign end minus Stats at campaign start). For the
 	// default private service this is exactly the campaign's own cache
@@ -211,12 +230,41 @@ type Engine struct {
 	started  atomic.Bool
 	vars     *conc.VarSpace
 	cov      *coverage.Tracker
-	rng      *rand.Rand
+	rng      *prng
 	inputs   map[string]int64
 	caps     map[string]capInfo
 	prev     map[expr.Var]int64
 	names    map[expr.Var]string // learned from observations (Snapshot)
 	cur      setup
+
+	// Campaign accounting. These live on the engine rather than in Run's
+	// locals so Snapshot can capture them mid-campaign and Restore can seed
+	// them: a resumed Result then reports the whole campaign's history, not
+	// just the final session's. startIter is the global iteration the next
+	// Run continues from — per-iteration seeds are iteration-indexed, so a
+	// resumed campaign must keep the global numbering.
+	startIter    int
+	iters        int
+	stats        []IterationStat
+	errors       []ErrorRecord
+	restarts     int
+	restartAt    []int
+	solverCalls  int
+	unsatCalls   int
+	refutedSkips int
+
+	// refuted is the restart-loop dedup set: canonical keys of constraint
+	// sets this campaign has already proven unsatisfiable. A restart that
+	// re-derives a refuted prefix rejects the proposal without a solver
+	// call. Only proven refutations enter (they are independent of previous
+	// values, seed and budget), so skipping the solve cannot change the
+	// trajectory.
+	refuted map[expr.Key]struct{}
+
+	// corpus records, per (nprocs, focus) setup, the input values the most
+	// recent execution under that setup actually used — the per-setup input
+	// corpora a snapshot carries so future strategies can reseed from them.
+	corpus map[setup]map[string]int64
 }
 
 type capInfo struct {
@@ -228,15 +276,17 @@ type capInfo struct {
 func NewEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		cfg:    cfg,
-		vars:   conc.NewVarSpace(),
-		cov:    coverage.New(),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		inputs: cloneInputs(cfg.Inputs),
-		caps:   map[string]capInfo{},
-		prev:   map[expr.Var]int64{},
-		names:  map[expr.Var]string{},
-		cur:    setup{nprocs: cfg.InitialProcs, focus: cfg.InitialFocus},
+		cfg:     cfg,
+		vars:    conc.NewVarSpace(),
+		cov:     coverage.New(),
+		rng:     newPRNG(cfg.Seed),
+		inputs:  cloneInputs(cfg.Inputs),
+		caps:    map[string]capInfo{},
+		prev:    map[expr.Var]int64{},
+		names:   map[expr.Var]string{},
+		cur:     setup{nprocs: cfg.InitialProcs, focus: cfg.InitialFocus},
+		refuted: map[expr.Key]struct{}{},
+		corpus:  map[setup]map[string]int64{},
 	}
 	e.backend = cfg.Backend
 	if e.backend == nil {
@@ -271,32 +321,47 @@ func (e *Engine) SetStrategy(s Strategy) {
 	e.strategy = s
 }
 
-// Run executes the campaign and returns its result.
+// Run executes the campaign and returns its result. On a restored engine it
+// continues from the snapshot's global iteration count, and the Result spans
+// the whole campaign (restored history plus this session's iterations).
 func (e *Engine) Run() Result {
 	e.started.Store(true)
-	res := Result{Coverage: e.cov}
 	solver0 := e.solver.Stats()
 	start := time.Now()
-	for it := 0; it < e.cfg.Iterations; it++ {
+	for it := e.startIter; it < e.cfg.Iterations; it++ {
 		if e.cfg.TimeBudget > 0 && time.Since(start) > e.cfg.TimeBudget {
 			break
 		}
-		stat := e.iterate(it, &res)
+		stat := e.iterate(it)
 		stat.Iter = it
 		stat.Elapsed = time.Since(start)
 		stat.Covered = e.cov.Count()
-		res.Iterations = append(res.Iterations, stat)
+		e.stats = append(e.stats, stat)
+		e.iters = it + 1
 		if e.cfg.Trace != nil {
 			e.cfg.Trace(stat)
 		}
+		if e.cfg.Checkpoint != nil && (it+1-e.startIter)%e.cfg.CheckpointEvery == 0 {
+			e.cfg.Checkpoint(e.Snapshot())
+		}
 	}
-	res.Elapsed = time.Since(start)
+	res := Result{
+		Coverage:     e.cov,
+		Iterations:   append([]IterationStat(nil), e.stats...),
+		Errors:       append([]ErrorRecord(nil), e.errors...),
+		Elapsed:      time.Since(start),
+		Restarts:     e.restarts,
+		RestartAt:    append([]int(nil), e.restartAt...),
+		SolverCall:   e.solverCalls,
+		UnsatCalls:   e.unsatCalls,
+		RefutedSkips: e.refutedSkips,
+	}
 	res.Solver = e.solver.Stats().Delta(solver0)
 	return res
 }
 
 // iterate performs one launch + one input-generation step.
-func (e *Engine) iterate(it int, res *Result) IterationStat {
+func (e *Engine) iterate(it int) IterationStat {
 	stat := IterationStat{NProcs: e.cur.nprocs, Focus: e.cur.focus}
 
 	run := e.launch(it)
@@ -332,7 +397,7 @@ func (e *Engine) iterate(it int, res *Result) IterationStat {
 			Inputs: cloneInputs(e.inputs),
 			Params: e.cfg.Params,
 		}
-		res.Errors = append(res.Errors, rec)
+		e.errors = append(e.errors, rec)
 		if e.cfg.ErrorLog != nil {
 			if b, err := json.Marshal(rec); err == nil {
 				fmt.Fprintf(e.cfg.ErrorLog, "%s\n", b)
@@ -343,7 +408,7 @@ func (e *Engine) iterate(it int, res *Result) IterationStat {
 	focusLog := run.Ranks[e.cur.focus].Log
 	if focusLog == nil || focusLog.Mode != conc.Heavy {
 		// The focus leaked (hard hang): restart from fresh inputs.
-		e.restart(it, res)
+		e.restart(it)
 		stat.Restarted = true
 		return stat
 	}
@@ -359,6 +424,9 @@ func (e *Engine) iterate(it int, res *Result) IterationStat {
 			e.caps[o.Name] = capInfo{cap: o.Cap, hasCap: o.HasCap}
 		}
 	}
+	// The inputs map now holds exactly the values this setup's execution
+	// consumed: record them as the setup's corpus entry.
+	e.corpus[e.cur] = cloneInputs(e.inputs)
 
 	if e.cfg.PureRandom {
 		e.randomizeAll()
@@ -370,18 +438,44 @@ func (e *Engine) iterate(it int, res *Result) IterationStat {
 	for {
 		path, idx, ok := e.strategy.Propose()
 		if !ok {
-			e.restart(it, res)
+			e.restart(it)
 			stat.Restarted = true
 			return stat
 		}
 		preds := e.constraintSet(focusLog.Obs, path, idx)
-		res.SolverCall++
+		e.solverCalls++
+
+		// Restart-loop dedup: if this exact conjunction (canonically — any
+		// variable renaming or predicate reordering collides) was already
+		// proven unsatisfiable in this campaign, reject without solving.
+		// The key is computed lazily: before the first refutation there is
+		// nothing to collide with, so the common all-SAT prefix pays no
+		// canonicalization cost.
+		var key expr.Key
+		haveKey := false
+		if len(e.refuted) > 0 {
+			key = expr.CanonicalKey(preds)
+			haveKey = true
+			if _, dup := e.refuted[key]; dup {
+				e.unsatCalls++
+				e.refutedSkips++
+				e.strategy.Reject()
+				continue
+			}
+		}
+
 		sol, sat := e.solver.SolveIncremental(preds, e.prev, solver.Options{
 			Seed:     e.cfg.Seed + int64(it)*7919,
 			MaxNodes: e.cfg.SolverMaxNodes,
 		})
 		if !sat {
-			res.UnsatCalls++
+			e.unsatCalls++
+			if sol.Proven {
+				if !haveKey {
+					key = expr.CanonicalKey(preds)
+				}
+				e.refuted[key] = struct{}{}
+			}
 			e.strategy.Reject()
 			continue
 		}
@@ -425,9 +519,9 @@ func (e *Engine) apply(focusLog *conc.Log, sol solver.Result) {
 // restart begins a fresh exploration from random inputs (the paper redoes
 // the testing when exploration gets stuck or the tree is exhausted) and
 // records at which iteration it happened.
-func (e *Engine) restart(it int, res *Result) {
-	res.Restarts++
-	res.RestartAt = append(res.RestartAt, it)
+func (e *Engine) restart(it int) {
+	e.restarts++
+	e.restartAt = append(e.restartAt, it)
 	e.strategy.Reset()
 	e.randomizeAll()
 	if e.cfg.Framework {

@@ -1,0 +1,34 @@
+package core
+
+// prng is the engine's random source: a splitmix64 generator whose entire
+// state is a single uint64, so a campaign Snapshot can carry it and a
+// resumed engine continues the exact draw sequence an uninterrupted run
+// would produce (math/rand's generator does not expose its state). Every
+// engine-side random decision — restart inputs, the Random baseline's
+// setup — flows through this type.
+type prng struct{ state uint64 }
+
+func newPRNG(seed int64) *prng {
+	return &prng{state: uint64(seed)}
+}
+
+// next advances the splitmix64 sequence.
+func (p *prng) next() uint64 {
+	p.state += 0x9E3779B97F4A7C15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63n returns a value in [0, n). n must be > 0. The modulo bias is
+// negligible for the small ranges the engine draws (input caps, process
+// counts) and irrelevant to correctness — only determinism matters here.
+func (p *prng) Int63n(n int64) int64 {
+	return int64(p.next() % uint64(n))
+}
+
+// Intn returns a value in [0, n). n must be > 0.
+func (p *prng) Intn(n int) int {
+	return int(p.Int63n(int64(n)))
+}

@@ -2,19 +2,34 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"repro/internal/conc"
+	"repro/internal/expr"
 )
+
+// SnapshotVersion is the current snapshot schema version. Version 1 carried
+// only the learned inputs and coverage; version 2 adds everything resume
+// determinism needs — the global iteration count and per-iteration history,
+// restart history, the engine RNG state, the variable allocation order, the
+// refuted-conjunction keys, the search-strategy position, and the per-setup
+// input corpora. Loaders accept any version ≤ SnapshotVersion (older
+// snapshots resume with degraded fidelity: exploration restarts rather than
+// continuing) and reject newer ones.
+const SnapshotVersion = 2
 
 // Snapshot is the persistent campaign state. COMPI itself operates through
 // files between executions; Snapshot captures the equivalent cross-iteration
-// state — learned inputs and caps, previous variable values, the launch
-// configuration, accumulated coverage, and the error log — so a campaign can
-// stop and resume across engine instances (search-strategy position is not
-// preserved; exploration restarts from the saved inputs).
+// state so a campaign can stop and resume across engine instances — and,
+// since schema v2, so that the resumed campaign is deterministic: resuming a
+// v2 snapshot taken at iteration k and running to n produces the same
+// coverage sets and error keys as an uninterrupted n-iteration run, provided
+// the Config matches and the strategy is persistent (see PersistentStrategy).
 type Snapshot struct {
+	Version int              `json:"version"`
 	Program string           `json:"program"`
 	Inputs  map[string]int64 `json:"inputs"`
 	Caps    map[string]int64 `json:"caps,omitempty"`
@@ -24,18 +39,74 @@ type Snapshot struct {
 	Covered []conc.BranchBit `json:"covered"`
 	Funcs   []string         `json:"funcs"`
 	Errors  []ErrorRecord    `json:"errors,omitempty"`
+
+	// v2 fields.
+
+	// Iters is the number of iterations the campaign has completed; a
+	// resumed engine continues global iteration numbering from here (the
+	// per-iteration solver and launch seeds are iteration-indexed).
+	Iters int `json:"iters,omitempty"`
+
+	// Stats is the full per-iteration history, so a resumed campaign's
+	// Result reports the whole campaign and reattached reports keep their
+	// measurements.
+	Stats []IterationStat `json:"stats,omitempty"`
+
+	Restarts     int   `json:"restarts,omitempty"`
+	RestartAt    []int `json:"restartAt,omitempty"`
+	SolverCalls  int   `json:"solverCalls,omitempty"`
+	UnsatCalls   int   `json:"unsatCalls,omitempty"`
+	RefutedSkips int   `json:"refutedSkips,omitempty"`
+
+	// VarOrder is the engine variable space's names in allocation (ID)
+	// order. Restore re-allocates them in this order so variable IDs — and
+	// therefore solver behavior — match the uninterrupted run exactly.
+	VarOrder []string `json:"varOrder,omitempty"`
+
+	// RNG is the engine's splitmix64 random-source state.
+	RNG uint64 `json:"rng,omitempty"`
+
+	// Refuted holds the canonical keys (hex) of constraint sets the
+	// campaign has proven unsatisfiable — the restart-loop dedup set.
+	Refuted []string `json:"refuted,omitempty"`
+
+	// Strategy is the serialized search-strategy position, present when the
+	// strategy implements PersistentStrategy.
+	Strategy *StrategyState `json:"strategy,omitempty"`
+
+	// Corpus maps "nprocs/focus" setup keys to the input values most
+	// recently executed under that setup.
+	Corpus map[string]map[string]int64 `json:"corpus,omitempty"`
+}
+
+// StrategyState is an opaque strategy position tagged with the strategy
+// name; Restore only loads it into a strategy reporting the same name.
+type StrategyState struct {
+	Name  string `json:"name"`
+	State []byte `json:"state,omitempty"`
 }
 
 // Snapshot captures the engine's current persistent state.
 func (e *Engine) Snapshot() *Snapshot {
 	s := &Snapshot{
-		Program: e.cfg.Program.Name,
-		Inputs:  cloneInputs(e.inputs),
-		Caps:    map[string]int64{},
-		Prev:    map[string]int64{},
-		NProcs:  e.cur.nprocs,
-		Focus:   e.cur.focus,
-		Covered: e.cov.Branches(),
+		Version:      SnapshotVersion,
+		Program:      e.cfg.Program.Name,
+		Inputs:       cloneInputs(e.inputs),
+		Caps:         map[string]int64{},
+		Prev:         map[string]int64{},
+		NProcs:       e.cur.nprocs,
+		Focus:        e.cur.focus,
+		Covered:      e.cov.Branches(),
+		Errors:       append([]ErrorRecord(nil), e.errors...),
+		Iters:        e.iters,
+		Stats:        append([]IterationStat(nil), e.stats...),
+		Restarts:     e.restarts,
+		RestartAt:    append([]int(nil), e.restartAt...),
+		SolverCalls:  e.solverCalls,
+		UnsatCalls:   e.unsatCalls,
+		RefutedSkips: e.refutedSkips,
+		VarOrder:     e.vars.Names(),
+		RNG:          e.rng.state,
 	}
 	for name, ci := range e.caps {
 		if ci.hasCap {
@@ -58,18 +129,109 @@ func (e *Engine) Snapshot() *Snapshot {
 		s.Funcs = append(s.Funcs, f)
 	}
 	sort.Strings(s.Funcs)
+	for k := range e.refuted {
+		s.Refuted = append(s.Refuted, k.String())
+	}
+	sort.Strings(s.Refuted)
+	if ps, ok := e.strategy.(PersistentStrategy); ok {
+		if b, err := ps.MarshalState(); err == nil {
+			s.Strategy = &StrategyState{Name: ps.Name(), State: b}
+		}
+	}
+	if len(e.corpus) > 0 {
+		s.Corpus = map[string]map[string]int64{}
+		for st, inputs := range e.corpus {
+			s.Corpus[fmt.Sprintf("%d/%d", st.nprocs, st.focus)] = cloneInputs(inputs)
+		}
+	}
 	return s
 }
 
-// Restore loads a snapshot into a fresh engine. The snapshot must come from
-// a campaign over the same program.
-func (e *Engine) Restore(s *Snapshot) {
+// Restore loads a snapshot into a fresh engine (before Run). It validates
+// the snapshot against the engine's program — schema version, branch bits
+// against the branch table, function and input names against the
+// declarations — and rejects it with a descriptive error instead of
+// poisoning coverage with garbage. On error the engine is unchanged except
+// possibly a Reset strategy.
+func (e *Engine) Restore(s *Snapshot) error {
+	if e.started.Load() {
+		return fmt.Errorf("core: Restore after Run started")
+	}
+	prog := e.cfg.Program
+	if s.Version > SnapshotVersion {
+		return fmt.Errorf("core: snapshot version %d is newer than supported %d", s.Version, SnapshotVersion)
+	}
+	if s.Program != prog.Name {
+		return fmt.Errorf("core: snapshot is for program %q, engine runs %q", s.Program, prog.Name)
+	}
+	total := prog.TotalBranches()
+	for _, b := range s.Covered {
+		if int(b) >= total {
+			return fmt.Errorf("core: snapshot branch bit %d outside %s's %d-entry branch table", b, prog.Name, total)
+		}
+	}
+	declaredFuncs := map[string]bool{}
+	for _, f := range prog.Functions() {
+		declaredFuncs[f] = true
+	}
+	for _, f := range s.Funcs {
+		if !declaredFuncs[f] {
+			return fmt.Errorf("core: snapshot function %q not declared by %s", f, prog.Name)
+		}
+	}
+	declaredInputs := map[string]bool{}
+	for _, in := range prog.Inputs() {
+		declaredInputs[in.Name] = true
+	}
+	for _, m := range []map[string]int64{s.Inputs, s.Caps} {
+		for name := range m {
+			if !declaredInputs[name] {
+				return fmt.Errorf("core: snapshot input %q not declared by %s", name, prog.Name)
+			}
+		}
+	}
+	if s.Iters < 0 || len(s.Stats) > 0 && len(s.Stats) != s.Iters {
+		return fmt.Errorf("core: snapshot has %d iteration stats for %d iterations", len(s.Stats), s.Iters)
+	}
+	refuted := make(map[expr.Key]struct{}, len(s.Refuted))
+	for _, hexKey := range s.Refuted {
+		k, err := expr.ParseKey(hexKey)
+		if err != nil {
+			return fmt.Errorf("core: snapshot refuted set: %v", err)
+		}
+		refuted[k] = struct{}{}
+	}
+
+	// Strategy position: only loaded into a strategy of the same name; a
+	// different configured strategy simply starts fresh (the v1 behavior).
+	// Loading mutates the strategy, so do it before committing the rest —
+	// a failure leaves the engine unchanged apart from the Reset.
+	if s.Strategy != nil {
+		if ps, ok := e.strategy.(PersistentStrategy); ok && ps.Name() == s.Strategy.Name {
+			if err := ps.UnmarshalState(s.Strategy.State); err != nil {
+				ps.Reset()
+				return fmt.Errorf("core: snapshot strategy state: %w", err)
+			}
+		}
+	}
+
+	// Commit. Re-allocate the variable space in the recorded order first,
+	// so every restored name (and every future allocation) gets the same ID
+	// it had in the original campaign.
+	for _, name := range s.VarOrder {
+		e.vars.Of(name)
+	}
 	e.inputs = cloneInputs(s.Inputs)
 	for name, cap := range s.Caps {
 		e.caps[name] = capInfo{cap: cap, hasCap: true}
 	}
-	for name, x := range s.Prev {
-		e.prev[e.vars.Of(name)] = x
+	prevNames := make([]string, 0, len(s.Prev))
+	for name := range s.Prev {
+		prevNames = append(prevNames, name)
+	}
+	sort.Strings(prevNames) // deterministic allocation of names outside VarOrder
+	for _, name := range prevNames {
+		e.prev[e.vars.Of(name)] = s.Prev[name]
 	}
 	e.cur = setup{nprocs: s.NProcs, focus: s.Focus}
 	if e.cur.nprocs < 1 {
@@ -84,6 +246,26 @@ func (e *Engine) Restore(s *Snapshot) {
 	for _, f := range s.Funcs {
 		e.cov.AddFunc(f)
 	}
+	e.errors = append([]ErrorRecord(nil), s.Errors...)
+	e.iters = s.Iters
+	e.startIter = s.Iters
+	e.stats = append([]IterationStat(nil), s.Stats...)
+	e.restarts = s.Restarts
+	e.restartAt = append([]int(nil), s.RestartAt...)
+	e.solverCalls = s.SolverCalls
+	e.unsatCalls = s.UnsatCalls
+	e.refutedSkips = s.RefutedSkips
+	e.refuted = refuted
+	if s.Version >= 2 {
+		e.rng.state = s.RNG
+	}
+	for key, inputs := range s.Corpus {
+		var np, f int
+		if _, err := fmt.Sscanf(key, "%d/%d", &np, &f); err == nil && strings.Count(key, "/") == 1 {
+			e.corpus[setup{nprocs: np, focus: f}] = cloneInputs(inputs)
+		}
+	}
+	return nil
 }
 
 // Save writes the snapshot as JSON.

@@ -3,8 +3,11 @@ package core
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/conc"
 )
 
 func TestSnapshotRoundTrip(t *testing.T) {
@@ -46,7 +49,9 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		Program: skeletonProg(t), Iterations: 40, Reduction: true,
 		Framework: true, Seed: 6, RunTimeout: 5 * time.Second,
 	})
-	e2.Restore(loaded)
+	if err := e2.Restore(loaded); err != nil {
+		t.Fatal(err)
+	}
 	if e2.Coverage().Count() != res1.Coverage.Count() {
 		t.Fatal("restored coverage mismatch")
 	}
@@ -82,12 +87,63 @@ func TestErrorLogWritesJSONLines(t *testing.T) {
 
 func TestRestoreSanitizesLaunch(t *testing.T) {
 	e := NewEngine(Config{Program: skeletonProg(t), Iterations: 1, Framework: true, Seed: 1})
-	e.Restore(&Snapshot{NProcs: 4, Focus: 9, Inputs: map[string]int64{}, Prev: map[string]int64{}})
+	if err := e.Restore(&Snapshot{Program: "skeleton", NProcs: 4, Focus: 9}); err != nil {
+		t.Fatal(err)
+	}
 	if e.cur.focus != 0 {
 		t.Fatalf("focus not clamped: %d", e.cur.focus)
 	}
-	e.Restore(&Snapshot{NProcs: 0, Focus: 0, Inputs: map[string]int64{}, Prev: map[string]int64{}})
+	if err := e.Restore(&Snapshot{Program: "skeleton", NProcs: 0, Focus: 0}); err != nil {
+		t.Fatal(err)
+	}
 	if e.cur.nprocs < 1 {
 		t.Fatalf("nprocs not defaulted: %d", e.cur.nprocs)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		snap Snapshot
+		want string
+	}{
+		{"wrong program", Snapshot{Program: "stencil"}, "program"},
+		{"newer version", Snapshot{Program: "skeleton", Version: SnapshotVersion + 1}, "newer"},
+		{"bad branch bit", Snapshot{Program: "skeleton", Covered: []conc.BranchBit{99999}}, "branch"},
+		{"undeclared func", Snapshot{Program: "skeleton", Funcs: []string{"no_such_fn"}}, "not declared"},
+		{"undeclared input", Snapshot{Program: "skeleton",
+			Inputs: map[string]int64{"zz": 1}}, "not declared"},
+		{"undeclared cap", Snapshot{Program: "skeleton",
+			Caps: map[string]int64{"zz": 1}}, "not declared"},
+		{"stats/iters mismatch", Snapshot{Program: "skeleton", Iters: 3,
+			Stats: []IterationStat{{Iter: 0}}}, "iteration stats"},
+		{"bad refuted key", Snapshot{Program: "skeleton", Refuted: []string{"nothex"}}, "refuted"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEngine(Config{Program: skeletonProg(t), Iterations: 1, Framework: true, Seed: 1})
+			err := e.Restore(&tc.snap)
+			if err == nil {
+				t.Fatal("snapshot accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			// A rejected snapshot must not poison engine state.
+			if e.Coverage().Count() != 0 || len(e.errors) != 0 || e.iters != 0 {
+				t.Fatal("engine state mutated by rejected snapshot")
+			}
+		})
+	}
+}
+
+func TestRestoreAfterRunRejected(t *testing.T) {
+	e := NewEngine(Config{
+		Program: skeletonProg(t), Iterations: 2, Framework: true, Seed: 1,
+		RunTimeout: 5 * time.Second,
+	})
+	e.Run()
+	if err := e.Restore(&Snapshot{Program: "skeleton"}); err == nil {
+		t.Fatal("Restore accepted after Run")
 	}
 }

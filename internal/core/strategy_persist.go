@@ -1,0 +1,137 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/conc"
+)
+
+// PersistentStrategy is implemented by strategies whose exploration position
+// can be captured in a campaign Snapshot and restored into a fresh engine.
+// MarshalState returns an opaque blob; UnmarshalState must accept exactly
+// what MarshalState produced for the same strategy under the same Config and
+// position the receiver so the next Observe/Propose cycle behaves as if the
+// campaign had never stopped. Strategies without this interface degrade
+// gracefully on resume: exploration restarts from the saved inputs, as the
+// v1 snapshot format always did.
+//
+// COMPI's default search (two-phase DFS) and BoundedDFS are persistent; the
+// random and CFG baselines are not (their value lies in per-run randomness
+// or live coverage, not a resumable position).
+type PersistentStrategy interface {
+	Strategy
+	MarshalState() ([]byte, error)
+	UnmarshalState([]byte) error
+}
+
+// dfsFrameState is one serialized DFS stack frame. The path travels in the
+// conc log wire format, predicate trees included, because a restored frame
+// must still produce the exact constraint sets its proposals imply.
+type dfsFrameState struct {
+	Path  []byte `json:"path"`
+	I     int    `json:"i"`
+	Floor int    `json:"floor"`
+}
+
+type dfsState struct {
+	Bound     int             `json:"bound"`
+	Frames    []dfsFrameState `json:"frames,omitempty"`
+	HasProp   bool            `json:"hasProp,omitempty"`
+	PropFrame int             `json:"propFrame,omitempty"`
+	PropIdx   int             `json:"propIdx,omitempty"`
+	Exhausted bool            `json:"exhausted,omitempty"`
+}
+
+func (s *boundedDFS) MarshalState() ([]byte, error) {
+	st := dfsState{
+		Bound:     s.bound,
+		HasProp:   s.hasProp,
+		PropFrame: s.propFrame,
+		PropIdx:   s.propIdx,
+		Exhausted: s.exhausted,
+	}
+	for _, f := range s.stack {
+		st.Frames = append(st.Frames, dfsFrameState{
+			Path:  conc.EncodePath(f.path),
+			I:     f.i,
+			Floor: f.floor,
+		})
+	}
+	return json.Marshal(st)
+}
+
+func (s *boundedDFS) UnmarshalState(b []byte) error {
+	var st dfsState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return fmt.Errorf("core: bounded-dfs state: %w", err)
+	}
+	if st.Bound <= 0 {
+		return fmt.Errorf("core: bounded-dfs state: bad bound %d", st.Bound)
+	}
+	stack := make([]dfsFrame, 0, len(st.Frames))
+	for i, fs := range st.Frames {
+		path, err := conc.DecodePath(fs.Path)
+		if err != nil {
+			return fmt.Errorf("core: bounded-dfs state: frame %d: %w", i, err)
+		}
+		if fs.I >= len(path) || fs.Floor < 0 {
+			return fmt.Errorf("core: bounded-dfs state: frame %d: index %d/floor %d out of range for path of %d",
+				i, fs.I, fs.Floor, len(path))
+		}
+		stack = append(stack, dfsFrame{path: path, i: fs.I, floor: fs.Floor})
+	}
+	if st.HasProp && (st.PropFrame < 0 || st.PropFrame >= len(stack) ||
+		st.PropIdx < 0 || st.PropIdx >= len(stack[st.PropFrame].path)) {
+		return fmt.Errorf("core: bounded-dfs state: proposal %d.%d out of range", st.PropFrame, st.PropIdx)
+	}
+	s.bound = st.Bound
+	s.stack = stack
+	s.hasProp = st.HasProp
+	s.propFrame = st.PropFrame
+	s.propIdx = st.PropIdx
+	s.exhausted = st.Exhausted
+	return nil
+}
+
+type twoPhaseState struct {
+	Seen   int             `json:"seen"`
+	MaxLen int             `json:"maxLen"`
+	Phase2 bool            `json:"phase2"`
+	Inner  json.RawMessage `json:"inner"`
+}
+
+func (s *twoPhase) MarshalState() ([]byte, error) {
+	inner, err := s.inner.(*boundedDFS).MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(twoPhaseState{
+		Seen:   s.seen,
+		MaxLen: s.maxLen,
+		Phase2: s.phase2,
+		Inner:  inner,
+	})
+}
+
+func (s *twoPhase) UnmarshalState(b []byte) error {
+	var st twoPhaseState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return fmt.Errorf("core: two-phase state: %w", err)
+	}
+	if st.Seen < 0 || st.MaxLen < 0 {
+		return fmt.Errorf("core: two-phase state: negative counters %d/%d", st.Seen, st.MaxLen)
+	}
+	s.seen = st.Seen
+	s.maxLen = st.MaxLen
+	s.phase2 = st.Phase2
+	// Phase-1/override parameters come from the Config that constructed the
+	// strategy; only the observed counters and the inner DFS position are
+	// campaign state. Rebuild the inner strategy at the bound the restored
+	// counters imply, then load its position into it.
+	s.inner = NewBoundedDFS(Unbounded)
+	if s.phase2 {
+		s.inner = NewBoundedDFS(s.Bound())
+	}
+	return s.inner.(*boundedDFS).UnmarshalState(st.Inner)
+}

@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/store"
 	"repro/internal/target"
 	_ "repro/internal/targets/hpl"
 	_ "repro/internal/targets/imb"
@@ -41,6 +43,35 @@ type Scale struct {
 	// that fan out through sched.Run (table3/table4/fig6/fig8); <= 0
 	// selects GOMAXPROCS.
 	Workers int
+
+	// StateDir, when non-empty, attaches a campaign store (see
+	// internal/store) to every driver that fans out through sched.Run: the
+	// campaigns checkpoint as they go, a killed experiment run resumes
+	// from its batch manifests instead of starting over, and fixed-budget
+	// campaigns whose setups an earlier run already explored continue
+	// from their snapshots.
+	StateDir string
+}
+
+// storeCache keeps one open Store per directory, so every driver of an
+// experiment run shares the same setup-index lock.
+var storeCache = map[string]*store.Store{}
+
+// schedOptions is the sched.Options the fan-out drivers run under.
+func (s Scale) schedOptions() sched.Options {
+	opt := sched.Options{Workers: s.Workers}
+	if s.StateDir != "" {
+		st, ok := storeCache[s.StateDir]
+		if !ok {
+			var err error
+			if st, err = store.Open(s.StateDir); err != nil {
+				panic("experiments: " + err.Error())
+			}
+			storeCache[s.StateDir] = st
+		}
+		opt.Store = st
+	}
+	return opt
 }
 
 // Full approximates the paper's budgets at laptop scale.

@@ -59,7 +59,7 @@ func Fig8(s Scale) *Table {
 			}
 		}
 	}
-	rep := sched.Run(specs, sched.Options{Workers: s.Workers})
+	rep := sched.Run(specs, s.schedOptions())
 
 	next := 0
 	for _, st := range studies {

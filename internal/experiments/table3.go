@@ -32,7 +32,7 @@ func TableIII(s Scale) *Table {
 			}),
 		}
 	}
-	rep := sched.Run(specs, sched.Options{Workers: s.Workers})
+	rep := sched.Run(specs, s.schedOptions())
 	for i, tn := range tns {
 		prog := program(tn.name)
 		res := rep.Campaigns[i].Result

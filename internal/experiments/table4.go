@@ -95,7 +95,7 @@ func TableIV(s Scale) *Table {
 			}
 		}
 	}
-	rep := sched.Run(specs, sched.Options{Workers: s.Workers})
+	rep := sched.Run(specs, s.schedOptions())
 
 	next := 0
 	for _, c := range configs {

@@ -1,0 +1,51 @@
+package expr
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestKeyTextRoundTrip(t *testing.T) {
+	k := CanonicalKey([]Pred{
+		{E: Add(VarRef(0), Const(3)), Rel: LE},
+		{E: VarRef(1), Rel: NE},
+	})
+	text, err := k.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(text) != k.String() {
+		t.Fatalf("MarshalText %q differs from String %q", text, k.String())
+	}
+	got, err := ParseKey(string(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != k {
+		t.Fatalf("round trip changed the key: %v -> %v", k, got)
+	}
+}
+
+func TestKeyJSONMapKey(t *testing.T) {
+	k := CanonicalKey([]Pred{{E: VarRef(0), Rel: EQ}})
+	m := map[Key]int{k: 7}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[Key]int
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[k] != 7 {
+		t.Fatalf("JSON map round trip lost the entry: %s -> %v", b, back)
+	}
+}
+
+func TestParseKeyRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "zz", "0123", "not-hex-not-hex-not-hex-not-hex-", "0123456789abcdef0123456789abcdef00"} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) accepted garbage", bad)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/store"
+)
+
+// This file is the scheduler's side of the campaign store: batch manifests,
+// per-campaign checkpointing, and cross-batch setup dedup. The flow per
+// campaign, when Options.Store is set and the spec is persistable:
+//
+//  1. Look the spec's canonical setup key up in the store's setup index.
+//     A stored exploration that already covers the requested iterations is
+//     *reused*: the Result is reconstructed from the snapshot, no engine
+//     runs, and the report marks the campaign as answered from the store.
+//  2. A stored exploration that is shorter than requested is *resumed*: the
+//     engine restores the snapshot and runs the remaining iterations —
+//     identical, by the snapshot determinism contract, to having run the
+//     whole campaign at once.
+//  3. While running, the engine checkpoints its snapshot into the store
+//     every iteration (Options.CheckpointEvery overrides the cadence), so a
+//     killed batch loses at most the in-flight iteration.
+//  4. On completion the final snapshot is saved and the setup index updated.
+//
+// Steps 1 and 2 are what make a partially-completed batch resumable: re-run
+// the same batch and every finished campaign reattaches instantly, every
+// interrupted one continues where its last checkpoint left off.
+
+// setupKeyState is the canonical initial state a campaign's exploration is
+// determined by. Iterations and TimeBudget are deliberately excluded: they
+// say how *long* to explore, not *what* — a 50-iteration run is a prefix of
+// the 100-iteration run of the same state, which is exactly what lets a
+// later batch resume or reuse it. SnapshotVersion is included so snapshots
+// from an incompatible schema never collide with current keys.
+type setupKeyState struct {
+	Target       string           `json:"target"`
+	External     string           `json:"external,omitempty"`
+	Snapshot     int              `json:"snapshot"`
+	Seed         int64            `json:"seed"`
+	InitialProcs int              `json:"initialProcs"`
+	InitialFocus int              `json:"initialFocus"`
+	MaxProcs     int              `json:"maxProcs"`
+	Reduction    bool             `json:"reduction"`
+	DepthBound   int              `json:"depthBound"`
+	DFSPhase     int              `json:"dfsPhase"`
+	OneWay       bool             `json:"oneWay"`
+	Framework    bool             `json:"framework"`
+	PureRandom   bool             `json:"pureRandom"`
+	RunTimeout   time.Duration    `json:"runTimeout"`
+	MaxTicks     int64            `json:"maxTicks"`
+	MaxNodes     int              `json:"maxNodes"`
+	Params       map[string]int64 `json:"params,omitempty"`
+	Inputs       map[string]int64 `json:"inputs,omitempty"`
+}
+
+// setupKey returns the canonical setup key of a spec, or ok=false when the
+// spec is not persistable: a Config carrying live objects the key cannot
+// name (a custom Strategy or strategy factory, a caller-owned Backend)
+// explores a trajectory the store cannot promise to reproduce.
+func setupKey(spec Spec) (string, bool) {
+	cfg := spec.Config
+	if cfg.Strategy != nil || cfg.NewStrategy != nil || cfg.Backend != nil {
+		return "", false
+	}
+	st := setupKeyState{
+		Target:       spec.targetName(),
+		Snapshot:     core.SnapshotVersion,
+		Seed:         spec.seed(),
+		InitialProcs: cfg.InitialProcs,
+		InitialFocus: cfg.InitialFocus,
+		MaxProcs:     cfg.MaxProcs,
+		Reduction:    cfg.Reduction,
+		DepthBound:   cfg.DepthBound,
+		DFSPhase:     cfg.DFSPhase,
+		OneWay:       cfg.OneWay,
+		Framework:    cfg.Framework,
+		PureRandom:   cfg.PureRandom,
+		RunTimeout:   cfg.RunTimeout,
+		MaxTicks:     cfg.MaxTicks,
+		MaxNodes:     cfg.SolverMaxNodes,
+		Params:       cfg.Params,
+		Inputs:       cfg.Inputs,
+	}
+	if spec.External != nil {
+		st.External = filepath.Base(spec.External.Bin) + " " + fmt.Sprint(spec.External.Args)
+	}
+	b, err := json.Marshal(st) // map keys sort, so the encoding is canonical
+	if err != nil {
+		return "", false
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b))[:24], true
+}
+
+// wantedIters is the iteration budget a Config asks for, with the engine's
+// default applied (core.Config.withDefaults uses 100).
+func wantedIters(cfg core.Config) int {
+	if cfg.Iterations == 0 {
+		return 100
+	}
+	return cfg.Iterations
+}
+
+// deriveBatchID names a batch from its specs when the caller didn't.
+func deriveBatchID(specs []Spec, keys []string) string {
+	h := sha256.New()
+	for i, sp := range specs {
+		fmt.Fprintf(h, "%s\x00%s\n", sp.label(), keys[i])
+	}
+	return fmt.Sprintf("batch-%x", h.Sum(nil))[:18]
+}
+
+// batchPersist carries one run's store wiring: the open store, the batch
+// manifest, and the per-spec setup keys. Workers mutate manifest entries
+// concurrently, so all updates go through the mutex.
+type batchPersist struct {
+	st   *store.Store
+	keys []string
+	mu   sync.Mutex
+	man  *store.BatchManifest
+}
+
+// newBatchPersist computes the spec keys and creates (or reloads) the batch
+// manifest.
+func newBatchPersist(st *store.Store, batchID string, specs []Spec) *batchPersist {
+	bp := &batchPersist{st: st, keys: make([]string, len(specs))}
+	for i, sp := range specs {
+		bp.keys[i], _ = setupKey(sp)
+	}
+	if batchID == "" {
+		batchID = deriveBatchID(specs, bp.keys)
+	}
+	man, err := st.LoadBatch(batchID)
+	if err != nil || man == nil || len(man.Entries) != len(specs) {
+		man = &store.BatchManifest{ID: batchID, Entries: make([]store.BatchEntry, len(specs))}
+	}
+	for i, sp := range specs {
+		e := &man.Entries[i]
+		e.Label = sp.label()
+		e.Key = bp.keys[i]
+		if e.Status == "" || e.Status == store.StatusRunning {
+			// Fresh entry, or one left mid-flight by a killed batch — the
+			// campaign snapshot (if any) carries the real progress.
+			e.Status = store.StatusPending
+		}
+	}
+	bp.man = man
+	st.SaveBatch(man)
+	return bp
+}
+
+// campaignName is the campaign file a spec persists under.
+func (bp *batchPersist) campaignName(i int, spec Spec) string {
+	return store.CampaignName(spec.label(), bp.keys[i])
+}
+
+// update applies fn to entry i under the lock and writes the manifest.
+func (bp *batchPersist) update(i int, fn func(*store.BatchEntry)) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fn(&bp.man.Entries[i])
+	bp.st.SaveBatch(bp.man)
+}
+
+// resultFromSnapshot reconstructs a campaign Result from a stored snapshot —
+// how a reused campaign reattaches its report without running. The snapshot
+// carries the full per-iteration history, so reattached results keep their
+// measurements; only the solver-stats window (meaningless without a run) is
+// zero.
+func resultFromSnapshot(snap *core.Snapshot) core.Result {
+	cov := coverage.New()
+	for _, b := range snap.Covered {
+		cov.AddBranch(b)
+	}
+	for _, f := range snap.Funcs {
+		cov.AddFunc(f)
+	}
+	its := append([]core.IterationStat(nil), snap.Stats...)
+	if len(its) == 0 && snap.Iters > 0 {
+		// Pre-Stats snapshot: fabricate bare entries so iteration counts
+		// still line up.
+		its = make([]core.IterationStat, snap.Iters)
+		for i := range its {
+			its[i] = core.IterationStat{Iter: i}
+		}
+	}
+	return core.Result{
+		Coverage:     cov,
+		Iterations:   its,
+		Errors:       append([]core.ErrorRecord(nil), snap.Errors...),
+		Restarts:     snap.Restarts,
+		RestartAt:    append([]int(nil), snap.RestartAt...),
+		SolverCall:   snap.SolverCalls,
+		UnsatCalls:   snap.UnsatCalls,
+		RefutedSkips: snap.RefutedSkips,
+	}
+}

@@ -1,0 +1,220 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/store"
+	"repro/internal/target"
+	"repro/internal/targets/stencil"
+)
+
+func storeSpecs(iters int) []Spec {
+	stSpec := Spec{
+		Target: "stencil",
+		Seed:   11,
+		Config: core.Config{
+			Iterations: iters, Reduction: true, Framework: true,
+			Params: stencil.FixAll(), DFSPhase: 10,
+			RunTimeout: 5 * time.Second,
+		},
+	}
+	sk := skeletonSpec(3)
+	sk.Config.Iterations = iters
+	return []Spec{sk, stSpec}
+}
+
+func openStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestSetupKeyContract(t *testing.T) {
+	a := skeletonSpec(1)
+	b := skeletonSpec(1)
+	b.Config.Iterations = a.Config.Iterations * 3
+	b.Config.TimeBudget = time.Hour
+	ka, ok := setupKey(a)
+	if !ok {
+		t.Fatal("plain spec not persistable")
+	}
+	if kb, _ := setupKey(b); kb != ka {
+		t.Fatal("iteration/time budget changed the setup key")
+	}
+	c := skeletonSpec(2)
+	if kc, _ := setupKey(c); kc == ka {
+		t.Fatal("different seeds share a setup key")
+	}
+	d := skeletonSpec(1)
+	d.Config.NewStrategy = func(*target.Program, *coverage.Tracker) core.Strategy { return core.NewBoundedDFS(4) }
+	if _, ok := setupKey(d); ok {
+		t.Fatal("spec with a live strategy factory reported persistable")
+	}
+}
+
+// TestStoreBatchResumeEqualsFresh is the scheduler half of the resume
+// determinism contract: a batch run to k iterations, then re-run (same
+// store, same derived batch ID) to n, must match a storeless n-iteration
+// batch in every deterministic dimension.
+func TestStoreBatchResumeEqualsFresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	const k, n = 12, 30
+	want := fingerprintOf(Run(storeSpecs(n), Options{Workers: 2}))
+
+	st := openStore(t)
+	rep1 := Run(storeSpecs(k), Options{Workers: 2, Store: st})
+	if rep1.BatchID == "" {
+		t.Fatal("store-backed run reported no batch ID")
+	}
+	for _, c := range rep1.Campaigns {
+		if c.Err != nil || c.Reused {
+			t.Fatalf("first batch campaign %q: err=%v reused=%v", c.Label, c.Err, c.Reused)
+		}
+	}
+
+	rep2 := Run(storeSpecs(n), Options{Workers: 2, Store: st})
+	if rep2.BatchID != rep1.BatchID {
+		t.Fatalf("resumed batch got a new ID: %s vs %s", rep2.BatchID, rep1.BatchID)
+	}
+	for _, c := range rep2.Campaigns {
+		if c.Err != nil {
+			t.Fatalf("resumed campaign %q: %v", c.Label, c.Err)
+		}
+		if len(c.Result.Iterations) != n {
+			t.Fatalf("resumed campaign %q spans %d iterations, want %d",
+				c.Label, len(c.Result.Iterations), n)
+		}
+	}
+	if got := fingerprintOf(rep2); !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed batch differs from the uninterrupted reference")
+	}
+
+	man, err := st.LoadBatch(rep2.BatchID)
+	if err != nil || man == nil {
+		t.Fatalf("manifest: %v %v", man, err)
+	}
+	for _, e := range man.Entries {
+		if e.Status != store.StatusDone || e.Iters != n {
+			t.Fatalf("manifest entry %+v not done at %d", e, n)
+		}
+	}
+}
+
+// TestStoreCrossBatchReuse pins the dedup: re-running an already-complete
+// batch answers every campaign from the store without an engine run.
+func TestStoreCrossBatchReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	const n = 25
+	st := openStore(t)
+	rep1 := Run(storeSpecs(n), Options{Workers: 2, Store: st})
+	want := fingerprintOf(rep1)
+
+	rep2 := Run(storeSpecs(n), Options{Workers: 2, Store: st})
+	for _, c := range rep2.Campaigns {
+		if c.Err != nil || !c.Reused {
+			t.Fatalf("campaign %q not reused: err=%v", c.Label, c.Err)
+		}
+		if len(c.Result.Iterations) != n {
+			t.Fatalf("reused campaign %q lost history: %d iterations", c.Label, len(c.Result.Iterations))
+		}
+	}
+	if got := fingerprintOf(rep2); !reflect.DeepEqual(got, want) {
+		t.Fatal("reused results differ from the originals")
+	}
+	man, _ := st.LoadBatch(rep2.BatchID)
+	for _, e := range man.Entries {
+		if e.Status != store.StatusReused {
+			t.Fatalf("entry %+v not marked reused", e)
+		}
+	}
+	// A shorter re-run is also answered from the store (prefix property).
+	rep3 := Run(storeSpecs(10), Options{Workers: 1, Store: st})
+	for _, c := range rep3.Campaigns {
+		if !c.Reused {
+			t.Fatalf("shorter re-run of %q not reused", c.Label)
+		}
+	}
+}
+
+// TestStoreWarmCacheDoesNotPerturb runs a second, differently-seeded batch
+// against a store warmed by the first: the imported proven-UNSAT entries
+// must be visible (WarmUnsat) without changing the second batch's results
+// relative to a cold, storeless run.
+func TestStoreWarmCacheDoesNotPerturb(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	mkSpecs := func() []Spec {
+		a := skeletonSpec(21)
+		a.Config.Iterations = 30
+		b := skeletonSpec(22)
+		b.Config.Iterations = 30
+		return []Spec{a, b}
+	}
+	cold := fingerprintOf(Run(mkSpecs(), Options{Workers: 2}))
+
+	st := openStore(t)
+	seedSpecs := []Spec{skeletonSpec(7)}
+	seedSpecs[0].Config.Iterations = 40
+	rep0 := Run(seedSpecs, Options{Workers: 1, Store: st})
+	if rep0.Solver.Misses == 0 {
+		t.Fatal("seeding batch never solved")
+	}
+
+	warm := Run(mkSpecs(), Options{Workers: 2, Store: st})
+	if warm.WarmUnsat == 0 {
+		t.Fatal("second batch imported no UNSAT entries")
+	}
+	if got := fingerprintOf(warm); !reflect.DeepEqual(got, cold) {
+		t.Fatal("warm cache changed campaign results")
+	}
+}
+
+// TestStoreSkipsNonPersistableSpecs checks a spec the store cannot key
+// (live strategy factory) still runs normally alongside persisted ones.
+func TestStoreSkipsNonPersistableSpecs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	st := openStore(t)
+	free := skeletonSpec(5)
+	free.Label = "free"
+	free.Config.Iterations = 10
+	free.Config.NewStrategy = func(*target.Program, *coverage.Tracker) core.Strategy { return core.NewBoundedDFS(6) }
+	kept := skeletonSpec(6)
+	kept.Config.Iterations = 10
+	specs := []Spec{free, kept}
+
+	rep := Run(specs, Options{Workers: 2, Store: st})
+	for _, c := range rep.Campaigns {
+		if c.Err != nil {
+			t.Fatal(c.Err)
+		}
+	}
+	man, _ := st.LoadBatch(rep.BatchID)
+	if man.Entries[0].Key != "" || man.Entries[0].Status != store.StatusPending {
+		t.Fatalf("non-persistable entry recorded as %+v", man.Entries[0])
+	}
+	if man.Entries[1].Status != store.StatusDone {
+		t.Fatalf("persistable entry %+v", man.Entries[1])
+	}
+
+	rep2 := Run(specs, Options{Workers: 2, Store: st})
+	if rep2.Campaigns[0].Reused {
+		t.Fatal("non-persistable campaign reused")
+	}
+	if !rep2.Campaigns[1].Reused {
+		t.Fatal("persistable campaign not reused")
+	}
+}

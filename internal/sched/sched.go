@@ -29,6 +29,7 @@ import (
 	"repro/internal/coverage"
 	"repro/internal/proto"
 	"repro/internal/solver"
+	"repro/internal/store"
 	"repro/internal/target"
 )
 
@@ -107,6 +108,11 @@ type Campaign struct {
 	Target string
 	Result core.Result
 	Err    error // spec error (unknown target); the Result is zero
+
+	// Reused is true when the Result was reattached from the campaign
+	// store without running an engine: a prior batch already explored this
+	// spec's canonical setup to at least the requested iterations.
+	Reused bool
 }
 
 // Report is the merged outcome of a scheduler run.
@@ -125,6 +131,14 @@ type Report struct {
 	// Solver is the shared solver service's counter window for this run
 	// (zero when the run was executed with private per-campaign solvers).
 	Solver solver.Stats
+
+	// WarmUnsat is the number of proven-UNSAT cache entries imported from
+	// the campaign store before the batch started (0 without a store).
+	WarmUnsat int
+
+	// BatchID is the store batch manifest this run wrote (empty without a
+	// store).
+	BatchID string
 
 	Elapsed time.Duration
 	Workers int
@@ -160,10 +174,13 @@ func (r *Report) WriteSummary(w io.Writer) {
 			fmt.Fprintf(w, "%-28s %-10s %s\n", c.Label, c.Target, c.Err)
 			continue
 		}
+		elapsed := c.Result.Elapsed.Round(time.Millisecond).String()
+		if c.Reused {
+			elapsed = "(store)"
+		}
 		fmt.Fprintf(w, "%-28s %-10s %6d %8d %7d %9s\n",
 			c.Label, c.Target, len(c.Result.Iterations),
-			c.Result.Coverage.Count(), len(c.Result.Errors),
-			c.Result.Elapsed.Round(time.Millisecond))
+			c.Result.Coverage.Count(), len(c.Result.Errors), elapsed)
 	}
 	for _, name := range r.Targets() {
 		cov := r.Coverage[name]
@@ -190,6 +207,9 @@ func (r *Report) WriteSummary(w io.Writer) {
 	}
 	if r.Solver.Calls > 0 {
 		fmt.Fprintf(w, "\n%s\n", r.Solver.Summary())
+	}
+	if r.BatchID != "" {
+		fmt.Fprintf(w, "\nstore batch %s (%d warm unsat entries)\n", r.BatchID, r.WarmUnsat)
 	}
 	fmt.Fprintf(w, "\n%d campaigns, %d workers, %s\n",
 		len(r.Campaigns), r.Workers, r.Elapsed.Round(time.Millisecond))
@@ -220,6 +240,25 @@ type Options struct {
 	// engine's default private solver.Service. Trajectories are identical
 	// either way; this exists for cache-attribution tests and benchmarks.
 	PrivateSolvers bool
+
+	// Store, when non-nil, makes the batch durable: campaign snapshots are
+	// checkpointed into the store as they run, a batch manifest tracks
+	// progress, the shared solver service starts warm from the store's
+	// persisted UNSAT cache (and writes it back at the end), and specs
+	// whose canonical setup a prior batch already explored are resumed or
+	// reattached instead of re-run (see persist.go). Determinism is
+	// unaffected: resumed and reattached results are identical to freshly
+	// computed ones.
+	Store *store.Store
+
+	// BatchID names this run's batch manifest in the store; empty derives
+	// a stable ID from the spec list, so re-running the same batch resumes
+	// it.
+	BatchID string
+
+	// CheckpointEvery is the per-campaign snapshot cadence in iterations
+	// for store-backed runs (default 1: every iteration).
+	CheckpointEvery int
 }
 
 // Run executes every spec through a worker pool and returns the merged
@@ -257,6 +296,20 @@ func Run(specs []Spec, opt Options) *Report {
 		solver0 = shared.Stats()
 	}
 
+	// Campaign store wiring: warm the shared service from the persisted
+	// UNSAT cache (proven refutations are run-independent, so this cannot
+	// perturb trajectories) and open the batch manifest.
+	var bp *batchPersist
+	if opt.Store != nil {
+		if svc, ok := shared.(*solver.Service); ok {
+			if n, err := opt.Store.LoadSolverCacheInto(svc); err == nil {
+				rep.WarmUnsat = n
+			}
+		}
+		bp = newBatchPersist(opt.Store, opt.BatchID, specs)
+		rep.BatchID = bp.man.ID
+	}
+
 	var traceMu sync.Mutex
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -265,7 +318,7 @@ func Run(specs []Spec, opt Options) *Report {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				runOne(&rep.Campaigns[i], specs[i], shared, opt.Trace, &traceMu)
+				runOne(&rep.Campaigns[i], specs[i], shared, opt.Trace, &traceMu, bp, i, opt.CheckpointEvery)
 			}
 		}()
 	}
@@ -277,6 +330,11 @@ func Run(specs []Spec, opt Options) *Report {
 	rep.Elapsed = time.Since(start)
 	if shared != nil {
 		rep.Solver = shared.Stats().Delta(solver0)
+	}
+	if opt.Store != nil {
+		if svc, ok := shared.(*solver.Service); ok {
+			opt.Store.SaveSolverCache(svc)
+		}
 	}
 
 	// Merge in spec order, so the report is deterministic given the specs.
@@ -304,10 +362,44 @@ func Run(specs []Spec, opt Options) *Report {
 }
 
 // runOne executes a single campaign in the calling worker goroutine.
-func runOne(c *Campaign, spec Spec, shared core.SolverService, trace func(string, core.IterationStat), traceMu *sync.Mutex) {
+func runOne(c *Campaign, spec Spec, shared core.SolverService, trace func(string, core.IterationStat), traceMu *sync.Mutex, bp *batchPersist, idx int, every int) {
 	c.Spec = spec
 	c.Label = spec.label()
 	c.Target = spec.targetName()
+
+	// Store consultation happens before anything is started (in particular
+	// before an external target process is spawned): a reused campaign
+	// costs one snapshot read.
+	var resume *core.Snapshot
+	persisted := bp != nil && bp.keys[idx] != ""
+	if persisted {
+		defer func() {
+			if c.Err != nil {
+				bp.update(idx, func(e *store.BatchEntry) {
+					e.Status = store.StatusError
+					e.Error = c.Err.Error()
+				})
+			}
+		}()
+	}
+	if persisted {
+		wanted := wantedIters(spec.Config)
+		if rec, ok := bp.st.Explored(bp.keys[idx]); ok {
+			if snap, err := bp.st.LoadCampaign(rec.Campaign); err == nil {
+				if spec.Config.TimeBudget == 0 && snap.Iters >= wanted {
+					c.Result = resultFromSnapshot(snap)
+					c.Reused = true
+					bp.update(idx, func(e *store.BatchEntry) {
+						e.Status = store.StatusReused
+						e.Campaign = rec.Campaign
+						e.Iters = snap.Iters
+					})
+					return
+				}
+				resume = snap
+			}
+		}
+	}
 
 	cfg := spec.Config
 	if cfg.Solver == nil {
@@ -356,6 +448,41 @@ func runOne(c *Campaign, spec Spec, shared core.SolverService, trace func(string
 				inner(it)
 			}
 		}
+	}
+	if persisted {
+		name := bp.campaignName(idx, spec)
+		bp.update(idx, func(e *store.BatchEntry) {
+			e.Status = store.StatusRunning
+			e.Campaign = name
+		})
+		innerCkpt := cfg.Checkpoint
+		cfg.CheckpointEvery = every
+		cfg.Checkpoint = func(snap *core.Snapshot) {
+			bp.st.SaveCampaign(name, snap)
+			if innerCkpt != nil {
+				innerCkpt(snap)
+			}
+		}
+		eng := core.NewEngine(cfg)
+		if resume != nil {
+			if err := eng.Restore(resume); err != nil {
+				// A stale or corrupt stored snapshot must never fail the
+				// campaign: discard it and run cold.
+				resume = nil
+				eng = core.NewEngine(cfg)
+			}
+		}
+		c.Result = eng.Run()
+		final := eng.Snapshot()
+		bp.st.SaveCampaign(name, final)
+		bp.st.MarkExplored(bp.keys[idx], store.SetupRecord{
+			Campaign: name, Iters: final.Iters, Batch: bp.man.ID,
+		})
+		bp.update(idx, func(e *store.BatchEntry) {
+			e.Status = store.StatusDone
+			e.Iters = final.Iters
+		})
+		return
 	}
 	c.Result = core.NewEngine(cfg).Run()
 }

@@ -1,0 +1,77 @@
+package solver
+
+import (
+	"bytes"
+	"sort"
+
+	"repro/internal/expr"
+)
+
+// The UNSAT cache is the only part of a Service worth persisting: its
+// entries are *proven* refutations keyed on canonical forms, so they are
+// independent of previous values, seed and search budget — serving one in a
+// later run is indistinguishable from solving live. The SAT memo, by
+// contrast, is keyed on the exact solving input including the seed, so it
+// only ever collides within one campaign and is left to warm up naturally.
+
+// UnsatEntry is one persisted proven refutation: the canonical key of the
+// refuted conjunction and the variable-domain bounds it was refuted under
+// (bounds propagation depends on the domain, so the bounds are part of the
+// identity).
+type UnsatEntry struct {
+	Key expr.Key `json:"key"`
+	Lo  int64    `json:"lo"`
+	Hi  int64    `json:"hi"`
+}
+
+// ExportUnsat returns the UNSAT cache's entries sorted by (Key, Lo, Hi), so
+// repeated exports of the same cache serialize identically.
+func (s *Service) ExportUnsat() []UnsatEntry {
+	s.mu.Lock()
+	keys := s.unsat.keys()
+	s.mu.Unlock()
+	out := make([]UnsatEntry, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, UnsatEntry{Key: k.canon, Lo: k.lo, Hi: k.hi})
+	}
+	SortUnsatEntries(out)
+	return out
+}
+
+// ImportUnsat admits previously exported refutations into the UNSAT cache
+// and returns how many were admitted (entries beyond the cache bound evict
+// older ones, like live inserts). The caller is responsible for only feeding
+// entries produced under the same expr.CanonVersion — the campaign store
+// verifies that on load.
+func (s *Service) ImportUnsat(entries []UnsatEntry) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range entries {
+		s.stats.Evicted += s.unsat.add(unsatKey{canon: e.Key, lo: e.Lo, hi: e.Hi}, struct{}{})
+		n++
+	}
+	return n
+}
+
+// UnsatLen reports the current UNSAT cache size.
+func (s *Service) UnsatLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.unsat.len()
+}
+
+// SortUnsatEntries orders entries by (Key, Lo, Hi) in place — the canonical
+// order ExportUnsat emits and the store's checksum assumes.
+func SortUnsatEntries(entries []UnsatEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Key != b.Key {
+			return bytes.Compare(a.Key[:], b.Key[:]) < 0
+		}
+		if a.Lo != b.Lo {
+			return a.Lo < b.Lo
+		}
+		return a.Hi < b.Hi
+	})
+}

@@ -1,0 +1,68 @@
+package solver
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// unsatConjunction returns the i-th of a family of proven-UNSAT sets:
+// x ≤ i ∧ x ≥ i+1 empties the domain under bounds propagation.
+func unsatConjunction(i int64) []expr.Pred {
+	return []expr.Pred{cmp(v(0), k(i), expr.LE), cmp(v(0), k(i+1), expr.GE)}
+}
+
+func TestExportImportUnsat(t *testing.T) {
+	a := NewService(ServiceConfig{})
+	for i := int64(0); i < 5; i++ {
+		if _, ok := a.SolveIncremental(unsatConjunction(i), nil, Options{Seed: 3}); ok {
+			t.Fatalf("conjunction %d unexpectedly SAT", i)
+		}
+	}
+	entries := a.ExportUnsat()
+	if len(entries) != 5 {
+		t.Fatalf("exported %d entries, want 5", len(entries))
+	}
+	// Deterministic export order.
+	if again := a.ExportUnsat(); !reflect.DeepEqual(entries, again) {
+		t.Fatal("two exports of the same cache differ")
+	}
+
+	// A fresh service warmed with the export answers every conjunction from
+	// the cache, including under renaming (canonical keys traveled).
+	b := NewService(ServiceConfig{})
+	if n := b.ImportUnsat(entries); n != 5 {
+		t.Fatalf("imported %d entries, want 5", n)
+	}
+	if b.UnsatLen() != 5 {
+		t.Fatalf("UnsatLen = %d after import, want 5", b.UnsatLen())
+	}
+	for i := int64(0); i < 5; i++ {
+		renamed := []expr.Pred{cmp(v(9), k(i+1), expr.GE), cmp(v(9), k(i), expr.LE)}
+		if _, ok := b.SolveIncremental(renamed, nil, Options{Seed: 99}); ok {
+			t.Fatalf("warmed service solved refuted conjunction %d", i)
+		}
+	}
+	st := b.Stats()
+	if st.UnsatHits != 5 || st.Misses != 0 {
+		t.Fatalf("warmed service did not answer from the cache: %+v", st)
+	}
+}
+
+func TestImportUnsatRespectsBound(t *testing.T) {
+	a := NewService(ServiceConfig{})
+	for i := int64(0); i < 8; i++ {
+		a.SolveIncremental(unsatConjunction(i), nil, Options{Seed: 1})
+	}
+	entries := a.ExportUnsat()
+
+	b := NewService(ServiceConfig{MaxUnsat: 3})
+	b.ImportUnsat(entries)
+	if got := b.UnsatLen(); got != 3 {
+		t.Fatalf("bounded cache holds %d entries after import, want 3", got)
+	}
+	if b.Stats().Evicted == 0 {
+		t.Fatal("over-capacity import recorded no evictions")
+	}
+}

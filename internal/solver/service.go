@@ -141,9 +141,9 @@ func (s *Service) SolveIncremental(preds []expr.Pred, prev map[expr.Var]int64, o
 		return carryStale(map[expr.Var]int64{}, prev), true
 	}
 	sub := incrementalSubset(preds)
-	vals, ok := s.solveCached(sub, prev, opt)
+	vals, ok, proven := s.solveCached(sub, prev, opt)
 	if !ok {
-		return Result{}, false
+		return Result{Proven: proven}, false
 	}
 	return carryStale(vals, prev), true
 }
@@ -151,16 +151,18 @@ func (s *Service) SolveIncremental(preds []expr.Pred, prev map[expr.Var]int64, o
 // Solve is the cached equivalent of the package-level Solve.
 func (s *Service) Solve(preds []expr.Pred, prev map[expr.Var]int64, opt Options) (Result, bool) {
 	opt = opt.normalized()
-	vals, ok := s.solveCached(preds, prev, opt)
+	vals, ok, proven := s.solveCached(preds, prev, opt)
 	if !ok {
-		return Result{}, false
+		return Result{Proven: proven}, false
 	}
 	return makeResult(vals, prev), true
 }
 
 // solveCached answers one conjunction from the caches or a live solve. The
-// returned map is private to the caller.
-func (s *Service) solveCached(sub []expr.Pred, prev map[expr.Var]int64, opt Options) (map[expr.Var]int64, bool) {
+// returned map is private to the caller. On an unsatisfiable answer the
+// third return reports whether the UNSAT was proven (an UNSAT-cache hit is
+// by construction a proven refutation).
+func (s *Service) solveCached(sub []expr.Pred, prev map[expr.Var]int64, opt Options) (map[expr.Var]int64, bool, bool) {
 	uk := unsatKey{canon: expr.CanonicalKey(sub), lo: opt.Lo, hi: opt.Hi}
 	sk := satFingerprint(sub, prev, opt)
 
@@ -169,13 +171,13 @@ func (s *Service) solveCached(sub []expr.Pred, prev map[expr.Var]int64, opt Opti
 	if _, hit := s.unsat.get(uk); hit {
 		s.stats.UnsatHits++
 		s.mu.Unlock()
-		return nil, false
+		return nil, false, true
 	}
 	if vals, hit := s.sat.get(sk); hit {
 		if satisfiesAll(sub, vals) {
 			s.stats.SATHits++
 			s.mu.Unlock()
-			return cloneVals(vals), true
+			return cloneVals(vals), true, false
 		}
 		// A verification miss means the memo entry is stale or corrupt;
 		// drop it and solve live.
@@ -199,9 +201,9 @@ func (s *Service) solveCached(sub []expr.Pred, prev map[expr.Var]int64, opt Opti
 	}
 	s.mu.Unlock()
 	if !ok {
-		return nil, false
+		return nil, false, proven
 	}
-	return vals, true
+	return vals, true, false
 }
 
 // satisfiesAll re-verifies a cached assignment against the predicate set.
@@ -313,3 +315,12 @@ func (c *lru[K, V]) remove(k K) {
 }
 
 func (c *lru[K, V]) len() int { return len(c.items) }
+
+// keys returns every key currently cached, in no particular order.
+func (c *lru[K, V]) keys() []K {
+	out := make([]K, 0, len(c.items))
+	for k := range c.items {
+		out = append(out, k)
+	}
+	return out
+}

@@ -60,6 +60,14 @@ func (o Options) normalized() Options {
 type Result struct {
 	Values  map[expr.Var]int64
 	Changed map[expr.Var]bool
+
+	// Proven is meaningful only on an unsatisfiable return (ok=false): true
+	// means the conjunction was *refuted* — a constant-false predicate, or
+	// bounds propagation emptying a variable's domain — rather than merely
+	// exhausting the search budget. Refutation is independent of previous
+	// values, seed and budget, which is what makes a proven UNSAT safe to
+	// cache across runs and to dedup inside the engine's restart loop.
+	Proven bool
 }
 
 // Solve finds an assignment satisfying every predicate in preds, preferring
@@ -68,9 +76,9 @@ type Result struct {
 func Solve(preds []expr.Pred, prev map[expr.Var]int64, opt Options) (Result, bool) {
 	opt = opt.normalized()
 	p := newProblem(preds, prev, opt)
-	vals, ok, _ := p.solve()
+	vals, ok, proven := p.solve()
 	if !ok {
-		return Result{}, false
+		return Result{Proven: proven}, false
 	}
 	return makeResult(vals, prev), true
 }
@@ -90,9 +98,9 @@ func SolveIncremental(preds []expr.Pred, prev map[expr.Var]int64, opt Options) (
 	}
 	sub := incrementalSubset(preds)
 	p := newProblem(sub, prev, opt)
-	vals, ok, _ := p.solve()
+	vals, ok, proven := p.solve()
 	if !ok {
-		return Result{}, false
+		return Result{Proven: proven}, false
 	}
 	return carryStale(vals, prev), true
 }

@@ -1,0 +1,213 @@
+// Package store is the campaign store: the versioned, atomically written
+// persistence layer every level of the system shares. COMPI operates through
+// files between executions (§IV); the store is that idea grown up — one
+// directory holding per-campaign snapshots, the solver service's proven-
+// UNSAT cache keyed on canonical constraint forms, batch manifests for
+// resumable scheduler runs, and a setup index that dedups identical shard
+// setups across batches.
+//
+// Layout of a store directory:
+//
+//	store.json        — store schema version + expr.CanonVersion at creation
+//	campaigns/<name>.json — one core.Snapshot per campaign
+//	solver.json       — exported UNSAT cache entries, checksummed
+//	batches/<id>.json — one BatchManifest per scheduler batch
+//	setups.json       — setup key → campaign file (cross-batch dedup index)
+//
+// Every write goes through WriteAtomic, so a killed process can truncate
+// nothing: readers see the previous complete state. The store assumes a
+// single writing process at a time (the usual stop/resume cycle); it is
+// goroutine-safe within that process.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/solver"
+)
+
+// Version is the store directory schema version.
+const Version = 1
+
+// Store is an open campaign store directory.
+type Store struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// storeManifest is the store.json header.
+type storeManifest struct {
+	Version int `json:"version"`
+	Canon   int `json:"canon"`
+}
+
+// Open opens (creating if necessary) a campaign store at dir. It refuses
+// directories written by a newer store schema.
+func Open(dir string) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, "campaigns"), filepath.Join(dir, "batches")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	s := &Store{dir: dir}
+	manifestPath := filepath.Join(dir, "store.json")
+	if b, err := os.ReadFile(manifestPath); err == nil {
+		var m storeManifest
+		if err := json.Unmarshal(b, &m); err != nil {
+			return nil, fmt.Errorf("store: %s: %w", manifestPath, err)
+		}
+		if m.Version > Version {
+			return nil, fmt.Errorf("store: %s has schema version %d, this build supports ≤ %d",
+				dir, m.Version, Version)
+		}
+		return s, nil
+	}
+	err := WriteAtomic(manifestPath, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(storeManifest{Version: Version, Canon: expr.CanonVersion})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// CampaignName derives a filesystem-safe campaign file name from a label
+// plus a disambiguating key suffix (labels alone may collide after
+// sanitization).
+func CampaignName(label, key string) string {
+	var b strings.Builder
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	name := b.String()
+	if len(name) > 80 {
+		name = name[:80]
+	}
+	if key != "" {
+		if len(key) > 12 {
+			key = key[:12]
+		}
+		name += "-" + key
+	}
+	return name
+}
+
+// SaveCampaign atomically writes one campaign snapshot under name.
+func (s *Store) SaveCampaign(name string, snap *core.Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return WriteAtomic(filepath.Join(s.dir, "campaigns", name+".json"), snap.Save)
+}
+
+// LoadCampaign reads a campaign snapshot saved under name.
+func (s *Store) LoadCampaign(name string) (*core.Snapshot, error) {
+	f, err := os.Open(filepath.Join(s.dir, "campaigns", name+".json"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadSnapshot(f)
+}
+
+// Campaigns lists the stored campaign names, sorted.
+func (s *Store) Campaigns() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.dir, "campaigns"))
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if n, ok := strings.CutSuffix(e.Name(), ".json"); ok && !strings.HasPrefix(n, ".") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// solverFile is the persisted UNSAT cache: the entries plus everything
+// needed to verify on load that serving them is still sound — the canonical-
+// form algorithm version they were keyed under and a checksum over the
+// entries. Verification failure discards the whole cache: a cold second run
+// is always correct, a warm run against re-keyed or corrupted entries might
+// not be.
+type solverFile struct {
+	Version int                 `json:"version"`
+	Canon   int                 `json:"canon"`
+	Entries []solver.UnsatEntry `json:"entries"`
+	Sum     string              `json:"sum"`
+}
+
+// entrySum checksums the canonical serialization of the entries.
+func entrySum(entries []solver.UnsatEntry) string {
+	h := sha256.New()
+	for _, e := range entries {
+		fmt.Fprintf(h, "%s,%d,%d\n", e.Key, e.Lo, e.Hi)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// SaveSolverCache exports svc's proven-UNSAT cache into the store.
+func (s *Store) SaveSolverCache(svc *solver.Service) error {
+	entries := svc.ExportUnsat()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return WriteAtomic(filepath.Join(s.dir, "solver.json"), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(solverFile{
+			Version: Version,
+			Canon:   expr.CanonVersion,
+			Entries: entries,
+			Sum:     entrySum(entries),
+		})
+	})
+}
+
+// LoadSolverCacheInto imports the persisted UNSAT cache into svc and returns
+// the number of entries admitted. Verification-on-load: a missing file is
+// (0, nil); a version or expr.CanonVersion mismatch, a checksum mismatch, or
+// malformed entries discard the cache entirely — svc is left untouched and
+// an error describes why. Stale entries can therefore never change results;
+// the worst failure mode is a cold start.
+func (s *Store) LoadSolverCacheInto(svc *solver.Service) (int, error) {
+	b, err := os.ReadFile(filepath.Join(s.dir, "solver.json"))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var sf solverFile
+	if err := json.Unmarshal(b, &sf); err != nil {
+		return 0, fmt.Errorf("store: solver cache: %w", err)
+	}
+	if sf.Version != Version {
+		return 0, fmt.Errorf("store: solver cache has store version %d, want %d", sf.Version, Version)
+	}
+	if sf.Canon != expr.CanonVersion {
+		return 0, fmt.Errorf("store: solver cache keyed under canon version %d, this build uses %d — discarding",
+			sf.Canon, expr.CanonVersion)
+	}
+	if got := entrySum(sf.Entries); got != sf.Sum {
+		return 0, fmt.Errorf("store: solver cache checksum mismatch (%s != %s) — discarding", got, sf.Sum)
+	}
+	return svc.ImportUnsat(sf.Entries), nil
+}

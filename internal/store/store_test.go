@@ -1,0 +1,292 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/solver"
+)
+
+func TestWriteAtomicBasics(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.json")
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "one")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "one" {
+		t.Fatalf("content %q", b)
+	}
+
+	// A failing write callback must leave the previous content and no temp
+	// files behind.
+	err := WriteAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "gar")
+		return fmt.Errorf("boom")
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "one" {
+		t.Fatalf("failed write clobbered destination: %q", b)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %v", ents)
+	}
+}
+
+func TestWriteAtomicConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.txt")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			WriteAtomic(path, func(w io.Writer) error {
+				_, err := fmt.Fprintf(w, "writer-%d", i)
+				return err
+			})
+		}(i)
+	}
+	wg.Wait()
+	// Whatever won, the file is one complete write, never interleaved.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "writer-") || len(b) > len("writer-9") {
+		t.Fatalf("torn content: %q", b)
+	}
+}
+
+func TestOpenCreatesAndValidatesManifest(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dir() != dir {
+		t.Fatalf("dir %q", s.Dir())
+	}
+	var m storeManifest
+	b, err := os.ReadFile(filepath.Join(dir, "store.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if json.Unmarshal(b, &m); m.Version != Version || m.Canon != expr.CanonVersion {
+		t.Fatalf("manifest %+v", m)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+
+	// A store written by a newer schema is refused.
+	os.WriteFile(filepath.Join(dir, "store.json"),
+		[]byte(fmt.Sprintf(`{"version":%d}`, Version+1)), 0o644)
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("newer store accepted: %v", err)
+	}
+}
+
+func TestCampaignRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &core.Snapshot{
+		Version: core.SnapshotVersion, Program: "skeleton",
+		Inputs: map[string]int64{"x": 7}, Prev: map[string]int64{"x": 7},
+		Iters: 3, RNG: 42,
+		Stats: []core.IterationStat{{Iter: 0}, {Iter: 1}, {Iter: 2}},
+	}
+	if err := s.SaveCampaign("camp-a", snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadCampaign("camp-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != "skeleton" || got.Iters != 3 || got.RNG != 42 || len(got.Stats) != 3 {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	names, err := s.Campaigns()
+	if err != nil || len(names) != 1 || names[0] != "camp-a" {
+		t.Fatalf("campaigns %v (%v)", names, err)
+	}
+	if _, err := s.LoadCampaign("missing"); err == nil {
+		t.Fatal("missing campaign load succeeded")
+	}
+}
+
+func TestCampaignNameSanitizes(t *testing.T) {
+	n := CampaignName("sked/np=8 focus:0", "abcdef0123456789")
+	if strings.ContainsAny(n, "/=: ") {
+		t.Fatalf("unsanitized name %q", n)
+	}
+	if !strings.HasSuffix(n, "-abcdef012345") {
+		t.Fatalf("key suffix missing: %q", n)
+	}
+	long := CampaignName(strings.Repeat("x", 200), "k")
+	if len(long) > 85 {
+		t.Fatalf("name not truncated: %d chars", len(long))
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveBatch(&BatchManifest{}); err == nil {
+		t.Fatal("manifest without ID accepted")
+	}
+	m := &BatchManifest{ID: "batch-1", Entries: []BatchEntry{
+		{Label: "a", Key: "k1", Status: StatusDone, Campaign: "a-k1", Iters: 10},
+		{Label: "b", Status: StatusPending},
+	}}
+	if err := s.SaveBatch(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadBatch("batch-1")
+	if err != nil || got == nil {
+		t.Fatalf("load: %v %v", got, err)
+	}
+	if len(got.Entries) != 2 || got.Entries[0].Status != StatusDone {
+		t.Fatalf("entries %+v", got.Entries)
+	}
+	if miss, err := s.LoadBatch("nope"); miss != nil || err != nil {
+		t.Fatalf("missing batch: %v %v", miss, err)
+	}
+	ids, err := s.Batches()
+	if err != nil || len(ids) != 1 || ids[0] != "batch-1" {
+		t.Fatalf("batches %v (%v)", ids, err)
+	}
+}
+
+func TestSetupIndex(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Explored("k1"); ok {
+		t.Fatal("empty index reported a setup")
+	}
+	if err := s.MarkExplored("k1", SetupRecord{Campaign: "c1", Iters: 50, Batch: "b1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkExplored("k1", SetupRecord{Campaign: "c1", Iters: 100, Batch: "b2"}); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := s.Explored("k1")
+	if !ok || rec.Iters != 100 || rec.Batch != "b2" {
+		t.Fatalf("record %+v ok=%v", rec, ok)
+	}
+	all, err := s.Setups()
+	if err != nil || len(all) != 1 {
+		t.Fatalf("setups %v (%v)", all, err)
+	}
+}
+
+// warmService returns a service with n proven-UNSAT conjunctions cached.
+func warmService(t *testing.T, n int64) *solver.Service {
+	t.Helper()
+	svc := solver.NewService(solver.ServiceConfig{})
+	for i := int64(0); i < n; i++ {
+		preds := []expr.Pred{
+			expr.Compare(expr.VarRef(0), expr.Const(i), expr.LE),
+			expr.Compare(expr.VarRef(0), expr.Const(i+1), expr.GE),
+		}
+		if _, ok := svc.SolveIncremental(preds, nil, solver.Options{Seed: 1}); ok {
+			t.Fatalf("conjunction %d unexpectedly SAT", i)
+		}
+	}
+	return svc
+}
+
+func TestSolverCacheRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No cache file yet: cold start, no error.
+	fresh := solver.NewService(solver.ServiceConfig{})
+	if n, err := s.LoadSolverCacheInto(fresh); n != 0 || err != nil {
+		t.Fatalf("missing cache: n=%d err=%v", n, err)
+	}
+
+	if err := s.SaveSolverCache(warmService(t, 6)); err != nil {
+		t.Fatal(err)
+	}
+	warm := solver.NewService(solver.ServiceConfig{})
+	n, err := s.LoadSolverCacheInto(warm)
+	if err != nil || n != 6 {
+		t.Fatalf("load: n=%d err=%v", n, err)
+	}
+	if warm.UnsatLen() != 6 {
+		t.Fatalf("UnsatLen %d", warm.UnsatLen())
+	}
+}
+
+func TestSolverCacheVerificationOnLoad(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveSolverCache(warmService(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Dir(), "solver.json")
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(mutate func(*solverFile)) error {
+		var sf solverFile
+		if err := json.Unmarshal(orig, &sf); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&sf)
+		b, _ := json.Marshal(sf)
+		os.WriteFile(path, b, 0o644)
+		svc := solver.NewService(solver.ServiceConfig{})
+		n, err := s.LoadSolverCacheInto(svc)
+		if n != 0 || svc.UnsatLen() != 0 {
+			t.Fatalf("corrupted cache admitted %d entries (UnsatLen %d)", n, svc.UnsatLen())
+		}
+		return err
+	}
+
+	// Tampered entry: checksum catches it.
+	if err := corrupt(func(sf *solverFile) { sf.Entries[0].Lo++ }); err == nil ||
+		!strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("tampered entries: %v", err)
+	}
+	// Canonical-form algorithm changed: keys may no longer mean the same.
+	if err := corrupt(func(sf *solverFile) { sf.Canon++ }); err == nil ||
+		!strings.Contains(err.Error(), "canon") {
+		t.Fatalf("canon mismatch: %v", err)
+	}
+	// Different store schema version.
+	if err := corrupt(func(sf *solverFile) { sf.Version++ }); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch: %v", err)
+	}
+	// Not JSON at all.
+	os.WriteFile(path, []byte("}{"), 0o644)
+	if n, err := s.LoadSolverCacheInto(solver.NewService(solver.ServiceConfig{})); err == nil || n != 0 {
+		t.Fatalf("garbage cache: n=%d err=%v", n, err)
+	}
+}

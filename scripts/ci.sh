@@ -29,13 +29,32 @@ go test -race ./internal/proto
 echo "== go test -race ./internal/target/... =="
 go test -race ./internal/target/...
 
-echo "== go test -race ./internal/solver ./internal/sched ./internal/coverage =="
-go test -race ./internal/solver ./internal/sched ./internal/coverage
+echo "== go test -race ./internal/solver ./internal/sched ./internal/coverage ./internal/store =="
+go test -race ./internal/solver ./internal/sched ./internal/coverage ./internal/store
 
 echo "== cross-process conformance (piped == in-process) =="
-go test ./internal/proto -run 'TestCrossProcessConformance|TestSchedMixedConformance|TestSchedShardedServiceConformance' -count=1
+go test ./internal/proto -run 'TestCrossProcessConformance|TestSchedMixedConformance|TestSchedShardedServiceConformance|TestSnapshotConformance' -count=1
 
-echo "== solver cache benchmark (cold vs warm) =="
-go test -run '^$' -bench BenchmarkSolverCache -benchtime 5x .
+echo "== kill-and-resume determinism (compi -state / sched store) =="
+# A campaign stopped at iteration k and resumed from its state file must
+# equal the uninterrupted run; the sched half is covered by the store tests.
+STATE_DIR="$(mktemp -d)"
+go build -o "$BIN_DIR/compi" ./cmd/compi
+"$BIN_DIR/compi" -target skeleton -iters 200 -seed 7 > "$STATE_DIR/full.out"
+"$BIN_DIR/compi" -target skeleton -iters 80 -seed 7 -state "$STATE_DIR/state.json" > /dev/null
+"$BIN_DIR/compi" -target skeleton -iters 200 -seed 7 -state "$STATE_DIR/state.json" > "$STATE_DIR/resumed.out"
+if ! diff <(grep -E '^(iterations|covered|solver calls|error kinds)' "$STATE_DIR/full.out") \
+          <(grep -E '^(iterations|covered|solver calls|error kinds)' "$STATE_DIR/resumed.out"); then
+  echo "kill-and-resume run diverged from the uninterrupted run" >&2
+  exit 1
+fi
+"$BIN_DIR/compi" sched -targets skeleton -seeds 3,4 -iters 60 -state-dir "$STATE_DIR/store" > /dev/null
+"$BIN_DIR/compi" store -dir "$STATE_DIR/store" | grep -q 'solver cache' || {
+  echo "compi store could not read back the state dir" >&2; exit 1; }
+go test ./internal/sched -run 'TestStoreBatchResumeEqualsFresh|TestStoreCrossBatchReuse' -count=1
+rm -rf "$STATE_DIR"
+
+echo "== solver cache benchmarks (cold vs warm) =="
+go test -run '^$' -bench 'BenchmarkSolverCache|BenchmarkWarmResume' -benchtime 5x .
 
 echo "CI green."
