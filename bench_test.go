@@ -6,14 +6,19 @@
 package repro
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
 	"reflect"
 	"testing"
 	"time"
 
+	"repro/internal/conc"
 	"repro/internal/core"
+	"repro/internal/coverage"
 	"repro/internal/experiments"
 	"repro/internal/expr"
+	"repro/internal/fleet"
 	"repro/internal/sched"
 	"repro/internal/solver"
 	"repro/internal/store"
@@ -259,6 +264,52 @@ func BenchmarkWarmResume(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(hits)/float64(b.N), "unsathit/run")
+	})
+}
+
+// BenchmarkFleetMergeDelta measures the fleet's streaming-merge encoding on
+// a shard that has already covered a large corpus and finds a handful of new
+// branches per iteration: "delta" encodes the merge frame the worker actually
+// sends (O(new branches)), "full" what a naive design would send (the whole
+// corpus every iteration). Both report bytes/frame; the gap is the point.
+func BenchmarkFleetMergeDelta(b *testing.B) {
+	const corpus, fresh = 20_000, 4
+	tr := coverage.New()
+	tr.StartJournal()
+	for i := 0; i < corpus; i++ {
+		tr.AddBranch(conc.BranchBit(i))
+	}
+	tr.DrainDelta() // corpus already streamed in earlier frames
+
+	b.Run("delta", func(b *testing.B) {
+		b.ReportAllocs()
+		var total int64
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < fresh; j++ {
+				tr.AddBranch(conc.BranchBit(corpus + (i*fresh+j)%corpus))
+			}
+			var frame bytes.Buffer
+			err := fleet.WriteFrame(&frame, fleet.Frame{Type: fleet.FrameMerge, Merge: &fleet.Merge{
+				Lease: "shard0.g1", Iters: i + 1, Delta: tr.DrainDelta(),
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += int64(frame.Len())
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "bytes/frame")
+	})
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		var total int64
+		for i := 0; i < b.N; i++ {
+			raw, err := json.Marshal(tr.Branches())
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += int64(len(raw))
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "bytes/frame")
 	})
 }
 

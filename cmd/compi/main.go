@@ -17,18 +17,25 @@
 //	compi drive -bin ./compi-target -shard 4 -- -target stencil
 //	                                        # sharded out-of-process campaign,
 //	                                        # one target process per shard
+//	compi serve -state-dir ./state -listen 127.0.0.1:7045
+//	                                        # coordinator: lease campaign
+//	                                        # shards to workers
+//	compi work -connect 127.0.0.1:7045 -j 4 # worker: run leased shards
+//	compi store compact -dir ./state        # drop superseded snapshots
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/proto"
 	"repro/internal/sched"
 	"repro/internal/solver"
@@ -56,6 +63,14 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "store" {
 		runStore(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "work" {
+		runWork(os.Args[2:])
 		return
 	}
 	var (
@@ -368,7 +383,9 @@ func runDrive(args []string) {
 		}
 		opt := sched.Options{Workers: *workers}
 		if *stateDir != "" {
-			opt.Store = openStateDir(*stateDir)
+			st := openStateDir(*stateDir)
+			defer st.Close()
+			opt.Store = st
 		}
 		if *verbose {
 			opt.Trace = func(label string, it core.IterationStat) {
@@ -410,8 +427,12 @@ func openStateDir(dir string) *store.Store {
 
 // runStore implements `compi store`: inspect a campaign store directory —
 // schema version, stored campaigns and their progress, batch manifests, the
-// setup index, and the persisted solver cache.
+// setup index, and the persisted solver cache — and `compi store compact`.
 func runStore(args []string) {
+	if len(args) > 0 && args[0] == "compact" {
+		runStoreCompact(args[1:])
+		return
+	}
 	fs := flag.NewFlagSet("compi store", flag.ExitOnError)
 	dir := fs.String("dir", "", "campaign store directory (required)")
 	jsonOut := fs.Bool("json", false, "emit the inventory as JSON")
@@ -432,6 +453,7 @@ func runStore(args []string) {
 		fmt.Fprintf(os.Stderr, "compi store: %v\n", err)
 		os.Exit(1)
 	}
+	defer st.Close()
 
 	type campaignInfo struct {
 		Name    string `json:"name"`
@@ -515,39 +537,88 @@ func runStore(args []string) {
 	}
 }
 
-// runSched implements `compi sched`: a grid of campaigns (every requested
-// target × every seed) run concurrently through the parallel scheduler, with
-// a merged per-target summary at the end.
-func runSched(args []string) {
-	fs := flag.NewFlagSet("compi sched", flag.ExitOnError)
-	var (
-		targets  = fs.String("targets", "", "comma-separated target list (default: all registered)")
-		seeds    = fs.String("seeds", "1", "comma-separated campaign seeds (one campaign per target per seed)")
-		workers  = fs.Int("j", 0, "concurrently running campaigns (0 = GOMAXPROCS)")
-		iters    = fs.Int("iters", 200, "test iterations per campaign")
-		budget   = fs.Duration("budget", 0, "per-campaign wall-clock budget (0 = none)")
-		timeout  = fs.Duration("timeout", 30*time.Second, "per-execution watchdog")
-		procs    = fs.Int("np", 8, "initial number of processes")
-		maxProcs = fs.Int("max-np", 16, "process-count cap")
-		dfsPhase = fs.Int("dfs-phase", 50, "pure-DFS executions before BoundedDFS")
-		bugs     = fs.Bool("bugs", false, "leave the seeded bugs live")
-		shard    = fs.Int("shard", 1, "split every campaign into N shards by initial setup (reported merged)")
-		stateDir = fs.String("state-dir", "", "campaign store directory: checkpoint campaigns, resume interrupted batches, reuse setups explored by prior batches")
-		batchID  = fs.String("batch", "", "batch manifest name in the store (default: derived from the spec list)")
-		verbose  = fs.Bool("v", false, "per-iteration trace")
-	)
+// runStoreCompact implements `compi store compact`: drop campaign snapshots
+// superseded by further-progressed runs of the same setup, redirecting batch
+// manifests to the surviving files. Resume behaviour is unchanged — the
+// setup index, which the resume path reads, always references the file kept.
+func runStoreCompact(args []string) {
+	fs := flag.NewFlagSet("compi store compact", flag.ExitOnError)
+	dir := fs.String("dir", "", "campaign store directory (required)")
 	fs.Parse(args)
+	if *dir == "" && fs.NArg() == 1 {
+		*dir = fs.Arg(0)
+	}
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "compi store compact: -dir is required")
+		os.Exit(2)
+	}
+	if fi, err := os.Stat(*dir); err != nil || !fi.IsDir() {
+		fmt.Fprintf(os.Stderr, "compi store compact: %s is not a store directory\n", *dir)
+		os.Exit(1)
+	}
+	st, err := store.Open(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compi store compact: %v\n", err)
+		os.Exit(1)
+	}
+	defer st.Close()
+	stats, err := st.Compact()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compi store compact: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("compacted %s: removed %d superseded snapshots, kept %d, redirected %d batch entries\n",
+		st.Dir(), len(stats.Removed), stats.Kept, stats.Rewritten)
+	for _, name := range stats.Removed {
+		fmt.Printf("  removed %s\n", name)
+	}
+}
 
+// gridFlags is the campaign-grid flag block shared by `compi sched` and
+// `compi serve`: both commands describe the same grid of campaigns (every
+// requested target × every seed, optionally sharded); they differ only in
+// who runs it — an in-process scheduler or a fleet of worker processes.
+type gridFlags struct {
+	targets  *string
+	seeds    *string
+	iters    *int
+	budget   *time.Duration
+	timeout  *time.Duration
+	procs    *int
+	maxProcs *int
+	dfsPhase *int
+	bugs     *bool
+	shard    *int
+}
+
+func registerGridFlags(fs *flag.FlagSet) *gridFlags {
+	return &gridFlags{
+		targets:  fs.String("targets", "", "comma-separated target list (default: all registered)"),
+		seeds:    fs.String("seeds", "1", "comma-separated campaign seeds (one campaign per target per seed)"),
+		iters:    fs.Int("iters", 200, "test iterations per campaign"),
+		budget:   fs.Duration("budget", 0, "per-campaign wall-clock budget (0 = none)"),
+		timeout:  fs.Duration("timeout", 30*time.Second, "per-execution watchdog"),
+		procs:    fs.Int("np", 8, "initial number of processes"),
+		maxProcs: fs.Int("max-np", 16, "process-count cap"),
+		dfsPhase: fs.Int("dfs-phase", 50, "pure-DFS executions before BoundedDFS"),
+		bugs:     fs.Bool("bugs", false, "leave the seeded bugs live"),
+		shard:    fs.Int("shard", 1, "split every campaign into N shards by initial setup (reported merged)"),
+	}
+}
+
+// specs expands the parsed grid flags into the campaign spec list, exiting
+// with a usage error on unknown targets or malformed seed lists.
+func (g *gridFlags) specs() []sched.Spec {
 	names := target.Names()
-	if *targets != "" {
-		names = strings.Split(*targets, ",")
+	if *g.targets != "" {
+		names = strings.Split(*g.targets, ",")
 	}
 	params := map[string]int64{}
-	if !*bugs {
+	if !*g.bugs {
 		params = core.MergeParams(susy.FixAll(), stencil.FixAll())
 	}
 	var seedVals []int64
-	for _, sv := range strings.Split(*seeds, ",") {
+	for _, sv := range strings.Split(*g.seeds, ",") {
 		n, err := strconv.ParseInt(strings.TrimSpace(sv), 10, 64)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bad -seeds entry %q: %v\n", sv, err)
@@ -570,30 +641,49 @@ func runSched(args []string) {
 				Seed:   sd,
 				Config: core.Config{
 					Params:       params,
-					Iterations:   *iters,
-					TimeBudget:   *budget,
-					InitialProcs: *procs,
-					MaxProcs:     *maxProcs,
+					Iterations:   *g.iters,
+					TimeBudget:   *g.budget,
+					InitialProcs: *g.procs,
+					MaxProcs:     *g.maxProcs,
 					Reduction:    true,
 					Framework:    true,
-					DFSPhase:     *dfsPhase,
-					RunTimeout:   *timeout,
+					DFSPhase:     *g.dfsPhase,
+					RunTimeout:   *g.timeout,
 				},
 			})
 		}
 	}
 
-	if *shard > 1 {
-		sharded := make([]sched.Spec, 0, len(specs)*(*shard))
+	if *g.shard > 1 {
+		sharded := make([]sched.Spec, 0, len(specs)*(*g.shard))
 		for _, sp := range specs {
-			sharded = append(sharded, sched.Shard(sp, *shard)...)
+			sharded = append(sharded, sched.Shard(sp, *g.shard)...)
 		}
 		specs = sharded
 	}
+	return specs
+}
+
+// runSched implements `compi sched`: a grid of campaigns (every requested
+// target × every seed) run concurrently through the parallel scheduler, with
+// a merged per-target summary at the end.
+func runSched(args []string) {
+	fs := flag.NewFlagSet("compi sched", flag.ExitOnError)
+	grid := registerGridFlags(fs)
+	var (
+		workers  = fs.Int("j", 0, "concurrently running campaigns (0 = GOMAXPROCS)")
+		stateDir = fs.String("state-dir", "", "campaign store directory: checkpoint campaigns, resume interrupted batches, reuse setups explored by prior batches")
+		batchID  = fs.String("batch", "", "batch manifest name in the store (default: derived from the spec list)")
+		verbose  = fs.Bool("v", false, "per-iteration trace")
+	)
+	fs.Parse(args)
+	specs := grid.specs()
 
 	opt := sched.Options{Workers: *workers, BatchID: *batchID}
 	if *stateDir != "" {
-		opt.Store = openStateDir(*stateDir)
+		st := openStateDir(*stateDir)
+		defer st.Close()
+		opt.Store = st
 	}
 	if *verbose {
 		opt.Trace = func(label string, it core.IterationStat) {
@@ -603,6 +693,99 @@ func runSched(args []string) {
 		}
 	}
 	sched.Run(specs, opt).WriteSummary(os.Stdout)
+}
+
+// runServe implements `compi serve`: the fleet coordinator. It owns the same
+// campaign grid `compi sched` would run (and, with -state-dir, the same
+// store), but leases shards to `compi work` processes over the dispatch
+// protocol instead of running engines itself, prints the merged summary when
+// the batch resolves, and exits.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("compi serve", flag.ExitOnError)
+	grid := registerGridFlags(fs)
+	var (
+		listen    = fs.String("listen", "127.0.0.1:0", "dispatch address workers connect to")
+		status    = fs.String("status", "", "serve plain-text fleet status on this address (empty = off)")
+		addrFile  = fs.String("addr-file", "", "write the dispatch address to this file once listening (worker discovery)")
+		stateDir  = fs.String("state-dir", "", "campaign store directory: checkpoint shards, resume interrupted batches, reuse setups explored by prior batches")
+		batchID   = fs.String("batch", "", "batch manifest name in the store (default: derived from the spec list)")
+		ttl       = fs.Duration("ttl", 10*time.Second, "lease time-to-live: a lease not renewed within this window is reclaimed and re-leased")
+		snapEvery = fs.Int("snapshot-every", 8, "iterations between streamed progress snapshots (resume granularity after a worker death)")
+		verbose   = fs.Bool("v", false, "log fleet events to stderr")
+	)
+	fs.Parse(args)
+	specs := grid.specs()
+
+	opt := fleet.Options{BatchID: *batchID, TTL: *ttl, SnapshotEvery: *snapEvery}
+	if *stateDir != "" {
+		st := openStateDir(*stateDir)
+		defer st.Close()
+		opt.Store = st
+	}
+	if *verbose {
+		opt.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compi serve: %v\n", err)
+		os.Exit(1)
+	}
+	c := fleet.NewCoordinator(specs, opt)
+	fmt.Fprintf(os.Stderr, "compi serve: dispatching %d shards on %s\n", len(specs), ln.Addr())
+	if *addrFile != "" {
+		// Write-then-rename so a polling worker launcher never reads a
+		// half-written address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err == nil {
+			err = os.Rename(tmp, *addrFile)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compi serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *status != "" {
+		sln, err := net.Listen("tcp", *status)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compi serve: status: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "compi serve: status on %s\n", sln.Addr())
+		go c.ServeStatus(sln)
+	}
+	go c.Serve(ln)
+	c.Wait().WriteSummary(os.Stdout)
+}
+
+// runWork implements `compi work`: a fleet worker that leases shards from a
+// `compi serve` coordinator until the batch drains or the coordinator goes
+// away.
+func runWork(args []string) {
+	fs := flag.NewFlagSet("compi work", flag.ExitOnError)
+	var (
+		connect = fs.String("connect", "", "coordinator dispatch address (required)")
+		jobs    = fs.Int("j", 1, "parallel campaign slots")
+		name    = fs.String("name", "", "worker name in coordinator logs and status (default pid<n>)")
+		window  = fs.Duration("dial-window", 10*time.Second, "how long to retry the initial connection")
+		verbose = fs.Bool("v", false, "log worker events to stderr")
+	)
+	fs.Parse(args)
+	if *connect == "" {
+		fmt.Fprintln(os.Stderr, "compi work: -connect is required")
+		os.Exit(2)
+	}
+	opt := fleet.WorkerOptions{Name: *name, Jobs: *jobs, DialWindow: *window}
+	if *verbose {
+		opt.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if err := fleet.Work(*connect, opt); err != nil {
+		fmt.Fprintf(os.Stderr, "compi work: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 // runTargets implements `compi targets [--json] [-target name]`: the static

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/conc"
+	"repro/internal/coverage"
 	"repro/internal/expr"
 )
 
@@ -266,6 +267,40 @@ func (e *Engine) Restore(s *Snapshot) error {
 		}
 	}
 	return nil
+}
+
+// Result reconstructs the campaign Result a snapshot describes — how a
+// stored or fleet-shipped campaign reattaches its report without running an
+// engine. The snapshot carries the full per-iteration history, so
+// reconstructed results keep their measurements; only the solver-stats
+// window (meaningless without a run) is zero.
+func (s *Snapshot) Result() Result {
+	cov := coverage.New()
+	for _, b := range s.Covered {
+		cov.AddBranch(b)
+	}
+	for _, f := range s.Funcs {
+		cov.AddFunc(f)
+	}
+	its := append([]IterationStat(nil), s.Stats...)
+	if len(its) == 0 && s.Iters > 0 {
+		// Pre-Stats snapshot: fabricate bare entries so iteration counts
+		// still line up.
+		its = make([]IterationStat, s.Iters)
+		for i := range its {
+			its[i] = IterationStat{Iter: i}
+		}
+	}
+	return Result{
+		Coverage:     cov,
+		Iterations:   its,
+		Errors:       append([]ErrorRecord(nil), s.Errors...),
+		Restarts:     s.Restarts,
+		RestartAt:    append([]int(nil), s.RestartAt...),
+		SolverCall:   s.SolverCalls,
+		UnsatCalls:   s.UnsatCalls,
+		RefutedSkips: s.RefutedSkips,
+	}
 }
 
 // Save writes the snapshot as JSON.

@@ -19,6 +19,36 @@ type Tracker struct {
 	mu      sync.RWMutex
 	covered map[conc.BranchBit]struct{}
 	funcs   map[string]struct{}
+
+	// Journal state (delta.go): when journaling, every branch or function
+	// admitted for the first time is also appended here, so DrainDelta can
+	// report "what is new since the last drain" in O(new) without walking
+	// the full corpus.
+	journaling bool
+	jBranches  []conc.BranchBit
+	jFuncs     []string
+}
+
+// noteBranch admits b under the write lock, journaling it if new.
+func (t *Tracker) noteBranch(b conc.BranchBit) {
+	if _, ok := t.covered[b]; ok {
+		return
+	}
+	t.covered[b] = struct{}{}
+	if t.journaling {
+		t.jBranches = append(t.jBranches, b)
+	}
+}
+
+// noteFunc admits f under the write lock, journaling it if new.
+func (t *Tracker) noteFunc(f string) {
+	if _, ok := t.funcs[f]; ok {
+		return
+	}
+	t.funcs[f] = struct{}{}
+	if t.journaling {
+		t.jFuncs = append(t.jFuncs, f)
+	}
 }
 
 // New returns an empty tracker.
@@ -34,24 +64,24 @@ func (t *Tracker) AddLog(l *conc.Log) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, b := range l.Covered {
-		t.covered[b] = struct{}{}
+		t.noteBranch(b)
 	}
 	for _, f := range l.Funcs {
-		t.funcs[f] = struct{}{}
+		t.noteFunc(f)
 	}
 }
 
 // AddBranch marks a single branch covered.
 func (t *Tracker) AddBranch(b conc.BranchBit) {
 	t.mu.Lock()
-	t.covered[b] = struct{}{}
+	t.noteBranch(b)
 	t.mu.Unlock()
 }
 
 // AddFunc marks a function encountered.
 func (t *Tracker) AddFunc(f string) {
 	t.mu.Lock()
-	t.funcs[f] = struct{}{}
+	t.noteFunc(f)
 	t.mu.Unlock()
 }
 
@@ -77,10 +107,10 @@ func (t *Tracker) Merge(src *Tracker) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, b := range bs {
-		t.covered[b] = struct{}{}
+		t.noteBranch(b)
 	}
 	for _, f := range fs {
-		t.funcs[f] = struct{}{}
+		t.noteFunc(f)
 	}
 }
 

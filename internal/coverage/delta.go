@@ -1,0 +1,76 @@
+package coverage
+
+import (
+	"sort"
+
+	"repro/internal/conc"
+)
+
+// Delta is the incremental coverage encoding the fleet's merge frames carry:
+// only the branches and functions admitted since the previous drain, never
+// the whole corpus. A campaign that has already covered 10⁴ branches and
+// finds 3 new ones in an iteration ships a 3-entry delta, so streaming a
+// shard's coverage to a coordinator costs O(new branches) per iteration —
+// the property BenchmarkFleetMergeDelta pins against the full-corpus
+// alternative.
+//
+// Deltas are plain values (JSON-serializable, sorted, deterministic for a
+// given tracker history) and compose: applying a sequence of drained deltas
+// to an empty tracker reproduces the source tracker exactly, and applying a
+// delta twice is a no-op (set union), which is what lets a coordinator
+// replay overlapping streams from a reclaimed and a re-leased worker without
+// double counting.
+type Delta struct {
+	Branches []conc.BranchBit `json:"branches,omitempty"`
+	Funcs    []string         `json:"funcs,omitempty"`
+}
+
+// Empty reports whether the delta carries nothing.
+func (d Delta) Empty() bool { return len(d.Branches) == 0 && len(d.Funcs) == 0 }
+
+// StartJournal begins recording newly admitted branches and functions, so
+// subsequent DrainDelta calls return what changed since the previous drain.
+// Coverage already present when journaling starts is NOT part of any delta:
+// a worker that resumes a shard from a snapshot restores the snapshot's
+// coverage first and journals only what its own iterations add. Idempotent.
+func (t *Tracker) StartJournal() {
+	t.mu.Lock()
+	t.journaling = true
+	t.mu.Unlock()
+}
+
+// DrainDelta returns the branches and functions admitted since the last
+// drain (or since StartJournal) and resets the journal. The slices are
+// sorted, so a drained delta is deterministic in the tracker's history.
+// Draining a tracker that is not journaling returns an empty delta.
+func (t *Tracker) DrainDelta() Delta {
+	t.mu.Lock()
+	var d Delta
+	if len(t.jBranches) > 0 {
+		d.Branches = t.jBranches
+		t.jBranches = nil
+	}
+	if len(t.jFuncs) > 0 {
+		d.Funcs = t.jFuncs
+		t.jFuncs = nil
+	}
+	t.mu.Unlock()
+	sort.Slice(d.Branches, func(i, j int) bool { return d.Branches[i] < d.Branches[j] })
+	sort.Strings(d.Funcs)
+	return d
+}
+
+// ApplyDelta unions a drained delta into the tracker (the coordinator side
+// of a merge frame). Application is idempotent and journal-aware, so
+// trackers can be chained: a coordinator applying worker deltas into a
+// journaled tracker re-emits exactly the genuinely new entries.
+func (t *Tracker) ApplyDelta(d Delta) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, b := range d.Branches {
+		t.noteBranch(b)
+	}
+	for _, f := range d.Funcs {
+		t.noteFunc(f)
+	}
+}

@@ -1,0 +1,113 @@
+package coverage
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/conc"
+)
+
+// TestDeltaDrainApplyEqualsMerge pins the delta contract: replaying every
+// drained delta into an empty tracker reproduces the source tracker.
+func TestDeltaDrainApplyEqualsMerge(t *testing.T) {
+	src := New()
+	src.StartJournal()
+	dst := New()
+
+	feed := [][]conc.BranchBit{
+		{3, 1, 2},
+		{2, 4}, // 2 repeats: must not reappear in the delta
+		{},
+		{9, 4, 8, 1},
+	}
+	for i, bs := range feed {
+		for _, b := range bs {
+			src.AddBranch(b)
+		}
+		if i%2 == 0 {
+			src.AddFunc("f")
+		}
+		d := src.DrainDelta()
+		for _, b := range d.Branches {
+			if dst.Covered(b) {
+				t.Fatalf("round %d: delta re-shipped already-drained branch %d", i, b)
+			}
+		}
+		dst.ApplyDelta(d)
+		dst.ApplyDelta(d) // idempotent
+	}
+	if !reflect.DeepEqual(dst.Branches(), src.Branches()) {
+		t.Fatalf("delta replay diverged: %v vs %v", dst.Branches(), src.Branches())
+	}
+	if !reflect.DeepEqual(dst.Funcs(), src.Funcs()) {
+		t.Fatalf("delta replay lost functions: %v vs %v", dst.Funcs(), src.Funcs())
+	}
+	if d := src.DrainDelta(); !d.Empty() {
+		t.Fatalf("drained tracker produced a non-empty delta: %+v", d)
+	}
+}
+
+// TestDeltaIsONew pins the O(new branches) property: after a large corpus is
+// drained, an iteration adding k new branches drains a k-entry delta, not a
+// corpus-sized one — and re-adding old branches contributes nothing.
+func TestDeltaIsONew(t *testing.T) {
+	tr := New()
+	tr.StartJournal()
+	for b := 0; b < 10_000; b++ {
+		tr.AddBranch(conc.BranchBit(b))
+	}
+	if d := tr.DrainDelta(); len(d.Branches) != 10_000 {
+		t.Fatalf("first drain carried %d branches, want 10000", len(d.Branches))
+	}
+	for b := 0; b < 10_000; b++ { // the whole old corpus again
+		tr.AddBranch(conc.BranchBit(b))
+	}
+	tr.AddBranch(10_001)
+	tr.AddBranch(10_003)
+	tr.AddBranch(10_002)
+	d := tr.DrainDelta()
+	if want := []conc.BranchBit{10_001, 10_002, 10_003}; !reflect.DeepEqual(d.Branches, want) {
+		t.Fatalf("delta = %v, want exactly the new sorted branches %v", d.Branches, want)
+	}
+}
+
+// TestDeltaPreexistingCoverageExcluded: coverage restored before journaling
+// starts never appears in a delta (the resumed-shard contract).
+func TestDeltaPreexistingCoverageExcluded(t *testing.T) {
+	tr := New()
+	tr.AddBranch(1)
+	tr.AddFunc("restored")
+	tr.StartJournal()
+	tr.AddBranch(1) // already covered
+	tr.AddBranch(2)
+	d := tr.DrainDelta()
+	if !reflect.DeepEqual(d.Branches, []conc.BranchBit{2}) || len(d.Funcs) != 0 {
+		t.Fatalf("delta leaked pre-journal coverage: %+v", d)
+	}
+}
+
+// TestDeltaConcurrent exercises journaling under concurrent writers (the
+// engine's tracker is shared with merging schedulers); run with -race.
+func TestDeltaConcurrent(t *testing.T) {
+	tr := New()
+	tr.StartJournal()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.AddBranch(conc.BranchBit(i % 97))
+				if i%10 == 0 {
+					tr.DrainDelta()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	tr.DrainDelta()
+	if got := tr.Count(); got != 97 {
+		t.Fatalf("tracker holds %d branches, want 97", got)
+	}
+}

@@ -1,0 +1,695 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/sched"
+	"repro/internal/store"
+)
+
+// Options configures a coordinator.
+type Options struct {
+	// Store, when non-nil, makes the fleet durable exactly like a
+	// store-backed sched.Run: progress snapshots are checkpointed into it,
+	// already-explored setups are reused or resumed from it, and a batch
+	// manifest tracks the fleet's shards. The coordinator owns the store
+	// (workers never touch it), so the store's single-process lock composes
+	// with any number of workers.
+	Store *store.Store
+
+	// BatchID names the store batch; empty derives a stable ID from the
+	// specs (sched.DeriveBatchID), so restarting a coordinator resumes its
+	// own batch.
+	BatchID string
+
+	// TTL is the lease time-to-live. A lease not renewed and not advanced
+	// by progress for TTL is reclaimed and its shard re-leased. Default 10s.
+	TTL time.Duration
+
+	// Retry is the backoff workers are told to wait before re-requesting
+	// when every remaining shard is leased. Default 200ms.
+	Retry time.Duration
+
+	// SnapshotEvery is the progress-snapshot cadence in iterations.
+	// Default 8. Merge deltas flow every iteration regardless; this only
+	// paces the O(corpus) snapshot frames.
+	SnapshotEvery int
+
+	// Logf, when non-nil, receives coordinator event lines (leases granted,
+	// reclaims, completions).
+	Logf func(format string, args ...any)
+}
+
+// Shard lease states, as shown by the status endpoint.
+const (
+	shardPending = "pending"
+	shardLeased  = "leased"
+	shardDone    = "done"
+	shardFailed  = "failed"
+)
+
+// shardState is the coordinator's view of one spec's campaign.
+type shardState struct {
+	state      string
+	gen        int    // lease generation; bumped on every grant
+	leaseID    string // current lease, "" unless leased
+	worker     int    // session ID holding the lease
+	workerName string
+	deadline   time.Time      // lease expiry; advanced by renew/progress/merge
+	iters      int            // latest reported iteration count
+	errCount   int            // streamed error records (status only)
+	reclaims   int            // times this shard's lease was reclaimed
+	resume     *core.Snapshot // last progress snapshot: the reclaim-resume point
+	camp       sched.Campaign // filled when done or failed
+	campName   string         // store campaign file name (persisted shards)
+}
+
+// Coordinator owns one fleet batch: the specs, their shard lease state, the
+// optional campaign store, and the listeners. Create with NewCoordinator,
+// drive with Serve (and optionally ServeStatus), collect with Wait.
+type Coordinator struct {
+	opt   Options
+	specs []sched.Spec
+	wire  []WireSpec
+	keys  []string // sched.SetupKey per spec; "" = not persistable
+
+	mu         sync.Mutex
+	shards     []shardState
+	sessions   map[int]*session
+	nextSess   int
+	man        *store.BatchManifest
+	cov        map[string]*coverage.Tracker // live status trackers
+	start      time.Time
+	resolved   int
+	done       chan struct{}
+	doneClosed bool
+
+	lnMu     sync.Mutex
+	ln       net.Listener
+	statusLn net.Listener
+}
+
+// session is one connected worker conn.
+type session struct {
+	id   int
+	name string
+	conn net.Conn
+}
+
+// NewCoordinator prepares a fleet over specs. Specs that cannot be
+// dispatched (live strategy objects and the like — see SpecToWire) fail
+// their shard immediately; everything else starts pending.
+func NewCoordinator(specs []sched.Spec, opt Options) *Coordinator {
+	if opt.TTL <= 0 {
+		opt.TTL = 10 * time.Second
+	}
+	if opt.Retry <= 0 {
+		opt.Retry = 200 * time.Millisecond
+	}
+	if opt.SnapshotEvery <= 0 {
+		opt.SnapshotEvery = 8
+	}
+	c := &Coordinator{
+		opt:      opt,
+		specs:    specs,
+		wire:     make([]WireSpec, len(specs)),
+		keys:     make([]string, len(specs)),
+		shards:   make([]shardState, len(specs)),
+		sessions: map[int]*session{},
+		cov:      map[string]*coverage.Tracker{},
+		start:    time.Now(),
+		done:     make(chan struct{}),
+	}
+	for i, sp := range specs {
+		c.shards[i].state = shardPending
+		c.shards[i].camp.Spec = sp
+		c.shards[i].camp.Label = sp.DisplayLabel()
+		c.shards[i].camp.Target = sp.TargetName()
+		w, err := SpecToWire(sp)
+		if err != nil {
+			c.failShardLocked(i, err)
+			continue
+		}
+		c.wire[i] = w
+		c.keys[i], _ = sched.SetupKey(sp)
+	}
+	if opt.Store != nil {
+		c.openBatch()
+	}
+	c.mu.Lock()
+	c.checkDoneLocked()
+	c.mu.Unlock()
+	return c
+}
+
+// openBatch creates (or reloads) the store batch manifest, mirroring
+// sched.Run's batch bookkeeping so a fleet store and a sched store are
+// interchangeable.
+func (c *Coordinator) openBatch() {
+	id := c.opt.BatchID
+	if id == "" {
+		id = sched.DeriveBatchID(c.specs)
+	}
+	man, err := c.opt.Store.LoadBatch(id)
+	if err != nil || man == nil || len(man.Entries) != len(c.specs) {
+		man = &store.BatchManifest{ID: id, Entries: make([]store.BatchEntry, len(c.specs))}
+	}
+	for i, sp := range c.specs {
+		e := &man.Entries[i]
+		e.Label = sp.DisplayLabel()
+		e.Key = c.keys[i]
+		if e.Status == "" || e.Status == store.StatusRunning {
+			e.Status = store.StatusPending
+		}
+	}
+	c.man = man
+	c.opt.Store.SaveBatch(man)
+}
+
+// BatchID returns the store batch ID ("" without a store).
+func (c *Coordinator) BatchID() string {
+	if c.man == nil {
+		return ""
+	}
+	return c.man.ID
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opt.Logf != nil {
+		c.opt.Logf(format, args...)
+	}
+}
+
+// updateEntry mutates shard i's manifest entry and persists the manifest.
+// Callers hold c.mu.
+func (c *Coordinator) updateEntryLocked(i int, fn func(*store.BatchEntry)) {
+	if c.man == nil {
+		return
+	}
+	fn(&c.man.Entries[i])
+	c.opt.Store.SaveBatch(c.man)
+}
+
+// failShardLocked resolves shard i with a deterministic error.
+func (c *Coordinator) failShardLocked(i int, err error) {
+	sh := &c.shards[i]
+	if sh.state == shardDone || sh.state == shardFailed {
+		return
+	}
+	sh.state = shardFailed
+	sh.leaseID = ""
+	sh.camp.Err = err
+	c.updateEntryLocked(i, func(e *store.BatchEntry) {
+		e.Status = store.StatusError
+		e.Error = err.Error()
+	})
+	c.logf("fleet: shard %d (%s) failed: %v", i, sh.camp.Label, err)
+	c.resolved++
+	c.checkDoneLocked()
+}
+
+// completeShardLocked resolves shard i from its final snapshot.
+func (c *Coordinator) completeShardLocked(i int, snap *core.Snapshot) {
+	sh := &c.shards[i]
+	if sh.state == shardDone || sh.state == shardFailed {
+		return
+	}
+	sh.state = shardDone
+	sh.leaseID = ""
+	sh.resume = nil
+	sh.iters = snap.Iters
+	sh.camp.Result = snap.Result()
+	sh.errCount = len(snap.Errors)
+	c.mergeSnapshotCovLocked(sh.camp.Target, snap)
+	if c.opt.Store != nil && c.keys[i] != "" {
+		name := sh.campName
+		if name == "" {
+			name = store.CampaignName(c.specs[i].DisplayLabel(), c.keys[i])
+		}
+		c.opt.Store.SaveCampaign(name, snap)
+		c.opt.Store.MarkExplored(c.keys[i], store.SetupRecord{
+			Campaign: name, Iters: snap.Iters, Batch: c.man.ID,
+		})
+		c.updateEntryLocked(i, func(e *store.BatchEntry) {
+			e.Status = store.StatusDone
+			e.Campaign = name
+			e.Iters = snap.Iters
+		})
+	}
+	c.logf("fleet: shard %d (%s) complete at %d iterations", i, sh.camp.Label, snap.Iters)
+	c.resolved++
+	c.checkDoneLocked()
+}
+
+// reuseShardLocked resolves shard i from the store without leasing it.
+func (c *Coordinator) reuseShardLocked(i int, campName string, snap *core.Snapshot) {
+	sh := &c.shards[i]
+	sh.state = shardDone
+	sh.iters = snap.Iters
+	sh.camp.Result = snap.Result()
+	sh.camp.Reused = true
+	sh.errCount = len(snap.Errors)
+	c.mergeSnapshotCovLocked(sh.camp.Target, snap)
+	c.updateEntryLocked(i, func(e *store.BatchEntry) {
+		e.Status = store.StatusReused
+		e.Campaign = campName
+		e.Iters = snap.Iters
+	})
+	c.logf("fleet: shard %d (%s) reused from store (%d iterations)", i, sh.camp.Label, snap.Iters)
+	c.resolved++
+	c.checkDoneLocked()
+}
+
+func (c *Coordinator) checkDoneLocked() {
+	if c.resolved == len(c.shards) && !c.doneClosed {
+		c.doneClosed = true
+		close(c.done)
+	}
+}
+
+// mergeSnapshotCovLocked folds a snapshot's coverage into the live status
+// tracker for target.
+func (c *Coordinator) mergeSnapshotCovLocked(target string, snap *core.Snapshot) {
+	tr := c.statusTrackerLocked(target)
+	for _, b := range snap.Covered {
+		tr.AddBranch(b)
+	}
+	for _, f := range snap.Funcs {
+		tr.AddFunc(f)
+	}
+}
+
+func (c *Coordinator) statusTrackerLocked(target string) *coverage.Tracker {
+	tr := c.cov[target]
+	if tr == nil {
+		tr = coverage.New()
+		c.cov[target] = tr
+	}
+	return tr
+}
+
+// Serve accepts worker connections on ln until the batch drains (or ln is
+// closed). It blocks; run it in a goroutine and use Wait for the report.
+func (c *Coordinator) Serve(ln net.Listener) error {
+	c.lnMu.Lock()
+	c.ln = ln
+	c.lnMu.Unlock()
+	go func() {
+		// Reaper: reclaim leases whose deadline passed (dead or stalled
+		// workers that still hold a connection open).
+		tick := time.NewTicker(c.opt.TTL / 4)
+		defer tick.Stop()
+		for {
+			select {
+			case <-c.done:
+				return
+			case now := <-tick.C:
+				c.reapExpired(now)
+			}
+		}
+	}()
+	go func() {
+		<-c.done
+		ln.Close() // unblock Accept; worker conns see EOF and exit
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-c.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		go c.handle(conn)
+	}
+}
+
+// reapExpired reclaims every lease whose deadline has passed.
+func (c *Coordinator) reapExpired(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		if sh.state == shardLeased && now.After(sh.deadline) {
+			c.reclaimShardLocked(i, "lease expired")
+		}
+	}
+}
+
+// reclaimShardLocked returns a leased shard to the pending pool. The resume
+// snapshot (last progress) is kept, so the next lease continues from it; the
+// lease ID is retired, so any frames the previous holder still sends are
+// discarded as stale.
+func (c *Coordinator) reclaimShardLocked(i int, why string) {
+	sh := &c.shards[i]
+	if sh.state != shardLeased {
+		return
+	}
+	c.logf("fleet: reclaiming shard %d (%s) from worker %d (%s): %s",
+		i, sh.camp.Label, sh.worker, sh.workerName, why)
+	sh.state = shardPending
+	sh.leaseID = ""
+	sh.worker = 0
+	sh.workerName = ""
+	sh.reclaims++
+	c.updateEntryLocked(i, func(e *store.BatchEntry) { e.Status = store.StatusPending })
+}
+
+// handle runs one worker session: handshake, then the frame loop. Any
+// protocol violation — a garbage frame, a wrong-version hello — drops the
+// connection; the session's leases are reclaimed either way.
+func (c *Coordinator) handle(conn net.Conn) {
+	defer conn.Close()
+	f, err := ReadFrame(conn)
+	if err != nil || f.Type != FrameHello {
+		return
+	}
+	if f.Hello.Proto != Version {
+		return
+	}
+	c.mu.Lock()
+	c.nextSess++
+	s := &session{id: c.nextSess, name: f.Hello.Name, conn: conn}
+	if s.name == "" {
+		s.name = fmt.Sprintf("worker-%d", s.id)
+	}
+	c.sessions[s.id] = s
+	batch := ""
+	if c.man != nil {
+		batch = c.man.ID
+	}
+	c.mu.Unlock()
+	c.logf("fleet: worker %d (%s) connected from %s", s.id, s.name, conn.RemoteAddr())
+
+	defer func() {
+		c.mu.Lock()
+		delete(c.sessions, s.id)
+		for i := range c.shards {
+			if c.shards[i].state == shardLeased && c.shards[i].worker == s.id {
+				c.reclaimShardLocked(i, "connection lost")
+			}
+		}
+		c.mu.Unlock()
+		c.logf("fleet: worker %d (%s) disconnected", s.id, s.name)
+	}()
+
+	err = WriteFrame(conn, Frame{Type: FrameWelcome, Welcome: &Welcome{
+		Proto:         Version,
+		Worker:        s.id,
+		Batch:         batch,
+		TTLMS:         c.opt.TTL.Milliseconds(),
+		RetryMS:       c.opt.Retry.Milliseconds(),
+		SnapshotEvery: c.opt.SnapshotEvery,
+	}})
+	if err != nil {
+		return
+	}
+
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return // EOF, dead peer, or garbage: leases reclaimed by the defer
+		}
+		switch f.Type {
+		case FrameLeaseRequest:
+			if err := WriteFrame(conn, c.grant(s)); err != nil {
+				return
+			}
+		case FrameRenew:
+			c.renew(f.Renew.Lease)
+		case FrameMerge:
+			c.applyMerge(f.Merge)
+		case FrameProgress:
+			c.applyProgress(f.Progress)
+		case FrameComplete:
+			c.applyComplete(f.Complete)
+		case FrameError:
+			c.applyError(f.Error)
+		default:
+			return // coordinator-bound frames only; anything else is protocol abuse
+		}
+	}
+}
+
+// grant answers a lease request: the first pending shard, after answering
+// any store-reusable shards in place.
+func (c *Coordinator) grant(s *session) Frame {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		if sh.state != shardPending {
+			continue
+		}
+		// Store consult, exactly sched.runOne's: a stored exploration that
+		// covers the request resolves the shard as reused without leasing;
+		// a shorter one becomes the lease's resume snapshot.
+		if sh.resume == nil && c.opt.Store != nil && c.keys[i] != "" {
+			if rec, ok := c.opt.Store.Explored(c.keys[i]); ok {
+				if snap, err := c.opt.Store.LoadCampaign(rec.Campaign); err == nil {
+					if c.specs[i].Config.TimeBudget == 0 && snap.Iters >= sched.WantedIters(c.specs[i].Config) {
+						c.reuseShardLocked(i, rec.Campaign, snap)
+						continue
+					}
+					sh.resume = snap
+				}
+			}
+		}
+		sh.gen++
+		sh.state = shardLeased
+		sh.leaseID = fmt.Sprintf("shard%d.g%d", i, sh.gen)
+		sh.worker = s.id
+		sh.workerName = s.name
+		sh.deadline = time.Now().Add(c.opt.TTL)
+		if c.opt.Store != nil && c.keys[i] != "" {
+			sh.campName = store.CampaignName(c.specs[i].DisplayLabel(), c.keys[i])
+			c.updateEntryLocked(i, func(e *store.BatchEntry) {
+				e.Status = store.StatusRunning
+				e.Campaign = sh.campName
+			})
+		}
+		lease := &Lease{
+			Status:  LeaseGranted,
+			ID:      sh.leaseID,
+			Shard:   i,
+			Spec:    &c.wire[i],
+			TTLMS:   c.opt.TTL.Milliseconds(),
+			RetryMS: c.opt.Retry.Milliseconds(),
+		}
+		if sh.resume != nil {
+			lease.Snapshot = sh.resume
+			// The live status tracker sees resumed coverage up front; the
+			// worker's journal will then only re-ship what its own
+			// iterations add.
+			c.mergeSnapshotCovLocked(sh.camp.Target, sh.resume)
+		}
+		c.logf("fleet: leased shard %d (%s) to worker %d (%s) as %s",
+			i, sh.camp.Label, s.id, s.name, sh.leaseID)
+		return Frame{Type: FrameLease, Lease: lease}
+	}
+	if c.resolved == len(c.shards) {
+		return Frame{Type: FrameLease, Lease: &Lease{Status: LeaseDrained}}
+	}
+	return Frame{Type: FrameLease, Lease: &Lease{Status: LeaseWait, RetryMS: c.opt.Retry.Milliseconds()}}
+}
+
+// findLocked resolves a lease ID to its shard index, or -1 for stale or
+// unknown leases.
+func (c *Coordinator) findLocked(leaseID string) int {
+	if leaseID == "" {
+		return -1
+	}
+	for i := range c.shards {
+		if c.shards[i].state == shardLeased && c.shards[i].leaseID == leaseID {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Coordinator) renew(leaseID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i := c.findLocked(leaseID); i >= 0 {
+		c.shards[i].deadline = time.Now().Add(c.opt.TTL)
+	}
+}
+
+// applyMerge folds a streamed iteration delta into the live status
+// trackers. Stale leases are discarded; and because deltas are set unions,
+// replays from a reclaimed-then-re-leased shard cannot double-count.
+func (c *Coordinator) applyMerge(m *Merge) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := c.findLocked(m.Lease)
+	if i < 0 {
+		return
+	}
+	sh := &c.shards[i]
+	sh.deadline = time.Now().Add(c.opt.TTL)
+	sh.iters = m.Iters
+	sh.errCount += len(m.Errors)
+	c.statusTrackerLocked(sh.camp.Target).ApplyDelta(m.Delta)
+}
+
+// applyProgress checkpoints a shard: the snapshot becomes the store
+// checkpoint and the reclaim-resume point.
+func (c *Coordinator) applyProgress(p *Progress) {
+	if p.Snapshot == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := c.findLocked(p.Lease)
+	if i < 0 {
+		return
+	}
+	sh := &c.shards[i]
+	sh.deadline = time.Now().Add(c.opt.TTL)
+	sh.iters = p.Iters
+	sh.resume = p.Snapshot
+	if c.opt.Store != nil && sh.campName != "" {
+		c.opt.Store.SaveCampaign(sh.campName, p.Snapshot)
+	}
+}
+
+func (c *Coordinator) applyComplete(cp *Complete) {
+	if cp.Snapshot == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i := c.findLocked(cp.Lease); i >= 0 {
+		c.completeShardLocked(i, cp.Snapshot)
+	}
+}
+
+func (c *Coordinator) applyError(e *ErrorReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i := c.findLocked(e.Lease); i >= 0 {
+		c.failShardLocked(i, errors.New(e.Msg))
+	}
+}
+
+// Wait blocks until every shard is resolved and returns the merged report,
+// built from the per-shard final snapshots in spec order via
+// sched.BuildReport — the identical merge sched.Run performs, which is what
+// pins fleet == single-process equality.
+func (c *Coordinator) Wait() *sched.Report {
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	campaigns := make([]sched.Campaign, len(c.shards))
+	maxWorkers := c.nextSess
+	for i := range c.shards {
+		campaigns[i] = c.shards[i].camp
+	}
+	rep := sched.BuildReport(campaigns, maxWorkers)
+	rep.Elapsed = time.Since(c.start)
+	if c.man != nil {
+		rep.BatchID = c.man.ID
+	}
+	return rep
+}
+
+// Done exposes the batch-drained signal.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// ServeStatus answers every connection on ln with one plain-text status
+// dump and closes it — `nc host port` is the whole client.
+func (c *Coordinator) ServeStatus(ln net.Listener) error {
+	c.lnMu.Lock()
+	c.statusLn = ln
+	c.lnMu.Unlock()
+	go func() {
+		<-c.done
+		// Give a final status readout a grace window? No: drained fleets
+		// report through Wait; the endpoint dies with the batch.
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-c.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			io.WriteString(conn, c.StatusText())
+		}(conn)
+	}
+}
+
+// StatusText renders the fleet's live state: per-shard lease state, live
+// coverage counters per target, and worker liveness.
+func (c *Coordinator) StatusText() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b []byte
+	app := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	batch := "(none)"
+	if c.man != nil {
+		batch = c.man.ID
+	}
+	app("fleet batch %s: %d/%d shards resolved, up %s\n",
+		batch, c.resolved, len(c.shards), time.Since(c.start).Round(time.Second))
+	app("\nshards:\n")
+	for i := range c.shards {
+		sh := &c.shards[i]
+		line := fmt.Sprintf("  %-3d %-28s %-8s iters=%-5d errors=%-3d", i, sh.camp.Label, sh.state, sh.iters, sh.errCount)
+		switch {
+		case sh.state == shardLeased:
+			line += fmt.Sprintf(" lease=%s worker=%d(%s) deadline=%s",
+				sh.leaseID, sh.worker, sh.workerName, time.Until(sh.deadline).Round(time.Millisecond))
+		case sh.state == shardDone && sh.camp.Reused:
+			line += " (store)"
+		case sh.state == shardFailed:
+			line += fmt.Sprintf(" err=%v", sh.camp.Err)
+		}
+		if sh.reclaims > 0 {
+			line += fmt.Sprintf(" reclaims=%d", sh.reclaims)
+		}
+		app("%s\n", line)
+	}
+	targets := make([]string, 0, len(c.cov))
+	for name := range c.cov {
+		targets = append(targets, name)
+	}
+	sort.Strings(targets)
+	app("\ncoverage:\n")
+	for _, name := range targets {
+		app("  %-12s %d branches, %d functions\n", name, c.cov[name].Count(), len(c.cov[name].Funcs()))
+	}
+	ids := make([]int, 0, len(c.sessions))
+	for id := range c.sessions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	app("\nworkers: %d connected\n", len(ids))
+	for _, id := range ids {
+		s := c.sessions[id]
+		held := 0
+		for i := range c.shards {
+			if c.shards[i].state == shardLeased && c.shards[i].worker == id {
+				held++
+			}
+		}
+		app("  %-3d %-16s %s leases=%d\n", id, s.name, s.conn.RemoteAddr(), held)
+	}
+	return string(b)
+}

@@ -1,0 +1,177 @@
+package fleet_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/conc"
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/fleet"
+	"repro/internal/sched"
+	"repro/internal/target"
+)
+
+// The dispatch handshake's wire bytes are an interface contract between
+// coordinator and worker builds: golden-pinned, like the target protocol's
+// handshake. Changing either golden constant means the protocol changed and
+// Version must be bumped.
+const (
+	helloGolden   = `{"type":"hello","hello":{"proto":1,"name":"w1"}}`
+	welcomeGolden = `{"type":"welcome","welcome":{"proto":1,"worker":3,"batch":"batch-0abc","ttl_ms":10000,"retry_ms":200,"snapshot_every":8}}`
+)
+
+func TestHandshakeGolden(t *testing.T) {
+	pin := func(f fleet.Frame, golden string) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := fleet.WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+		if n := binary.BigEndian.Uint32(raw[:4]); int(n) != len(raw)-4 {
+			t.Fatalf("length prefix %d for %d payload bytes", n, len(raw)-4)
+		}
+		if got := string(raw[4:]); got != golden {
+			t.Fatalf("wire bytes changed:\n got  %s\n want %s", got, golden)
+		}
+		back, err := fleet.ReadFrame(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Type != f.Type {
+			t.Fatalf("round trip changed type: %q", back.Type)
+		}
+	}
+	pin(fleet.Frame{Type: fleet.FrameHello, Hello: &fleet.Hello{Proto: 1, Name: "w1"}}, helloGolden)
+	pin(fleet.Frame{Type: fleet.FrameWelcome, Welcome: &fleet.Welcome{
+		Proto: 1, Worker: 3, Batch: "batch-0abc", TTLMS: 10000, RetryMS: 200, SnapshotEvery: 8,
+	}}, welcomeGolden)
+}
+
+func TestFrameValidation(t *testing.T) {
+	var buf bytes.Buffer
+	// Unknown type and missing payload are refused on write...
+	if err := fleet.WriteFrame(&buf, fleet.Frame{Type: "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown frame type") {
+		t.Fatalf("bogus type: %v", err)
+	}
+	if err := fleet.WriteFrame(&buf, fleet.Frame{Type: fleet.FrameRenew}); err == nil ||
+		!strings.Contains(err.Error(), "without its payload") {
+		t.Fatalf("missing payload: %v", err)
+	}
+	// ...and on read, even when the bytes frame correctly.
+	payload, _ := json.Marshal(map[string]any{"type": "merge"})
+	var raw bytes.Buffer
+	raw.Write(binary.BigEndian.AppendUint32(nil, uint32(len(payload))))
+	raw.Write(payload)
+	if _, err := fleet.ReadFrame(&raw); err == nil || !strings.Contains(err.Error(), "without its payload") {
+		t.Fatalf("payloadless merge read: %v", err)
+	}
+	// Non-frame garbage is rejected by the shared codec's bounds check.
+	if _, err := fleet.ReadFrame(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 'j'})); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestWireSpecRoundTrip(t *testing.T) {
+	sp := sched.Spec{
+		Label:  "shard-3",
+		Target: "skeleton",
+		Seed:   7,
+		Group:  "grid",
+		External: &sched.External{
+			Bin: "/usr/bin/compi-target", Args: []string{"-t", "x"}, Env: []string{"A=1"},
+		},
+		Config: core.Config{
+			Params:       map[string]int64{"cap": 9},
+			Inputs:       map[string]int64{"x": 4},
+			Iterations:   55,
+			TimeBudget:   1500 * time.Millisecond,
+			InitialProcs: 8, InitialFocus: 1, MaxProcs: 16,
+			Reduction: true, DepthBound: 6, DFSPhase: 10,
+			OneWay: true, Framework: true, PureRandom: true,
+			Seed: 3, RunTimeout: 5 * time.Second, MaxTicks: 1 << 20,
+			SolverMaxNodes: 4096,
+		},
+	}
+	w, err := fleet.SpecToWire(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wire form must survive JSON (that is its whole job).
+	b, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w2 fleet.WireSpec
+	if err := json.Unmarshal(b, &w2); err != nil {
+		t.Fatal(err)
+	}
+	got := fleet.SpecFromWire(w2)
+	if !specEqual(got, sp) {
+		t.Fatalf("round trip changed the spec:\n got  %+v\n want %+v", got, sp)
+	}
+
+	// Live objects are refused, naming the field.
+	live := sp
+	live.External = nil
+	live.Config.NewStrategy = func(p *target.Program, c *coverage.Tracker) core.Strategy { return nil }
+	if _, err := fleet.SpecToWire(live); err == nil ||
+		!strings.Contains(err.Error(), "Config.NewStrategy") {
+		t.Fatalf("live strategy factory: %v", err)
+	}
+}
+
+// specEqual compares specs field-by-field (Config contains maps, so no ==).
+func specEqual(a, b sched.Spec) bool {
+	ab, _ := json.Marshal(mustWire(a))
+	bb, _ := json.Marshal(mustWire(b))
+	return a.Label == b.Label && string(ab) == string(bb)
+}
+
+func mustWire(sp sched.Spec) fleet.WireSpec {
+	w, err := fleet.SpecToWire(sp)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// TestMergeFrameIsONewBranches pins the merge-frame size property at the
+// protocol level: after a shard has covered a large corpus, an iteration
+// that finds three new branches produces a merge frame a few hundred bytes
+// long, where shipping the whole corpus would cost kilobytes. (The tracker-
+// level guarantee lives in coverage's delta tests; this asserts the frame
+// encoding keeps it.)
+func TestMergeFrameIsONewBranches(t *testing.T) {
+	tr := coverage.New()
+	tr.StartJournal()
+	for b := 0; b < 10_000; b++ {
+		tr.AddBranch(conc.BranchBit(b))
+	}
+	tr.DrainDelta() // corpus already streamed in earlier frames
+	tr.AddBranch(10_001)
+	tr.AddBranch(10_002)
+	tr.AddBranch(10_003)
+
+	var frame bytes.Buffer
+	err := fleet.WriteFrame(&frame, fleet.Frame{Type: fleet.FrameMerge, Merge: &fleet.Merge{
+		Lease: "shard0.g1", Iters: 4242, Delta: tr.DrainDelta(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := json.Marshal(tr.Branches()) // the O(corpus) alternative
+	if frame.Len() >= len(full)/10 {
+		t.Fatalf("merge frame is %d bytes; full-corpus encoding is %d — delta lost its O(new) property",
+			frame.Len(), len(full))
+	}
+	if frame.Len() > 512 {
+		t.Fatalf("merge frame for 3 new branches is %d bytes", frame.Len())
+	}
+}

@@ -1,0 +1,86 @@
+package fleet_test
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	_ "repro/internal/targets/skeleton"
+	_ "repro/internal/targets/stencil"
+	_ "repro/internal/targets/susy"
+)
+
+// TestMain doubles as the fleet's fault-injection worker zoo: re-executed
+// with COMPI_FLEET_FAULT set, the test binary plays a worker instead of
+// running the tests — a real one (mode "worker", the process the kill tests
+// murder mid-lease), one that takes a lease and goes silent ("stall"), and
+// one that takes a lease and then spews non-protocol bytes ("garbage"). The
+// fleet tests exec os.Args[0] with the mode and the coordinator address in
+// the environment, so every failure path crosses a real process boundary —
+// the same pattern as internal/proto's target zoo.
+func TestMain(m *testing.M) {
+	addr := os.Getenv("COMPI_FLEET_ADDR")
+	switch mode := os.Getenv("COMPI_FLEET_FAULT"); mode {
+	case "":
+		os.Exit(m.Run())
+	case "worker":
+		err := fleet.Work(addr, fleet.WorkerOptions{Name: os.Getenv("COMPI_FLEET_NAME")})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	case "stall":
+		conn := zooHandshake(addr)
+		zooLease(conn) // take the lease...
+		time.Sleep(time.Hour)
+	case "garbage":
+		conn := zooHandshake(addr)
+		zooLease(conn)
+		conn.Write([]byte{0xff, 0xff, 0xff, 0xff, 'j', 'u', 'n', 'k'})
+		time.Sleep(time.Hour) // hold the conn open so only the garbage kills it
+	default:
+		fmt.Fprintf(os.Stderr, "unknown COMPI_FLEET_FAULT mode %q\n", mode)
+		os.Exit(2)
+	}
+}
+
+// zooHandshake opens a worker session for a fault mode.
+func zooHandshake(addr string) net.Conn {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fleet.WriteFrame(conn, fleet.Frame{Type: fleet.FrameHello, Hello: &fleet.Hello{
+		Proto: fleet.Version, Name: os.Getenv("COMPI_FLEET_NAME"),
+	}})
+	if f, err := fleet.ReadFrame(conn); err != nil || f.Type != fleet.FrameWelcome {
+		fmt.Fprintf(os.Stderr, "no welcome: %v\n", err)
+		os.Exit(2)
+	}
+	return conn
+}
+
+// zooLease requests until a lease is granted, then returns holding it.
+func zooLease(conn net.Conn) {
+	for {
+		fleet.WriteFrame(conn, fleet.Frame{Type: fleet.FrameLeaseRequest, LeaseReq: &fleet.LeaseRequest{}})
+		f, err := fleet.ReadFrame(conn)
+		if err != nil || f.Type != fleet.FrameLease {
+			fmt.Fprintf(os.Stderr, "no lease: %v\n", err)
+			os.Exit(2)
+		}
+		switch f.Lease.Status {
+		case fleet.LeaseGranted:
+			return
+		case fleet.LeaseWait:
+			time.Sleep(50 * time.Millisecond)
+		default:
+			os.Exit(2)
+		}
+	}
+}

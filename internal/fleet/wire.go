@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/target"
+)
+
+// WireSpec is a sched.Spec flattened to plain JSON values, the form a lease
+// frame dispatches. Everything core.Config can carry as data travels;
+// everything it can carry as live objects (strategies, backends, solver
+// services, trace/checkpoint callbacks) cannot be named on a wire, so
+// SpecToWire refuses such specs up front — the same boundary sched.SetupKey
+// draws for the store, for the same reason: a config the coordinator cannot
+// fully describe is a trajectory the worker cannot be trusted to reproduce.
+type WireSpec struct {
+	Label    string        `json:"label,omitempty"`
+	Target   string        `json:"target"`
+	Seed     int64         `json:"seed,omitempty"`
+	Group    string        `json:"group,omitempty"`
+	External *WireExternal `json:"external,omitempty"`
+	Config   WireConfig    `json:"config"`
+}
+
+// WireExternal identifies an out-of-process target binary. The path must
+// resolve on the worker's machine.
+type WireExternal struct {
+	Bin  string   `json:"bin"`
+	Args []string `json:"args,omitempty"`
+	Env  []string `json:"env,omitempty"`
+}
+
+// WireConfig carries core.Config's data fields. Durations travel as explicit
+// milliseconds.
+type WireConfig struct {
+	Params         map[string]int64 `json:"params,omitempty"`
+	Inputs         map[string]int64 `json:"inputs,omitempty"`
+	Iterations     int              `json:"iterations,omitempty"`
+	TimeBudgetMS   int64            `json:"time_budget_ms,omitempty"`
+	InitialProcs   int              `json:"initial_procs,omitempty"`
+	InitialFocus   int              `json:"initial_focus,omitempty"`
+	MaxProcs       int              `json:"max_procs,omitempty"`
+	Reduction      bool             `json:"reduction,omitempty"`
+	DepthBound     int              `json:"depth_bound,omitempty"`
+	DFSPhase       int              `json:"dfs_phase,omitempty"`
+	OneWay         bool             `json:"one_way,omitempty"`
+	Framework      bool             `json:"framework,omitempty"`
+	PureRandom     bool             `json:"pure_random,omitempty"`
+	Seed           int64            `json:"seed,omitempty"`
+	RunTimeoutMS   int64            `json:"run_timeout_ms,omitempty"`
+	MaxTicks       int64            `json:"max_ticks,omitempty"`
+	SolverMaxNodes int              `json:"solver_max_nodes,omitempty"`
+}
+
+// SpecToWire converts a scheduler spec to its dispatchable wire form. Specs
+// carrying live objects are refused with an error naming the field; the
+// caller (the coordinator's constructor) surfaces that as a per-shard spec
+// error rather than leasing an unrunnable shard.
+func SpecToWire(sp sched.Spec) (WireSpec, error) {
+	cfg := sp.Config
+	for _, live := range []struct {
+		field   string
+		present bool
+	}{
+		{"Config.Strategy", cfg.Strategy != nil},
+		{"Config.NewStrategy", cfg.NewStrategy != nil},
+		{"Config.Backend", cfg.Backend != nil},
+		{"Config.Solver", cfg.Solver != nil},
+		{"Config.Trace", cfg.Trace != nil},
+		{"Config.Checkpoint", cfg.Checkpoint != nil},
+		{"Config.ErrorLog", cfg.ErrorLog != nil},
+	} {
+		if live.present {
+			return WireSpec{}, fmt.Errorf("fleet: spec %q carries a live %s and cannot be dispatched", sp.DisplayLabel(), live.field)
+		}
+	}
+	targetName := sp.Target
+	if cfg.Program != nil {
+		// A literal program pointer dispatches by name: the worker runs the
+		// same binary, so the registry resolves the identical program.
+		if _, ok := target.Lookup(cfg.Program.Name); !ok {
+			return WireSpec{}, fmt.Errorf("fleet: spec %q uses unregistered program %q and cannot be dispatched",
+				sp.DisplayLabel(), cfg.Program.Name)
+		}
+		targetName = cfg.Program.Name
+	}
+	if targetName == "" && sp.External == nil {
+		return WireSpec{}, fmt.Errorf("fleet: spec %q names no target", sp.DisplayLabel())
+	}
+	w := WireSpec{
+		Label:  sp.Label,
+		Target: targetName,
+		Seed:   sp.Seed,
+		Group:  sp.Group,
+		Config: WireConfig{
+			Params:         cfg.Params,
+			Inputs:         cfg.Inputs,
+			Iterations:     cfg.Iterations,
+			TimeBudgetMS:   cfg.TimeBudget.Milliseconds(),
+			InitialProcs:   cfg.InitialProcs,
+			InitialFocus:   cfg.InitialFocus,
+			MaxProcs:       cfg.MaxProcs,
+			Reduction:      cfg.Reduction,
+			DepthBound:     cfg.DepthBound,
+			DFSPhase:       cfg.DFSPhase,
+			OneWay:         cfg.OneWay,
+			Framework:      cfg.Framework,
+			PureRandom:     cfg.PureRandom,
+			Seed:           cfg.Seed,
+			RunTimeoutMS:   cfg.RunTimeout.Milliseconds(),
+			MaxTicks:       cfg.MaxTicks,
+			SolverMaxNodes: cfg.SolverMaxNodes,
+		},
+	}
+	if sp.External != nil {
+		w.External = &WireExternal{Bin: sp.External.Bin, Args: sp.External.Args, Env: sp.External.Env}
+	}
+	return w, nil
+}
+
+// SpecFromWire reconstructs the scheduler spec a wire spec describes. The
+// round trip SpecToWire → SpecFromWire is the identity on every dispatchable
+// spec (pinned by test), which is what makes the worker's engine runs
+// interchangeable with the coordinator running sched.Run locally.
+func SpecFromWire(w WireSpec) sched.Spec {
+	sp := sched.Spec{
+		Label:  w.Label,
+		Target: w.Target,
+		Seed:   w.Seed,
+		Group:  w.Group,
+		Config: core.Config{
+			Params:         w.Config.Params,
+			Inputs:         w.Config.Inputs,
+			Iterations:     w.Config.Iterations,
+			TimeBudget:     time.Duration(w.Config.TimeBudgetMS) * time.Millisecond,
+			InitialProcs:   w.Config.InitialProcs,
+			InitialFocus:   w.Config.InitialFocus,
+			MaxProcs:       w.Config.MaxProcs,
+			Reduction:      w.Config.Reduction,
+			DepthBound:     w.Config.DepthBound,
+			DFSPhase:       w.Config.DFSPhase,
+			OneWay:         w.Config.OneWay,
+			Framework:      w.Config.Framework,
+			PureRandom:     w.Config.PureRandom,
+			Seed:           w.Config.Seed,
+			RunTimeout:     time.Duration(w.Config.RunTimeoutMS) * time.Millisecond,
+			MaxTicks:       w.Config.MaxTicks,
+			SolverMaxNodes: w.Config.SolverMaxNodes,
+		},
+	}
+	if w.External != nil {
+		sp.External = &sched.External{Bin: w.External.Bin, Args: w.External.Args, Env: w.External.Env}
+	}
+	return sp
+}

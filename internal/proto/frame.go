@@ -166,6 +166,61 @@ func (f *Frame) validate() error {
 	return nil
 }
 
+// EncodeRaw wraps an already-serialized payload in the wire form shared by
+// every COMPI protocol: a 4-byte big-endian payload length, then the payload
+// bytes. It is the codec layer under EncodeFrame, exported so other frame
+// schemas (the fleet's campaign-dispatch protocol) reuse the exact same
+// framing without adopting this package's frame envelope.
+func EncodeRaw(payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("proto: refusing to encode a zero-length frame")
+	}
+	if len(payload) > MaxFrameBytes {
+		return nil, fmt.Errorf("proto: frame of %d bytes exceeds limit %d", len(payload), MaxFrameBytes)
+	}
+	b := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(b, uint32(len(payload)))
+	copy(b[4:], payload)
+	return b, nil
+}
+
+// WriteRaw writes one length-prefixed payload to w.
+func WriteRaw(w io.Writer, payload []byte) error {
+	b, err := EncodeRaw(payload)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadRaw reads one length-prefixed payload from r. It returns io.EOF only
+// on a clean frame boundary (no bytes before the length prefix); a frame cut
+// off mid-way is io.ErrUnexpectedEOF. The length prefix is bounds-checked
+// before the payload buffer is allocated, so corrupt input cannot force huge
+// allocations.
+func ReadRaw(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("proto: truncated length prefix: %w", err)
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("proto: zero-length frame")
+	}
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("proto: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+	}
+	payload := make([]byte, n)
+	if m, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("proto: truncated frame payload (%d of %d bytes): %w", m, n, err)
+	}
+	return payload, nil
+}
+
 // EncodeFrame serializes f to its wire form: 4-byte big-endian payload
 // length, then the JSON payload.
 func EncodeFrame(f Frame) ([]byte, error) {
@@ -176,12 +231,10 @@ func EncodeFrame(f Frame) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("proto: encoding %q frame: %w", f.Type, err)
 	}
-	if len(payload) > MaxFrameBytes {
-		return nil, fmt.Errorf("proto: %q frame is %d bytes, limit %d", f.Type, len(payload), MaxFrameBytes)
+	b, err := EncodeRaw(payload)
+	if err != nil {
+		return nil, fmt.Errorf("proto: %q frame: %w", f.Type, err)
 	}
-	b := make([]byte, 4+len(payload))
-	binary.BigEndian.PutUint32(b, uint32(len(payload)))
-	copy(b[4:], payload)
 	return b, nil
 }
 
@@ -195,29 +248,12 @@ func WriteFrame(w io.Writer, f Frame) error {
 	return err
 }
 
-// ReadFrame reads one frame from r. It returns io.EOF only on a clean
-// boundary (no bytes before the length prefix); a frame cut off mid-way is
-// io.ErrUnexpectedEOF. The length prefix is bounds-checked before the
-// payload buffer is allocated, so corrupt input cannot force huge
-// allocations, and the payload must be exactly one valid frame envelope.
+// ReadFrame reads one frame from r: one ReadRaw payload that must decode to
+// exactly one valid frame envelope.
 func ReadFrame(r io.Reader) (Frame, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			return Frame{}, fmt.Errorf("proto: truncated length prefix: %w", err)
-		}
+	payload, err := ReadRaw(r)
+	if err != nil {
 		return Frame{}, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n == 0 {
-		return Frame{}, fmt.Errorf("proto: zero-length frame")
-	}
-	if n > MaxFrameBytes {
-		return Frame{}, fmt.Errorf("proto: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
-	}
-	payload := make([]byte, n)
-	if m, err := io.ReadFull(r, payload); err != nil {
-		return Frame{}, fmt.Errorf("proto: truncated frame payload (%d of %d bytes): %w", m, n, err)
 	}
 	var f Frame
 	if err := json.Unmarshal(payload, &f); err != nil {

@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/coverage"
 	"repro/internal/store"
 )
 
@@ -61,11 +60,13 @@ type setupKeyState struct {
 	Inputs       map[string]int64 `json:"inputs,omitempty"`
 }
 
-// setupKey returns the canonical setup key of a spec, or ok=false when the
+// SetupKey returns the canonical setup key of a spec, or ok=false when the
 // spec is not persistable: a Config carrying live objects the key cannot
 // name (a custom Strategy or strategy factory, a caller-owned Backend)
-// explores a trajectory the store cannot promise to reproduce.
-func setupKey(spec Spec) (string, bool) {
+// explores a trajectory the store cannot promise to reproduce. The fleet
+// coordinator keys its shard store entries with the same function, so a
+// fleet store and a sched store dedup against each other.
+func SetupKey(spec Spec) (string, bool) {
 	cfg := spec.Config
 	if cfg.Strategy != nil || cfg.NewStrategy != nil || cfg.Backend != nil {
 		return "", false
@@ -99,16 +100,27 @@ func setupKey(spec Spec) (string, bool) {
 	return fmt.Sprintf("%x", sha256.Sum256(b))[:24], true
 }
 
-// wantedIters is the iteration budget a Config asks for, with the engine's
+// WantedIters is the iteration budget a Config asks for, with the engine's
 // default applied (core.Config.withDefaults uses 100).
-func wantedIters(cfg core.Config) int {
+func WantedIters(cfg core.Config) int {
 	if cfg.Iterations == 0 {
 		return 100
 	}
 	return cfg.Iterations
 }
 
-// deriveBatchID names a batch from its specs when the caller didn't.
+// DeriveBatchID names a batch from its specs when the caller didn't: a
+// stable hash of the labels and setup keys, so re-running the same spec
+// list resumes the same store batch.
+func DeriveBatchID(specs []Spec) string {
+	keys := make([]string, len(specs))
+	for i, sp := range specs {
+		keys[i], _ = SetupKey(sp)
+	}
+	return deriveBatchID(specs, keys)
+}
+
+// deriveBatchID is DeriveBatchID over precomputed keys.
 func deriveBatchID(specs []Spec, keys []string) string {
 	h := sha256.New()
 	for i, sp := range specs {
@@ -132,7 +144,7 @@ type batchPersist struct {
 func newBatchPersist(st *store.Store, batchID string, specs []Spec) *batchPersist {
 	bp := &batchPersist{st: st, keys: make([]string, len(specs))}
 	for i, sp := range specs {
-		bp.keys[i], _ = setupKey(sp)
+		bp.keys[i], _ = SetupKey(sp)
 	}
 	if batchID == "" {
 		batchID = deriveBatchID(specs, bp.keys)
@@ -167,38 +179,4 @@ func (bp *batchPersist) update(i int, fn func(*store.BatchEntry)) {
 	defer bp.mu.Unlock()
 	fn(&bp.man.Entries[i])
 	bp.st.SaveBatch(bp.man)
-}
-
-// resultFromSnapshot reconstructs a campaign Result from a stored snapshot —
-// how a reused campaign reattaches its report without running. The snapshot
-// carries the full per-iteration history, so reattached results keep their
-// measurements; only the solver-stats window (meaningless without a run) is
-// zero.
-func resultFromSnapshot(snap *core.Snapshot) core.Result {
-	cov := coverage.New()
-	for _, b := range snap.Covered {
-		cov.AddBranch(b)
-	}
-	for _, f := range snap.Funcs {
-		cov.AddFunc(f)
-	}
-	its := append([]core.IterationStat(nil), snap.Stats...)
-	if len(its) == 0 && snap.Iters > 0 {
-		// Pre-Stats snapshot: fabricate bare entries so iteration counts
-		// still line up.
-		its = make([]core.IterationStat, snap.Iters)
-		for i := range its {
-			its[i] = core.IterationStat{Iter: i}
-		}
-	}
-	return core.Result{
-		Coverage:     cov,
-		Iterations:   its,
-		Errors:       append([]core.ErrorRecord(nil), snap.Errors...),
-		Restarts:     snap.Restarts,
-		RestartAt:    append([]int(nil), snap.RestartAt...),
-		SolverCall:   snap.SolverCalls,
-		UnsatCalls:   snap.UnsatCalls,
-		RefutedSkips: snap.RefutedSkips,
-	}
 }

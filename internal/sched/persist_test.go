@@ -2,6 +2,7 @@ package sched
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -41,20 +42,20 @@ func TestSetupKeyContract(t *testing.T) {
 	b := skeletonSpec(1)
 	b.Config.Iterations = a.Config.Iterations * 3
 	b.Config.TimeBudget = time.Hour
-	ka, ok := setupKey(a)
+	ka, ok := SetupKey(a)
 	if !ok {
 		t.Fatal("plain spec not persistable")
 	}
-	if kb, _ := setupKey(b); kb != ka {
+	if kb, _ := SetupKey(b); kb != ka {
 		t.Fatal("iteration/time budget changed the setup key")
 	}
 	c := skeletonSpec(2)
-	if kc, _ := setupKey(c); kc == ka {
+	if kc, _ := SetupKey(c); kc == ka {
 		t.Fatal("different seeds share a setup key")
 	}
 	d := skeletonSpec(1)
 	d.Config.NewStrategy = func(*target.Program, *coverage.Tracker) core.Strategy { return core.NewBoundedDFS(4) }
-	if _, ok := setupKey(d); ok {
+	if _, ok := SetupKey(d); ok {
 		t.Fatal("spec with a live strategy factory reported persistable")
 	}
 }
@@ -216,5 +217,73 @@ func TestStoreSkipsNonPersistableSpecs(t *testing.T) {
 	}
 	if !rep2.Campaigns[1].Reused {
 		t.Fatal("persistable campaign not reused")
+	}
+}
+
+// TestStoreCompactPreservesResume pins the compaction safety contract:
+// compacting a store between batches changes nothing about how the next
+// batch resumes. Two stores run the same short-batch → longer-batch sequence
+// under changing labels (which is what strands superseded snapshot files);
+// one compacts between every step, the other never does, and both must end
+// at the uninterrupted reference fingerprint.
+func TestStoreCompactPreservesResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	const k, n = 12, 30
+	want := fingerprintOf(Run(storeSpecs(n), Options{Workers: 2}))
+
+	relabel := func(iters int, tag string) []Spec {
+		specs := storeSpecs(iters)
+		for i := range specs {
+			specs[i].Label = tag + "/" + specs[i].label()
+		}
+		return specs
+	}
+	runSeq := func(st *store.Store, compact bool) *Report {
+		step := func() {
+			if compact {
+				if _, err := st.Compact(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		Run(relabel(k, "v1"), Options{Workers: 2, Store: st})
+		step()
+		Run(relabel(n, "v2"), Options{Workers: 2, Store: st})
+		step()
+		return Run(relabel(n, "v3"), Options{Workers: 2, Store: st})
+	}
+
+	plain := runSeq(openStore(t), false)
+	stC := openStore(t)
+	compacted := runSeq(stC, true)
+	for _, c := range compacted.Campaigns {
+		if c.Err != nil || !c.Reused {
+			t.Fatalf("final compacted batch campaign %q: err=%v reused=%v", c.Label, c.Err, c.Reused)
+		}
+	}
+	got := fingerprintOf(compacted)
+	if !reflect.DeepEqual(got, fingerprintOf(plain)) {
+		t.Fatal("resume after compact diverged from resume without compact")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("compacted-store sequence diverged from the uninterrupted reference")
+	}
+
+	// The v2 resume moved the index off v1's files, so the final compact
+	// actually dropped them — the test would vacuously pass otherwise.
+	stats, err := stC.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Removed) != 0 {
+		t.Fatalf("final compact left work behind: %+v", stats)
+	}
+	names, _ := stC.Campaigns()
+	for _, name := range names {
+		if strings.HasPrefix(name, "v1-") {
+			t.Fatalf("superseded v1 snapshot survived compaction: %v", names)
+		}
 	}
 }

@@ -101,6 +101,14 @@ func (s Spec) seed() int64 {
 	return s.Config.Seed
 }
 
+// DisplayLabel is the campaign label a spec reports under — the explicit
+// Label, or "<target>/seed<seed>". Exported for the fleet coordinator, which
+// names leases and store entries the same way the scheduler does.
+func (s Spec) DisplayLabel() string { return s.label() }
+
+// TargetName is the target a spec's results are attributed to.
+func (s Spec) TargetName() string { return s.targetName() }
+
 // Campaign is one scheduled campaign and its outcome.
 type Campaign struct {
 	Spec   Spec
@@ -337,28 +345,50 @@ func Run(specs []Spec, opt Options) *Report {
 		}
 	}
 
-	// Merge in spec order, so the report is deterministic given the specs.
-	for i := range rep.Campaigns {
-		c := &rep.Campaigns[i]
+	rep.mergeCampaigns()
+	return rep
+}
+
+// BuildReport assembles the merged report over a completed campaign list:
+// union coverage per target and deduped errors, merged in campaign (spec)
+// order so the report is deterministic given the campaigns. Run uses it for
+// the single-process path; the fleet coordinator feeds it the campaigns its
+// workers completed, which is what pins a fleet report equal to sched.Run
+// over the same specs.
+func BuildReport(campaigns []Campaign, workers int) *Report {
+	rep := &Report{
+		Campaigns: campaigns,
+		Coverage:  map[string]*coverage.Tracker{},
+		Errors:    map[string]map[string][]core.ErrorRecord{},
+		Workers:   workers,
+	}
+	rep.mergeCampaigns()
+	return rep
+}
+
+// mergeCampaigns folds every campaign's Result into the per-target rollups,
+// in campaign order.
+func (r *Report) mergeCampaigns() {
+	for i := range r.Campaigns {
+		c := &r.Campaigns[i]
 		if c.Err != nil {
 			continue
 		}
-		cov := rep.Coverage[c.Target]
+		cov := r.Coverage[c.Target]
 		if cov == nil {
 			cov = coverage.New()
-			rep.Coverage[c.Target] = cov
+			r.Coverage[c.Target] = cov
 		}
 		cov.Merge(c.Result.Coverage)
 		for msg, recs := range c.Result.DistinctErrors() {
-			byMsg := rep.Errors[c.Target]
+			byMsg := r.Errors[c.Target]
 			if byMsg == nil {
 				byMsg = map[string][]core.ErrorRecord{}
-				rep.Errors[c.Target] = byMsg
+				r.Errors[c.Target] = byMsg
 			}
 			byMsg[msg] = append(byMsg[msg], recs...)
 		}
 	}
-	return rep
 }
 
 // runOne executes a single campaign in the calling worker goroutine.
@@ -383,11 +413,11 @@ func runOne(c *Campaign, spec Spec, shared core.SolverService, trace func(string
 		}()
 	}
 	if persisted {
-		wanted := wantedIters(spec.Config)
+		wanted := WantedIters(spec.Config)
 		if rec, ok := bp.st.Explored(bp.keys[idx]); ok {
 			if snap, err := bp.st.LoadCampaign(rec.Campaign); err == nil {
 				if spec.Config.TimeBudget == 0 && snap.Iters >= wanted {
-					c.Result = resultFromSnapshot(snap)
+					c.Result = snap.Result()
 					c.Reused = true
 					bp.update(idx, func(e *store.BatchEntry) {
 						e.Status = store.StatusReused

@@ -1,0 +1,113 @@
+package store
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// CompactStats summarizes one Compact pass.
+type CompactStats struct {
+	// Removed lists the campaign files deleted (names without .json), sorted.
+	Removed []string
+	// Kept is the number of campaign files retained.
+	Kept int
+	// Rewritten is the number of batch manifest entries redirected to the
+	// setup index's authoritative campaign file.
+	Rewritten int
+}
+
+// Compact drops superseded campaign snapshot files. A snapshot is superseded
+// when the setup index points the same canonical setup at a different,
+// at-least-as-far-explored campaign file — which happens whenever a later
+// batch resumes a setup under a different label: the longer snapshot is saved
+// under the new label's file and the index moves, leaving the old file as
+// dead weight.
+//
+// The setup index is the resume path's single source of truth (sched.runOne
+// loads snapshots only through Explored), so compaction keeps exactly what
+// resume can reach: every index-referenced file survives, batch manifest
+// entries pointing at a superseded file are rewritten to the index's
+// authoritative file (so `compi store` inspection stays consistent), and only
+// then are unreferenced files removed. Resuming after a Compact therefore
+// reads the same snapshots as resuming before it — the equality the store
+// test suite pins.
+func (s *Store) Compact() (CompactStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st CompactStats
+
+	setups, err := s.readSetups()
+	if err != nil {
+		return st, err
+	}
+	// iters of the index's file per campaign name, for the supersession check.
+	indexIters := map[string]int{}
+	referenced := map[string]bool{}
+	for _, rec := range setups {
+		if rec.Campaign != "" {
+			referenced[rec.Campaign] = true
+			if rec.Iters > indexIters[rec.Campaign] {
+				indexIters[rec.Campaign] = rec.Iters
+			}
+		}
+	}
+
+	// Redirect batch entries whose file the index has superseded, then count
+	// whatever the manifests still reference as live.
+	ids, err := s.Batches()
+	if err != nil {
+		return st, err
+	}
+	for _, id := range ids {
+		man, err := s.LoadBatch(id)
+		if err != nil || man == nil {
+			continue // an unreadable manifest pins nothing, but aborts nothing
+		}
+		changed := false
+		for i := range man.Entries {
+			e := &man.Entries[i]
+			if e.Key == "" || e.Campaign == "" {
+				continue
+			}
+			rec, ok := setups[e.Key]
+			if ok && rec.Campaign != "" && rec.Campaign != e.Campaign && rec.Iters >= e.Iters {
+				e.Campaign = rec.Campaign
+				st.Rewritten++
+				changed = true
+			}
+			referenced[e.Campaign] = true
+		}
+		if changed {
+			if err := s.saveBatch(man); err != nil {
+				return st, err
+			}
+		}
+	}
+
+	names, err := s.Campaigns()
+	if err != nil {
+		return st, err
+	}
+	for _, name := range names {
+		if referenced[name] {
+			st.Kept++
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, "campaigns", name+".json")); err != nil && !os.IsNotExist(err) {
+			return st, err
+		}
+		st.Removed = append(st.Removed, name)
+	}
+	return st, nil
+}
+
+// saveBatch is SaveBatch for callers already holding s.mu.
+func (s *Store) saveBatch(m *BatchManifest) error {
+	return WriteAtomic(filepath.Join(s.dir, "batches", m.ID+".json"), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}

@@ -1,0 +1,72 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestCompactDropsSupersededOnly builds the superseded-file shape by hand: a
+// setup re-explored under a new label leaves the old label's file behind,
+// referenced only by the old batch manifest. Compact must redirect that
+// manifest entry to the index's file, delete the old file, and touch nothing
+// else.
+func TestCompactDropsSupersededOnly(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	snap := func(iters int) *core.Snapshot {
+		return &core.Snapshot{Version: core.SnapshotVersion, Program: "p", Iters: iters}
+	}
+	// Batch b1 explored key k1 to 10 iterations under label old.
+	s.SaveCampaign("old-k1", snap(10))
+	s.SaveBatch(&BatchManifest{ID: "b1", Entries: []BatchEntry{
+		{Label: "old", Key: "k1", Status: StatusDone, Campaign: "old-k1", Iters: 10},
+	}})
+	// Batch b2 resumed k1 to 30 under label new; the index moved with it.
+	s.SaveCampaign("new-k1", snap(30))
+	s.SaveBatch(&BatchManifest{ID: "b2", Entries: []BatchEntry{
+		{Label: "new", Key: "k1", Status: StatusDone, Campaign: "new-k1", Iters: 30},
+	}})
+	s.MarkExplored("k1", SetupRecord{Campaign: "new-k1", Iters: 30, Batch: "b2"})
+	// An unrelated completed setup, and a checkpointing campaign mid-flight
+	// (in a manifest, not yet in the index) — both must survive.
+	s.SaveCampaign("solo-k2", snap(20))
+	s.MarkExplored("k2", SetupRecord{Campaign: "solo-k2", Iters: 20, Batch: "b1"})
+	s.SaveCampaign("running-k3", snap(4))
+	s.SaveBatch(&BatchManifest{ID: "b3", Entries: []BatchEntry{
+		{Label: "running", Key: "k3", Status: StatusRunning, Campaign: "running-k3", Iters: 0},
+	}})
+
+	st, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Removed, []string{"old-k1"}) {
+		t.Fatalf("removed %v, want exactly [old-k1]", st.Removed)
+	}
+	if st.Kept != 3 || st.Rewritten != 1 {
+		t.Fatalf("kept=%d rewritten=%d, want 3 and 1", st.Kept, st.Rewritten)
+	}
+	names, _ := s.Campaigns()
+	if !reflect.DeepEqual(names, []string{"new-k1", "running-k3", "solo-k2"}) {
+		t.Fatalf("surviving campaigns %v", names)
+	}
+	// b1's entry now points at the file that actually holds k1's exploration.
+	b1, _ := s.LoadBatch("b1")
+	if b1.Entries[0].Campaign != "new-k1" {
+		t.Fatalf("b1 entry not redirected: %+v", b1.Entries[0])
+	}
+	if got, err := s.LoadCampaign("new-k1"); err != nil || got.Iters != 30 {
+		t.Fatalf("authoritative snapshot damaged: %v %v", got, err)
+	}
+
+	// Idempotent: a second pass finds nothing to do.
+	st2, err := s.Compact()
+	if err != nil || len(st2.Removed) != 0 || st2.Rewritten != 0 || st2.Kept != 3 {
+		t.Fatalf("second compact not a no-op: %+v (%v)", st2, err)
+	}
+}

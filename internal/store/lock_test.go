@@ -1,0 +1,101 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLockRefusedWhileHeldByLiveProcess(t *testing.T) {
+	dir := t.TempDir()
+	// PID 1 is always alive (and usually unsignalable — EPERM must count as
+	// alive), so a lockfile naming it simulates a live foreign holder.
+	lockPath := filepath.Join(dir, lockFileName)
+	b, _ := json.Marshal(lockInfo{PID: 1})
+	if err := os.WriteFile(lockPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir)
+	var held *LockHeldError
+	if !errors.As(err, &held) {
+		t.Fatalf("Open under a foreign live lock: %v", err)
+	}
+	if held.PID != 1 || !strings.Contains(err.Error(), "process 1") {
+		t.Fatalf("lock-held error does not name the holder: %v", err)
+	}
+}
+
+func TestLockStolenFromDeadProcess(t *testing.T) {
+	dir := t.TempDir()
+	// A process we know is dead: run one to completion and take its PID.
+	cmd := exec.Command("true")
+	if err := cmd.Run(); err != nil {
+		t.Skipf("no /bin/true: %v", err)
+	}
+	deadPID := cmd.Process.Pid
+	b, _ := json.Marshal(lockInfo{PID: deadPID})
+	if err := os.WriteFile(filepath.Join(dir, lockFileName), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("stale lock not reclaimed: %v", err)
+	}
+	defer s.Close()
+	var info lockInfo
+	lb, _ := os.ReadFile(filepath.Join(dir, lockFileName))
+	if json.Unmarshal(lb, &info); info.PID != os.Getpid() {
+		t.Fatalf("reclaimed lock names PID %d, want ours %d", info.PID, os.Getpid())
+	}
+
+	// Garbage lockfiles are treated as stale too.
+	s.Close()
+	os.WriteFile(filepath.Join(dir, lockFileName), []byte("}{"), 0o644)
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("garbage lock not reclaimed: %v", err)
+	}
+	s2.Close()
+}
+
+func TestLockReentrantWithinProcess(t *testing.T) {
+	dir := t.TempDir()
+	first, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Open(dir)
+	if err != nil {
+		t.Fatalf("same-process reopen refused: %v", err)
+	}
+	// The non-owning handle's Close must not release the first handle's lock.
+	if err := second.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, lockFileName)); err != nil {
+		t.Fatalf("reentrant Close released the owner's lock: %v", err)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, lockFileName)); !os.IsNotExist(err) {
+		t.Fatalf("owner Close left the lock behind: %v", err)
+	}
+	if err := first.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	// With the lock released, a fresh handle owns it again.
+	third, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.ownsLock {
+		t.Fatal("post-release reopen did not take ownership")
+	}
+	third.Close()
+}

@@ -15,9 +15,10 @@
 //	setups.json       — setup key → campaign file (cross-batch dedup index)
 //
 // Every write goes through WriteAtomic, so a killed process can truncate
-// nothing: readers see the previous complete state. The store assumes a
-// single writing process at a time (the usual stop/resume cycle); it is
-// goroutine-safe within that process.
+// nothing: readers see the previous complete state. One process owns a store
+// directory at a time — Open takes an advisory lockfile (see lock.go) and
+// refuses directories another live process holds, naming the holder's PID.
+// Within the owning process the store is goroutine-safe.
 package store
 
 import (
@@ -41,8 +42,9 @@ const Version = 1
 
 // Store is an open campaign store directory.
 type Store struct {
-	dir string
-	mu  sync.Mutex
+	dir      string
+	mu       sync.Mutex
+	ownsLock bool
 }
 
 // storeManifest is the store.json header.
@@ -51,31 +53,40 @@ type storeManifest struct {
 	Canon   int `json:"canon"`
 }
 
-// Open opens (creating if necessary) a campaign store at dir. It refuses
-// directories written by a newer store schema.
+// Open opens (creating if necessary) a campaign store at dir and takes the
+// directory's advisory lock. It refuses directories written by a newer store
+// schema, and directories locked by another live process (a *LockHeldError
+// naming the holder PID). Release the lock with Close; locks left behind by
+// dead processes are reclaimed automatically.
 func Open(dir string) (*Store, error) {
 	for _, d := range []string{dir, filepath.Join(dir, "campaigns"), filepath.Join(dir, "batches")} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, err
 		}
 	}
-	s := &Store{dir: dir}
+	owns, err := acquireLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, ownsLock: owns}
 	manifestPath := filepath.Join(dir, "store.json")
 	if b, err := os.ReadFile(manifestPath); err == nil {
 		var m storeManifest
 		if err := json.Unmarshal(b, &m); err != nil {
+			s.Close()
 			return nil, fmt.Errorf("store: %s: %w", manifestPath, err)
 		}
 		if m.Version > Version {
+			s.Close()
 			return nil, fmt.Errorf("store: %s has schema version %d, this build supports ≤ %d",
 				dir, m.Version, Version)
 		}
 		return s, nil
 	}
-	err := WriteAtomic(manifestPath, func(w io.Writer) error {
+	if err := WriteAtomic(manifestPath, func(w io.Writer) error {
 		return json.NewEncoder(w).Encode(storeManifest{Version: Version, Canon: expr.CanonVersion})
-	})
-	if err != nil {
+	}); err != nil {
+		s.Close()
 		return nil, err
 	}
 	return s, nil

@@ -20,6 +20,10 @@ go build -o "$BIN_DIR/compi-target" ./cmd/compi-target
 # path keeps the test from rebuilding it per package run.
 export COMPI_TARGET_BIN="$BIN_DIR/compi-target"
 
+echo "== go build compi =="
+# Built once here; the kill-and-resume and fleet steps below all drive it.
+go build -o "$BIN_DIR/compi" ./cmd/compi
+
 echo "== go test ./... =="
 go test ./...
 
@@ -32,6 +36,9 @@ go test -race ./internal/target/...
 echo "== go test -race ./internal/solver ./internal/sched ./internal/coverage ./internal/store =="
 go test -race ./internal/solver ./internal/sched ./internal/coverage ./internal/store
 
+echo "== go test -race ./internal/fleet =="
+go test -race ./internal/fleet
+
 echo "== cross-process conformance (piped == in-process) =="
 go test ./internal/proto -run 'TestCrossProcessConformance|TestSchedMixedConformance|TestSchedShardedServiceConformance|TestSnapshotConformance' -count=1
 
@@ -39,7 +46,6 @@ echo "== kill-and-resume determinism (compi -state / sched store) =="
 # A campaign stopped at iteration k and resumed from its state file must
 # equal the uninterrupted run; the sched half is covered by the store tests.
 STATE_DIR="$(mktemp -d)"
-go build -o "$BIN_DIR/compi" ./cmd/compi
 "$BIN_DIR/compi" -target skeleton -iters 200 -seed 7 > "$STATE_DIR/full.out"
 "$BIN_DIR/compi" -target skeleton -iters 80 -seed 7 -state "$STATE_DIR/state.json" > /dev/null
 "$BIN_DIR/compi" -target skeleton -iters 200 -seed 7 -state "$STATE_DIR/state.json" > "$STATE_DIR/resumed.out"
@@ -54,7 +60,47 @@ fi
 go test ./internal/sched -run 'TestStoreBatchResumeEqualsFresh|TestStoreCrossBatchReuse' -count=1
 rm -rf "$STATE_DIR"
 
-echo "== solver cache benchmarks (cold vs warm) =="
-go test -run '^$' -bench 'BenchmarkSolverCache|BenchmarkWarmResume' -benchtime 5x .
+echo "== fleet determinism (serve + 2 workers == sched -j2) =="
+# A coordinator leasing shards to two worker processes must land on the
+# same per-target rollups and error lines as the in-process scheduler.
+FLEET_DIR="$(mktemp -d)"
+"$BIN_DIR/compi" serve -targets skeleton,stencil -seeds 5,6 -iters 40 \
+  -addr-file "$FLEET_DIR/addr" > "$FLEET_DIR/fleet.out" 2> "$FLEET_DIR/fleet.err" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$FLEET_DIR/addr" ] && break; sleep 0.1; done
+[ -s "$FLEET_DIR/addr" ] || { echo "compi serve never published its address" >&2; exit 1; }
+ADDR="$(cat "$FLEET_DIR/addr")"
+"$BIN_DIR/compi" work -connect "$ADDR" -name ci-w1 &
+W1=$!
+"$BIN_DIR/compi" work -connect "$ADDR" -name ci-w2 &
+W2=$!
+wait "$W1" "$W2" "$SERVE_PID"
+"$BIN_DIR/compi" sched -targets skeleton,stencil -seeds 5,6 -iters 40 -j 2 > "$FLEET_DIR/sched.out"
+if ! diff <(grep -E 'branches covered|^  \[' "$FLEET_DIR/fleet.out") \
+          <(grep -E 'branches covered|^  \[' "$FLEET_DIR/sched.out"); then
+  echo "fleet run diverged from the single-process scheduler" >&2
+  exit 1
+fi
+rm -rf "$FLEET_DIR"
+
+echo "== benchmarks (sched speedup, solver cache, warm resume, fleet merge delta) =="
+BENCH_OUT="$(mktemp)"
+go test -run '^$' \
+  -bench 'BenchmarkSchedSpeedup|BenchmarkSolverCache|BenchmarkWarmResume|BenchmarkFleetMergeDelta' \
+  -benchtime 5x . | tee "$BENCH_OUT"
+# Persist the trajectory: one JSON object per benchmark line, value keyed by
+# its unit (ns/op, bytes/frame, hit/call, ...).
+{
+  echo '['
+  awk '/^Benchmark/ {
+    printf "%s  {\"name\":\"%s\",\"n\":%s", sep, $1, $2
+    for (i = 3; i < NF; i += 2) printf ",\"%s\":%s", $(i+1), $i
+    printf "}"
+    sep = ",\n"
+  } END { print "" }' "$BENCH_OUT"
+  echo ']'
+} > BENCH_fleet.json
+rm -f "$BENCH_OUT"
+echo "wrote BENCH_fleet.json"
 
 echo "CI green."
