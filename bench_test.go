@@ -10,9 +10,11 @@ import (
 	"encoding/json"
 	"io"
 	"reflect"
+	"runtime"
 	"testing"
 	"time"
 
+	"repro/internal/binstat"
 	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/coverage"
@@ -139,6 +141,53 @@ func BenchmarkSUSYTrajectory(b *testing.B) {
 	}
 }
 
+// benchEngine runs whole campaigns against one target and reports engine
+// throughput as iterations per second per core — the benchmark-trajectory
+// number BENCH_engine.json tracks run-over-run (cmd/compi-bench appends it
+// and prints the delta vs the previous CI run). The profile=on/off pair is
+// the disabled-profiler overhead pin: a nil profiler degrades every
+// instrumentation point to a nil check, so the two sub-benchmarks must be
+// indistinguishable within noise.
+func benchEngine(b *testing.B, name string, params map[string]int64, profile bool) {
+	prog, ok := target.Lookup(name)
+	if !ok {
+		b.Fatalf("target %q not registered", name)
+	}
+	b.ReportAllocs()
+	iters := 0
+	for i := 0; i < b.N; i++ {
+		cfg := core.Config{
+			Program: prog, Params: params, Iterations: 40,
+			Reduction: true, Framework: true, Seed: 7,
+			RunTimeout: 30 * time.Second,
+		}
+		if profile {
+			cfg.Profiler = binstat.New()
+		}
+		res := core.NewEngine(cfg).Run()
+		iters += len(res.Iterations)
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(iters)/sec/float64(runtime.GOMAXPROCS(0)), "iters/s/core")
+	}
+}
+
+// BenchmarkEngineHPL is the engine-throughput trajectory on HPL (the paper's
+// main coverage target).
+func BenchmarkEngineHPL(b *testing.B) {
+	b.Run("profile=off", func(b *testing.B) { benchEngine(b, "hpl", nil, false) })
+	b.Run("profile=on", func(b *testing.B) { benchEngine(b, "hpl", nil, true) })
+}
+
+// BenchmarkEngineSUSY is the engine-throughput trajectory on SUSY-HMC (the
+// paper's bug-hunt target), seeded bugs fixed so every run completes its 40
+// iterations.
+func BenchmarkEngineSUSY(b *testing.B) {
+	b.Run("profile=off", func(b *testing.B) { benchEngine(b, "susy-hmc", susy.FixAll(), false) })
+	b.Run("profile=on", func(b *testing.B) { benchEngine(b, "susy-hmc", susy.FixAll(), true) })
+}
+
 // solverCall is one recorded engine→solver request.
 type solverCall struct {
 	preds []expr.Pred
@@ -158,7 +207,9 @@ func (r *recordingSolver) SolveIncremental(preds []expr.Pred, prev map[expr.Var]
 	for v, x := range prev { // the engine mutates prev between calls
 		p[v] = x
 	}
-	r.calls = append(r.calls, solverCall{preds: preds, prev: p, opt: opt})
+	// Both slices are only valid during the call (the engine reuses its
+	// constraint scratch buffer — see core.SolverService).
+	r.calls = append(r.calls, solverCall{preds: append([]expr.Pred(nil), preds...), prev: p, opt: opt})
 	return r.svc.SolveIncremental(preds, prev, opt)
 }
 

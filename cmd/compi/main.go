@@ -34,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/binstat"
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/proto"
@@ -94,6 +95,7 @@ func main() {
 		replay   = flag.String("replay", "", `replay one input set, e.g. "x=100,y=50" (skips the campaign)`)
 		state    = flag.String("state", "", "campaign state file: loaded if present, saved after the run")
 		errlog   = flag.String("errlog", "", "append error-inducing inputs as JSON lines to this file")
+		profile  = flag.Bool("profile", false, "measure the iteration loop's phase bins and print the table after the summary")
 	)
 	flag.Parse()
 
@@ -159,6 +161,9 @@ func main() {
 		PureRandom:   *random,
 		Seed:         *seed,
 		RunTimeout:   *timeout,
+	}
+	if *profile {
+		cfg.Profiler = binstat.New()
 	}
 	if *errlog != "" {
 		f, err := os.OpenFile(*errlog, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
@@ -250,6 +255,9 @@ func printResult(prog *target.Program, res core.Result) {
 		fmt.Printf("      first at iter %d, np=%d focus=%d inputs=%v\n",
 			r.Iter, r.NProcs, r.Focus, r.Inputs)
 	}
+	if len(res.Profile) > 0 {
+		fmt.Printf("\n%s", res.Profile.String())
+	}
 }
 
 // runDrive implements `compi drive`: a campaign against an out-of-process
@@ -276,6 +284,7 @@ func runDrive(args []string) {
 		stateDir = fs.String("state-dir", "", "campaign store directory: checkpoint the campaign, resume or reuse prior explorations")
 		verbose  = fs.Bool("v", false, "per-iteration trace")
 		errlog   = fs.String("errlog", "", "append error-inducing inputs as JSON lines to this file")
+		profile  = fs.Bool("profile", false, "measure the iteration loop's phase bins and print the table after the summary")
 	)
 	var rest []string
 	for i, a := range args {
@@ -382,6 +391,9 @@ func runDrive(args []string) {
 			External: &sched.External{Bin: *bin, Args: rest},
 		}
 		opt := sched.Options{Workers: *workers}
+		if *profile {
+			opt.Profiler = binstat.New()
+		}
 		if *stateDir != "" {
 			st := openStateDir(*stateDir)
 			defer st.Close()
@@ -403,6 +415,9 @@ func runDrive(args []string) {
 				it.Iter, it.NProcs, it.Focus, it.Covered, it.PathLen,
 				map[bool]string{true: "FAILED", false: ""}[it.Failed])
 		}
+	}
+	if *profile {
+		cfg.Profiler = binstat.New()
 	}
 
 	res := core.NewEngine(cfg).Run()
@@ -675,11 +690,15 @@ func runSched(args []string) {
 		stateDir = fs.String("state-dir", "", "campaign store directory: checkpoint campaigns, resume interrupted batches, reuse setups explored by prior batches")
 		batchID  = fs.String("batch", "", "batch manifest name in the store (default: derived from the spec list)")
 		verbose  = fs.Bool("v", false, "per-iteration trace")
+		profile  = fs.Bool("profile", false, "measure every campaign's phase bins and print the batch-wide table after the summary")
 	)
 	fs.Parse(args)
 	specs := grid.specs()
 
 	opt := sched.Options{Workers: *workers, BatchID: *batchID}
+	if *profile {
+		opt.Profiler = binstat.New()
+	}
 	if *stateDir != "" {
 		st := openStateDir(*stateDir)
 		defer st.Close()
@@ -712,11 +731,12 @@ func runServe(args []string) {
 		ttl       = fs.Duration("ttl", 10*time.Second, "lease time-to-live: a lease not renewed within this window is reclaimed and re-leased")
 		snapEvery = fs.Int("snapshot-every", 8, "iterations between streamed progress snapshots (resume granularity after a worker death)")
 		verbose   = fs.Bool("v", false, "log fleet events to stderr")
+		profile   = fs.Bool("profile", false, "ask workers to profile their engines; top bins appear on -status and the final summary")
 	)
 	fs.Parse(args)
 	specs := grid.specs()
 
-	opt := fleet.Options{BatchID: *batchID, TTL: *ttl, SnapshotEvery: *snapEvery}
+	opt := fleet.Options{BatchID: *batchID, TTL: *ttl, SnapshotEvery: *snapEvery, Profile: *profile}
 	if *stateDir != "" {
 		st := openStateDir(*stateDir)
 		defer st.Close()
@@ -770,13 +790,14 @@ func runWork(args []string) {
 		name    = fs.String("name", "", "worker name in coordinator logs and status (default pid<n>)")
 		window  = fs.Duration("dial-window", 10*time.Second, "how long to retry the initial connection")
 		verbose = fs.Bool("v", false, "log worker events to stderr")
+		profile = fs.Bool("profile", false, "profile every leased engine and ship the per-shard reports to the coordinator")
 	)
 	fs.Parse(args)
 	if *connect == "" {
 		fmt.Fprintln(os.Stderr, "compi work: -connect is required")
 		os.Exit(2)
 	}
-	opt := fleet.WorkerOptions{Name: *name, Jobs: *jobs, DialWindow: *window}
+	opt := fleet.WorkerOptions{Name: *name, Jobs: *jobs, DialWindow: *window, Profile: *profile}
 	if *verbose {
 		opt.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -79,6 +79,87 @@ func (l *Log) Encode() []byte {
 	return b
 }
 
+// EncodedSize returns len(l.Encode()) without building the buffer. The
+// framework reports every rank's log size every iteration (the Table IV
+// statistic) but only ever decodes the focus log, so sizing without
+// serializing removes a per-rank allocation proportional to the trace length
+// from the iteration loop. Pinned equal to len(Encode()) by tests.
+func (l *Log) EncodedSize() int {
+	n := 1 // mode byte
+	n += uvarintLen(uint64(l.Rank))
+	n += uvarintLen(uint64(len(l.Covered)))
+	prev := uint64(0)
+	for _, c := range l.Covered {
+		n += uvarintLen(uint64(c) - prev)
+		prev = uint64(c)
+	}
+	n += uvarintLen(uint64(len(l.Funcs)))
+	for _, f := range l.Funcs {
+		n += uvarintLen(uint64(len(f))) + len(f)
+	}
+	n += varintLen(l.RawCount)
+	n += uvarintLen(uint64(len(l.Path)))
+	for _, e := range l.Path {
+		n += varintLen(int64(e.Site)) + 1 + predSize(e.Pred)
+	}
+	n += uvarintLen(uint64(len(l.Obs)))
+	for _, o := range l.Obs {
+		n += uvarintLen(uint64(o.V))
+		n += uvarintLen(uint64(len(o.Name))) + len(o.Name)
+		n += varintLen(o.Val)
+		n += 2 // kind, hasCap
+		n += varintLen(o.Cap)
+		n += varintLen(int64(o.CommIdx))
+		n += varintLen(o.CommSize)
+	}
+	n += uvarintLen(uint64(len(l.Mapping)))
+	for _, row := range l.Mapping {
+		n += uvarintLen(uint64(len(row)))
+		for _, g := range row {
+			n += varintLen(int64(g))
+		}
+	}
+	n += uvarintLen(uint64(len(l.Trace)))
+	for _, e := range l.Trace {
+		n += uvarintLen(uint64(e))
+	}
+	return n
+}
+
+// uvarintLen is the byte length of binary.AppendUvarint(nil, v).
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// varintLen is the byte length of binary.AppendVarint(nil, v) (zig-zag).
+func varintLen(v int64) int {
+	uv := uint64(v) << 1
+	if v < 0 {
+		uv = ^uv
+	}
+	return uvarintLen(uv)
+}
+
+func predSize(p expr.Pred) int { return 1 + exprSize(p.E) }
+
+func exprSize(e *expr.Expr) int {
+	switch e.Op {
+	case expr.OpConst:
+		return 1 + varintLen(e.K)
+	case expr.OpVar:
+		return 1 + uvarintLen(uint64(e.V))
+	case expr.OpNeg:
+		return 1 + exprSize(e.L)
+	default:
+		return 1 + exprSize(e.L) + exprSize(e.R)
+	}
+}
+
 // Decode parses a log written by Encode.
 func Decode(b []byte) (*Log, error) {
 	d := &decoder{b: b}

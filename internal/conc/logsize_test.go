@@ -1,0 +1,60 @@
+package conc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// TestEncodedSizeMatchesEncode pins EncodedSize == len(Encode()) — the
+// iteration loop reports log sizes without serializing, so the two paths
+// must never drift. Randomized logs plus a varint-extremes case (negative
+// and max-magnitude values exercise the zig-zag length arithmetic).
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 300; i++ {
+		l := randLog(rng)
+		// randLog leaves Trace empty; the trace section dominates real Heavy
+		// logs, so size it too.
+		prev := BranchBit(0)
+		for j := 0; j < rng.Intn(50); j++ {
+			prev += BranchBit(1 + rng.Intn(300))
+			l.Trace = append(l.Trace, prev)
+		}
+		if got, want := l.EncodedSize(), len(l.Encode()); got != want {
+			t.Fatalf("log %d: EncodedSize %d != len(Encode) %d", i, got, want)
+		}
+	}
+
+	extreme := &Log{
+		Mode:     Heavy,
+		Rank:     math.MaxInt32,
+		Covered:  []BranchBit{0, math.MaxUint32},
+		Funcs:    []string{"", "long-function-name-with-more-than-127-bytes-" + string(make([]byte, 200))},
+		RawCount: math.MinInt64,
+		Path: []PathEntry{{
+			Site:    -1,
+			Outcome: true,
+			Pred: expr.Pred{
+				E:   expr.Mod(expr.Neg(expr.VarRef(expr.Var(math.MaxInt32))), expr.Const(math.MinInt64)),
+				Rel: expr.NE,
+			},
+		}},
+		Obs: []VarObs{{
+			V: 0, Name: "n", Val: math.MaxInt64, HasCap: true,
+			Cap: math.MinInt64, CommIdx: -1, CommSize: math.MaxInt64,
+		}},
+		Mapping: [][]int32{{-1, math.MaxInt32, math.MinInt32}, {}},
+		Trace:   []BranchBit{math.MaxUint32, 0, 127, 128},
+	}
+	if got, want := extreme.EncodedSize(), len(extreme.Encode()); got != want {
+		t.Fatalf("extreme log: EncodedSize %d != len(Encode) %d", got, want)
+	}
+
+	empty := &Log{}
+	if got, want := empty.EncodedSize(), len(empty.Encode()); got != want {
+		t.Fatalf("empty log: EncodedSize %d != len(Encode) %d", got, want)
+	}
+}

@@ -184,6 +184,11 @@ type Config struct {
 	// globals. The map is shared read-only across all ranks of a launch
 	// and across iterations; it must not be mutated after the launch.
 	Params map[string]int64
+	// TraceHint is the expected branch-event count (typically the previous
+	// iteration's trace length) used to pre-size the trace and covered
+	// buffers. Purely an allocation hint: zero or wrong values change
+	// nothing but reallocation counts.
+	TraceHint int
 }
 
 // Proc is the per-process concolic runtime state. One Proc exists per MPI
@@ -222,17 +227,32 @@ func NewProc(rank int, vars *VarSpace, inputs map[string]int64, cfg Config) *Pro
 	if cfg.Mode == Heavy && vars == nil {
 		panic("conc: Heavy mode requires a VarSpace")
 	}
-	return &Proc{
+	p := &Proc{
 		cfg:         cfg,
 		rank:        rank,
 		vars:        vars,
 		in:          inputs,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
-		covered:     map[BranchBit]struct{}{},
+		covered:     make(map[BranchBit]struct{}, coveredHint(cfg.TraceHint)),
 		obsSeen:     map[expr.Var]struct{}{},
 		lastOutcome: map[CondID]bool{},
 		funcsHit:    map[string]struct{}{},
 	}
+	if cfg.Mode == Heavy && cfg.TraceHint > 0 {
+		p.trace = make([]BranchBit, 0, cfg.TraceHint)
+	}
+	return p
+}
+
+// coveredHint sizes the covered set from the trace hint: distinct branches
+// are a small fraction of branch events, and over-reserving a map wastes
+// memory per rank per iteration.
+func coveredHint(traceHint int) int {
+	h := traceHint / 8
+	if h > 4096 {
+		h = 4096
+	}
+	return h
 }
 
 // Rank returns the global rank this runtime belongs to.

@@ -42,6 +42,11 @@ type LaunchSpec struct {
 	// instrumentation (every rank Heavy).
 	Reduction bool
 	OneWay    bool
+
+	// TraceHint is the engine's estimate of this iteration's branch-event
+	// count (the previous focus trace length). Backends pass it to the
+	// runtime as a buffer pre-sizing hint; it never affects behavior.
+	TraceHint int
 }
 
 // Backend abstracts how one test iteration is executed. The engine computes
@@ -116,6 +121,7 @@ func (b *inProcess) Launch(s LaunchSpec) mpi.RunResult {
 				Deadline:  deadline,
 				MaxTicks:  s.MaxTicks,
 				Params:    s.Params,
+				TraceHint: s.TraceHint,
 			}
 		},
 		Timeout: s.Timeout,

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/binstat"
 	"repro/internal/conc"
 	"repro/internal/coverage"
 	"repro/internal/expr"
@@ -99,6 +100,17 @@ type Config struct {
 
 	// SolverMaxNodes overrides the constraint-solver search budget.
 	SolverMaxNodes int
+
+	// Profiler, when non-nil, receives per-phase wall-clock bins for every
+	// iteration: execute / trace-collect / constraint-build / negate /
+	// cache-lookup / solve / snapshot (plus the solver service's own bins
+	// when it shares the profiler). Profiling is purely observational — a
+	// profiled campaign's Result is byte-identical to an unprofiled one
+	// (pinned by tests) — and the profiler may be shared across engines
+	// (the scheduler wires one per batch), in which case the report
+	// aggregates every campaign that used it. nil disables profiling at a
+	// few nanoseconds per would-be measurement.
+	Profiler *binstat.Profiler
 
 	// Trace, when non-nil, receives each iteration's statistics as they are
 	// produced (live progress for the CLI).
@@ -194,6 +206,13 @@ type Result struct {
 	// trajectory is unchanged; only the work is skipped).
 	RefutedSkips int
 
+	// Profile is the phase-bin profiler report at campaign end, nil unless
+	// Config.Profiler was set. With a private profiler it is exactly this
+	// campaign's phase costs; with a shared one it aggregates every
+	// campaign on the profiler up to this campaign's finish (per-campaign
+	// attribution should window the shared profiler with Report.Delta).
+	Profile binstat.Report
+
 	// Solver is the campaign's window of the solver-service counters
 	// (Stats at campaign end minus Stats at campaign start). For the
 	// default private service this is exactly the campaign's own cache
@@ -227,6 +246,7 @@ type Engine struct {
 	strategy Strategy
 	backend  Backend
 	solver   SolverService
+	prof     *binstat.Profiler // nil = profiling disabled
 	started  atomic.Bool
 	vars     *conc.VarSpace
 	cov      *coverage.Tracker
@@ -252,6 +272,26 @@ type Engine struct {
 	solverCalls  int
 	unsatCalls   int
 	refutedSkips int
+
+	// predScratch is the reusable buffer constraintSet assembles proposals
+	// in: the engine hands each proposal's predicate slice to the solver
+	// service and never looks at it again, so one buffer serves the whole
+	// campaign (see the SolverService contract — implementations must not
+	// retain the slice past the call).
+	predScratch []expr.Pred
+
+	// traceHint is the previous focus execution's branch-event count, passed
+	// to the backend so the runtime can pre-size its trace and covered
+	// buffers. Consecutive iterations of one target execute nearly identical
+	// amounts of work, so last iteration's length is an excellent estimate.
+	traceHint int
+
+	// keyMemo caches CanonicalKey results for the refuted-dedup lookups:
+	// the restart loop re-derives the same predicate sequences many times,
+	// and canonicalization is the priciest per-proposal step. Memoization is
+	// exact (keyed on the full serialized sequence), so it cannot change
+	// which keys the engine sees. Lazily constructed; never snapshotted.
+	keyMemo *expr.KeyMemo
 
 	// refuted is the restart-loop dedup set: canonical keys of constraint
 	// sets this campaign has already proven unsatisfiable. A restart that
@@ -292,9 +332,12 @@ func NewEngine(cfg Config) *Engine {
 	if e.backend == nil {
 		e.backend = NewInProcess(cfg.Program, e.vars)
 	}
+	e.prof = cfg.Profiler
 	e.solver = cfg.Solver
 	if e.solver == nil {
-		e.solver = solver.NewService(solver.ServiceConfig{})
+		// The private default service shares the campaign profiler, so its
+		// canonical-key and live-solve bins land in the same report.
+		e.solver = solver.NewService(solver.ServiceConfig{Profiler: cfg.Profiler})
 	}
 	switch {
 	case cfg.NewStrategy != nil:
@@ -342,7 +385,10 @@ func (e *Engine) Run() Result {
 			e.cfg.Trace(stat)
 		}
 		if e.cfg.Checkpoint != nil && (it+1-e.startIter)%e.cfg.CheckpointEvery == 0 {
-			e.cfg.Checkpoint(e.Snapshot())
+			sp := e.prof.Time("snapshot")
+			snap := e.Snapshot()
+			sp.End()
+			e.cfg.Checkpoint(snap)
 		}
 	}
 	res := Result{
@@ -357,6 +403,7 @@ func (e *Engine) Run() Result {
 		RefutedSkips: e.refutedSkips,
 	}
 	res.Solver = e.solver.Stats().Delta(solver0)
+	res.Profile = e.prof.Report()
 	return res
 }
 
@@ -364,9 +411,14 @@ func (e *Engine) Run() Result {
 func (e *Engine) iterate(it int) IterationStat {
 	stat := IterationStat{NProcs: e.cur.nprocs, Focus: e.cur.focus}
 
+	sp := e.prof.Time("execute")
 	run := e.launch(it)
+	sp.End()
 	stat.RunTime = run.Elapsed
 	stat.Failed = run.Failed()
+
+	// Trace collection: merge coverage, log errors, learn observed values.
+	sp = e.prof.Time("trace-collect")
 
 	// Merge coverage: all recorders with the framework on, focus only with
 	// it off (§VI-E).
@@ -408,12 +460,14 @@ func (e *Engine) iterate(it int) IterationStat {
 	focusLog := run.Ranks[e.cur.focus].Log
 	if focusLog == nil || focusLog.Mode != conc.Heavy {
 		// The focus leaked (hard hang): restart from fresh inputs.
+		sp.End()
 		e.restart(it)
 		stat.Restarted = true
 		return stat
 	}
 	stat.PathLen = len(focusLog.Path)
 	stat.RawCount = focusLog.RawCount
+	e.traceHint = len(focusLog.Trace)
 
 	// Learn the values actually used this run.
 	for _, o := range focusLog.Obs {
@@ -427,22 +481,32 @@ func (e *Engine) iterate(it int) IterationStat {
 	// The inputs map now holds exactly the values this setup's execution
 	// consumed: record them as the setup's corpus entry.
 	e.corpus[e.cur] = cloneInputs(e.inputs)
+	sp.End()
 
 	if e.cfg.PureRandom {
 		e.randomizeAll()
 		return stat
 	}
 
-	// Concolic step: pick a constraint to negate and solve.
+	// Concolic step: pick a constraint to negate and solve. The semantic
+	// constraints depend only on this execution's observations, so they are
+	// assembled once per iteration, not once per proposal.
+	sp = e.prof.Time("constraint-build")
+	sem := semanticConstraints(focusLog.Obs, int64(e.cfg.MaxProcs))
+	sp.End()
 	e.strategy.Observe(focusLog.Path)
 	for {
+		sp = e.prof.Time("negate")
 		path, idx, ok := e.strategy.Propose()
+		sp.End()
 		if !ok {
 			e.restart(it)
 			stat.Restarted = true
 			return stat
 		}
-		preds := e.constraintSet(focusLog.Obs, path, idx)
+		sp = e.prof.Time("constraint-build")
+		preds := e.constraintSet(sem, path, idx)
+		sp.End()
 		e.solverCalls++
 
 		// Restart-loop dedup: if this exact conjunction (canonically — any
@@ -454,9 +518,12 @@ func (e *Engine) iterate(it int) IterationStat {
 		var key expr.Key
 		haveKey := false
 		if len(e.refuted) > 0 {
-			key = expr.CanonicalKey(preds)
+			sp = e.prof.Time("cache-lookup")
+			key = e.canonicalKey(preds)
 			haveKey = true
-			if _, dup := e.refuted[key]; dup {
+			_, dup := e.refuted[key]
+			sp.End()
+			if dup {
 				e.unsatCalls++
 				e.refutedSkips++
 				e.strategy.Reject()
@@ -464,15 +531,17 @@ func (e *Engine) iterate(it int) IterationStat {
 			}
 		}
 
+		sp = e.prof.Time("solve")
 		sol, sat := e.solver.SolveIncremental(preds, e.prev, solver.Options{
 			Seed:     e.cfg.Seed + int64(it)*7919,
 			MaxNodes: e.cfg.SolverMaxNodes,
 		})
+		sp.End()
 		if !sat {
 			e.unsatCalls++
 			if sol.Proven {
 				if !haveKey {
-					key = expr.CanonicalKey(preds)
+					key = e.canonicalKey(preds)
 				}
 				e.refuted[key] = struct{}{}
 			}
@@ -485,15 +554,28 @@ func (e *Engine) iterate(it int) IterationStat {
 	}
 }
 
-// constraintSet assembles [semantics, path prefix, negated constraint]; the
-// negated constraint is last, which seeds the solver's incremental
-// dependency partition.
-func (e *Engine) constraintSet(obs []conc.VarObs, path []conc.PathEntry, idx int) []expr.Pred {
-	preds := semanticConstraints(obs, int64(e.cfg.MaxProcs))
+// canonicalKey computes the constraint set's rename/reorder-invariant key
+// through the engine's per-campaign memo: restart loops and proposal fan-out
+// re-derive identical predicate sequences, and the memo answers those repeats
+// without re-running the full canonicalization.
+func (e *Engine) canonicalKey(preds []expr.Pred) expr.Key {
+	if e.keyMemo == nil {
+		e.keyMemo = expr.NewKeyMemo(0)
+	}
+	return e.keyMemo.Key(preds)
+}
+
+// constraintSet assembles [semantics, path prefix, negated constraint] in
+// the engine's scratch buffer; the negated constraint is last, which seeds
+// the solver's incremental dependency partition. The returned slice is valid
+// until the next constraintSet call.
+func (e *Engine) constraintSet(sem []expr.Pred, path []conc.PathEntry, idx int) []expr.Pred {
+	preds := append(e.predScratch[:0], sem...)
 	for i := 0; i < idx; i++ {
 		preds = append(preds, path[i].Pred)
 	}
 	preds = append(preds, path[idx].Pred.Negate())
+	e.predScratch = preds
 	return preds
 }
 
@@ -569,6 +651,7 @@ func (e *Engine) launch(it int) mpi.RunResult {
 		MaxTicks:  e.cfg.MaxTicks,
 		Reduction: e.cfg.Reduction,
 		OneWay:    e.cfg.OneWay,
+		TraceHint: e.traceHint,
 	})
 }
 

@@ -21,6 +21,12 @@ type SolverService interface {
 	// SolveIncremental solves preds (the last predicate being the freshly
 	// negated constraint) preferring values from prev, with the semantics
 	// of solver.SolveIncremental.
+	//
+	// The preds slice is only valid for the duration of the call: the
+	// engine assembles it in a scratch buffer it reuses for the next
+	// proposal, so an implementation that needs the predicates afterwards
+	// (a recording test double, a deferred queue) must copy the slice. The
+	// predicate *trees* are immutable and safe to retain.
 	SolveIncremental(preds []expr.Pred, prev map[expr.Var]int64, opt solver.Options) (solver.Result, bool)
 
 	// Stats reports the service's cumulative cache counters. Implementations

@@ -4,65 +4,106 @@
 //
 // Tracker is safe for concurrent use: the campaign scheduler merges the
 // trackers of concurrently running engines into per-target union trackers
-// while campaigns are still adding coverage.
+// while campaigns are still adding coverage. The record path is sharded —
+// branches hash across 64 independently locked shards and the covered count
+// is a lock-free atomic — so concurrently recording engines only contend
+// when they land on the same shard at the same instant. The batch operations
+// (Merge, DrainDelta, Branches) still walk every shard under its lock; they
+// run once per iteration or merge frame, not once per branch event.
 package coverage
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/conc"
 )
 
-// Tracker is the campaign-wide coverage state.
-type Tracker struct {
+// nShards is the number of branch shards. Power of two so the shard index is
+// a mask; 64 shards make same-shard collisions between a handful of
+// concurrently recording engines rare.
+const nShards = 64
+
+// shard holds one slice of the branch set plus its segment of the journal.
+type shard struct {
 	mu      sync.RWMutex
 	covered map[conc.BranchBit]struct{}
-	funcs   map[string]struct{}
-
-	// Journal state (delta.go): when journaling, every branch or function
-	// admitted for the first time is also appended here, so DrainDelta can
-	// report "what is new since the last drain" in O(new) without walking
-	// the full corpus.
-	journaling bool
-	jBranches  []conc.BranchBit
-	jFuncs     []string
+	jNew    []conc.BranchBit // journaled admissions (guarded by mu)
 }
 
-// noteBranch admits b under the write lock, journaling it if new.
-func (t *Tracker) noteBranch(b conc.BranchBit) {
-	if _, ok := t.covered[b]; ok {
-		return
-	}
-	t.covered[b] = struct{}{}
-	if t.journaling {
-		t.jBranches = append(t.jBranches, b)
-	}
-}
+func shardOf(b conc.BranchBit) uint32 { return uint32(b) & (nShards - 1) }
 
-// noteFunc admits f under the write lock, journaling it if new.
-func (t *Tracker) noteFunc(f string) {
-	if _, ok := t.funcs[f]; ok {
-		return
-	}
-	t.funcs[f] = struct{}{}
-	if t.journaling {
-		t.jFuncs = append(t.jFuncs, f)
-	}
+// Tracker is the campaign-wide coverage state.
+type Tracker struct {
+	shards [nShards]shard
+	count  atomic.Int64 // total covered branches (sum over shards)
+
+	// journaling (delta.go): when set, every branch or function admitted for
+	// the first time is also appended to its shard's journal (branches) or
+	// jFuncs (functions), so DrainDelta can report "what is new since the
+	// last drain" in O(new) without walking the full corpus. Atomic so the
+	// sharded record path reads it without a global lock.
+	journaling atomic.Bool
+
+	// Functions are far fewer than branch events and arrive once per log, so
+	// they keep a single lock.
+	fmu    sync.RWMutex
+	funcs  map[string]struct{}
+	jFuncs []string
 }
 
 // New returns an empty tracker.
 func New() *Tracker {
-	return &Tracker{
-		covered: map[conc.BranchBit]struct{}{},
-		funcs:   map[string]struct{}{},
+	t := &Tracker{funcs: map[string]struct{}{}}
+	for i := range t.shards {
+		t.shards[i].covered = map[conc.BranchBit]struct{}{}
 	}
+	return t
+}
+
+// noteBranch admits b into its shard, journaling it if new. The fast path —
+// b already covered, the overwhelmingly common case mid-campaign — takes
+// only the shard's read lock.
+func (t *Tracker) noteBranch(b conc.BranchBit) {
+	s := &t.shards[shardOf(b)]
+	s.mu.RLock()
+	_, ok := s.covered[b]
+	s.mu.RUnlock()
+	if ok {
+		return
+	}
+	s.mu.Lock()
+	if _, ok := s.covered[b]; !ok {
+		s.covered[b] = struct{}{}
+		t.count.Add(1)
+		if t.journaling.Load() {
+			s.jNew = append(s.jNew, b)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// noteFunc admits f, journaling it if new.
+func (t *Tracker) noteFunc(f string) {
+	t.fmu.RLock()
+	_, ok := t.funcs[f]
+	t.fmu.RUnlock()
+	if ok {
+		return
+	}
+	t.fmu.Lock()
+	if _, ok := t.funcs[f]; !ok {
+		t.funcs[f] = struct{}{}
+		if t.journaling.Load() {
+			t.jFuncs = append(t.jFuncs, f)
+		}
+	}
+	t.fmu.Unlock()
 }
 
 // AddLog merges one process's log into the tracker.
 func (t *Tracker) AddLog(l *conc.Log) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	for _, b := range l.Covered {
 		t.noteBranch(b)
 	}
@@ -72,60 +113,62 @@ func (t *Tracker) AddLog(l *conc.Log) {
 }
 
 // AddBranch marks a single branch covered.
-func (t *Tracker) AddBranch(b conc.BranchBit) {
-	t.mu.Lock()
-	t.noteBranch(b)
-	t.mu.Unlock()
-}
+func (t *Tracker) AddBranch(b conc.BranchBit) { t.noteBranch(b) }
 
 // AddFunc marks a function encountered.
-func (t *Tracker) AddFunc(f string) {
-	t.mu.Lock()
-	t.noteFunc(f)
-	t.mu.Unlock()
-}
+func (t *Tracker) AddFunc(f string) { t.noteFunc(f) }
 
 // Merge unions src into t (set union of branches and functions). Merging an
 // empty tracker is a no-op. Both trackers may be in concurrent use: src is
-// snapshotted under its read lock before t is written, so Merge(a,b) and
-// Merge(b,a) from different goroutines cannot deadlock.
+// snapshotted shard by shard under read locks before t is written, and no
+// lock of t is held while a lock of src is, so Merge(a,b) and Merge(b,a)
+// from different goroutines cannot deadlock.
 func (t *Tracker) Merge(src *Tracker) {
 	if src == nil || src == t {
 		return
 	}
-	src.mu.RLock()
-	bs := make([]conc.BranchBit, 0, len(src.covered))
-	for b := range src.covered {
-		bs = append(bs, b)
-	}
-	fs := make([]string, 0, len(src.funcs))
-	for f := range src.funcs {
-		fs = append(fs, f)
-	}
-	src.mu.RUnlock()
-
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for _, b := range bs {
+	for _, b := range src.branchSnapshot() {
 		t.noteBranch(b)
 	}
-	for _, f := range fs {
+	for _, f := range src.funcSnapshot() {
 		t.noteFunc(f)
 	}
 }
 
-// Count returns the number of covered branches.
-func (t *Tracker) Count() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.covered)
+// branchSnapshot copies the covered set, shard by shard (unsorted).
+func (t *Tracker) branchSnapshot() []conc.BranchBit {
+	out := make([]conc.BranchBit, 0, t.count.Load())
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for b := range s.covered {
+			out = append(out, b)
+		}
+		s.mu.RUnlock()
+	}
+	return out
 }
+
+// funcSnapshot copies the function set (unsorted).
+func (t *Tracker) funcSnapshot() []string {
+	t.fmu.RLock()
+	out := make([]string, 0, len(t.funcs))
+	for f := range t.funcs {
+		out = append(out, f)
+	}
+	t.fmu.RUnlock()
+	return out
+}
+
+// Count returns the number of covered branches (lock-free).
+func (t *Tracker) Count() int { return int(t.count.Load()) }
 
 // Covered reports whether branch b has been executed.
 func (t *Tracker) Covered(b conc.BranchBit) bool {
-	t.mu.RLock()
-	_, ok := t.covered[b]
-	t.mu.RUnlock()
+	s := &t.shards[shardOf(b)]
+	s.mu.RLock()
+	_, ok := s.covered[b]
+	s.mu.RUnlock()
 	return ok
 }
 
@@ -137,12 +180,7 @@ func (t *Tracker) SiteTouched(site conc.CondID) bool {
 
 // Branches returns the covered branches in sorted order.
 func (t *Tracker) Branches() []conc.BranchBit {
-	t.mu.RLock()
-	out := make([]conc.BranchBit, 0, len(t.covered))
-	for b := range t.covered {
-		out = append(out, b)
-	}
-	t.mu.RUnlock()
+	out := t.branchSnapshot()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -150,8 +188,8 @@ func (t *Tracker) Branches() []conc.BranchBit {
 // Funcs returns a copy of the set of functions encountered, for the
 // reachable-branch estimate.
 func (t *Tracker) Funcs() map[string]struct{} {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.fmu.RLock()
+	defer t.fmu.RUnlock()
 	out := make(map[string]struct{}, len(t.funcs))
 	for f := range t.funcs {
 		out[f] = struct{}{}

@@ -33,28 +33,30 @@ func (d Delta) Empty() bool { return len(d.Branches) == 0 && len(d.Funcs) == 0 }
 // Coverage already present when journaling starts is NOT part of any delta:
 // a worker that resumes a shard from a snapshot restores the snapshot's
 // coverage first and journals only what its own iterations add. Idempotent.
-func (t *Tracker) StartJournal() {
-	t.mu.Lock()
-	t.journaling = true
-	t.mu.Unlock()
-}
+func (t *Tracker) StartJournal() { t.journaling.Store(true) }
 
 // DrainDelta returns the branches and functions admitted since the last
 // drain (or since StartJournal) and resets the journal. The slices are
-// sorted, so a drained delta is deterministic in the tracker's history.
-// Draining a tracker that is not journaling returns an empty delta.
+// sorted, so a drained delta is deterministic in the tracker's history
+// regardless of which shards the entries landed on. Draining a tracker that
+// is not journaling returns an empty delta.
 func (t *Tracker) DrainDelta() Delta {
-	t.mu.Lock()
 	var d Delta
-	if len(t.jBranches) > 0 {
-		d.Branches = t.jBranches
-		t.jBranches = nil
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		if len(s.jNew) > 0 {
+			d.Branches = append(d.Branches, s.jNew...)
+			s.jNew = nil
+		}
+		s.mu.Unlock()
 	}
+	t.fmu.Lock()
 	if len(t.jFuncs) > 0 {
 		d.Funcs = t.jFuncs
 		t.jFuncs = nil
 	}
-	t.mu.Unlock()
+	t.fmu.Unlock()
 	sort.Slice(d.Branches, func(i, j int) bool { return d.Branches[i] < d.Branches[j] })
 	sort.Strings(d.Funcs)
 	return d
@@ -65,8 +67,6 @@ func (t *Tracker) DrainDelta() Delta {
 // trackers can be chained: a coordinator applying worker deltas into a
 // journaled tracker re-emits exactly the genuinely new entries.
 func (t *Tracker) ApplyDelta(d Delta) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	for _, b := range d.Branches {
 		t.noteBranch(b)
 	}

@@ -1,0 +1,148 @@
+package expr
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// KeyMemo caches CanonicalKey results. Canonicalization (normalize, WL
+// refinement, greedy minimal ordering) is the priciest per-proposal step in
+// the engine's restart loop, and the loop re-derives literally identical
+// predicate sequences over and over: every proposal shares the semantic
+// constraints and the path prefix of the previous one, and every restart
+// replays whole prefixes. A memo keyed on the exact sequence answers those
+// repeats with a map lookup.
+//
+// Soundness: the memo key is the raw serialization of the predicate sequence
+// — order-sensitive, raw variable IDs, fully parenthesized trees — which is
+// injective on predicate sequences. Two sequences share a raw key only when
+// they are the same predicates in the same order, and then CanonicalKey is
+// trivially equal, so memoization can never produce a key a fresh
+// CanonicalKey call would not. (The converse is deliberately not attempted:
+// rename-equivalent sequences miss the memo and recompute — correctness
+// never depends on memo hits.)
+//
+// Raw serialization itself is accelerated by a per-*Expr-pointer string
+// cache: Expr trees are immutable by contract and heavily shared between the
+// predicates of one campaign (every proposal's path prefix aliases the same
+// trees), so each distinct tree is rendered once.
+//
+// A KeyMemo is safe for concurrent use. Memory is bounded: when either map
+// exceeds the cap the memo resets (epoch flush) rather than evicting — the
+// working set of a campaign is small and rebuilt in a few proposals.
+type KeyMemo struct {
+	mu    sync.Mutex
+	cap   int
+	keys  map[string]Key
+	trees map[*Expr]string
+
+	hits    int64
+	lookups int64
+}
+
+// DefaultKeyMemoCap bounds the number of cached sequences (and cached tree
+// renderings) before an epoch flush.
+const DefaultKeyMemoCap = 1 << 14
+
+// NewKeyMemo returns an empty memo holding at most cap entries per table
+// (cap <= 0 selects DefaultKeyMemoCap).
+func NewKeyMemo(cap int) *KeyMemo {
+	if cap <= 0 {
+		cap = DefaultKeyMemoCap
+	}
+	return &KeyMemo{
+		cap:   cap,
+		keys:  map[string]Key{},
+		trees: map[*Expr]string{},
+	}
+}
+
+// Key returns CanonicalKey(preds), from cache when this exact sequence was
+// seen before. A nil memo computes fresh.
+func (m *KeyMemo) Key(preds []Pred) Key {
+	if m == nil {
+		return CanonicalKey(preds)
+	}
+	m.mu.Lock()
+	m.lookups++
+	raw := m.rawLocked(preds)
+	if k, ok := m.keys[raw]; ok {
+		m.hits++
+		m.mu.Unlock()
+		return k
+	}
+	m.mu.Unlock()
+
+	// Canonicalize outside the lock: it is the expensive part, and
+	// recomputing on a racing miss is merely redundant, never wrong.
+	k := CanonicalKey(preds)
+
+	m.mu.Lock()
+	if len(m.keys) >= m.cap {
+		m.keys = map[string]Key{}
+	}
+	m.keys[raw] = k
+	m.mu.Unlock()
+	return k
+}
+
+// Stats reports (cache hits, total lookups).
+func (m *KeyMemo) Stats() (hits, lookups int64) {
+	if m == nil {
+		return 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.lookups
+}
+
+// rawLocked serializes preds in order under raw variable IDs. Must be called
+// with m.mu held (it reads and fills the tree cache).
+func (m *KeyMemo) rawLocked(preds []Pred) string {
+	var b strings.Builder
+	for _, p := range preds {
+		b.WriteByte(byte('0' + p.Rel))
+		b.WriteByte(':')
+		if p.E != nil {
+			s, ok := m.trees[p.E]
+			if !ok {
+				var tb strings.Builder
+				writeRaw(&tb, p.E)
+				s = tb.String()
+				if len(m.trees) >= m.cap {
+					m.trees = map[*Expr]string{}
+				}
+				m.trees[p.E] = s
+			}
+			b.WriteString(s)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// writeRaw renders e fully parenthesized with raw variable IDs — an injective
+// serialization (distinct trees never render equal).
+func writeRaw(b *strings.Builder, e *Expr) {
+	switch e.Op {
+	case OpConst:
+		b.WriteByte('c')
+		b.WriteString(strconv.FormatInt(e.K, 10))
+	case OpVar:
+		b.WriteByte('x')
+		b.WriteString(strconv.FormatInt(int64(e.V), 10))
+	case OpNeg:
+		b.WriteString("n(")
+		writeRaw(b, e.L)
+		b.WriteByte(')')
+	default:
+		b.WriteByte('(')
+		writeRaw(b, e.L)
+		b.WriteByte(' ')
+		b.WriteString(e.Op.String())
+		b.WriteByte(' ')
+		writeRaw(b, e.R)
+		b.WriteByte(')')
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/binstat"
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/sched"
@@ -42,6 +43,14 @@ type Options struct {
 	// Default 8. Merge deltas flow every iteration regardless; this only
 	// paces the O(corpus) snapshot frames.
 	SnapshotEvery int
+
+	// Profile asks every worker (via the welcome frame) to run its engines
+	// under a phase profiler and ship per-shard reports; the coordinator
+	// aggregates them fleet-wide, shows the top bins on the status endpoint,
+	// and attaches the rollup to the final report. Workers profiling on
+	// their own (-profile on `compi work`) feed the same aggregate even when
+	// this is off.
+	Profile bool
 
 	// Logf, when non-nil, receives coordinator event lines (leases granted,
 	// reclaims, completions).
@@ -81,6 +90,8 @@ type Coordinator struct {
 	wire  []WireSpec
 	keys  []string // sched.SetupKey per spec; "" = not persistable
 
+	prof *binstat.Profiler // fleet-wide rollup of worker-shipped reports
+
 	mu         sync.Mutex
 	shards     []shardState
 	sessions   map[int]*session
@@ -119,6 +130,7 @@ func NewCoordinator(specs []sched.Spec, opt Options) *Coordinator {
 	}
 	c := &Coordinator{
 		opt:      opt,
+		prof:     binstat.New(),
 		specs:    specs,
 		wire:     make([]WireSpec, len(specs)),
 		keys:     make([]string, len(specs)),
@@ -410,6 +422,7 @@ func (c *Coordinator) handle(conn net.Conn) {
 		TTLMS:         c.opt.TTL.Milliseconds(),
 		RetryMS:       c.opt.Retry.Milliseconds(),
 		SnapshotEvery: c.opt.SnapshotEvery,
+		Profile:       c.opt.Profile,
 	}})
 	if err != nil {
 		return
@@ -571,6 +584,10 @@ func (c *Coordinator) applyComplete(cp *Complete) {
 	defer c.mu.Unlock()
 	if i := c.findLocked(cp.Lease); i >= 0 {
 		c.completeShardLocked(i, cp.Snapshot)
+		// Fold after resolving the shard: stale leases (reclaimed shards
+		// whose first holder reports late) are discarded above, so a
+		// re-leased shard's bins land exactly once.
+		c.prof.AddReport(cp.Profile)
 	}
 }
 
@@ -600,6 +617,7 @@ func (c *Coordinator) Wait() *sched.Report {
 	if c.man != nil {
 		rep.BatchID = c.man.ID
 	}
+	rep.Profile = c.prof.Report()
 	return rep
 }
 
@@ -648,6 +666,9 @@ func (c *Coordinator) StatusText() string {
 	}
 	app("fleet batch %s: %d/%d shards resolved, up %s\n",
 		batch, c.resolved, len(c.shards), time.Since(c.start).Round(time.Second))
+	if prof := c.prof.Report(); len(prof) > 0 {
+		app("%s\n", prof.Line(6))
+	}
 	app("\nshards:\n")
 	for i := range c.shards {
 		sh := &c.shards[i]

@@ -395,3 +395,45 @@ func TestFleetStatusText(t *testing.T) {
 		t.Fatalf("drained status:\n%s", st)
 	}
 }
+
+// TestFleetProfileRollup: a coordinator with Profile on makes its workers
+// run engines under phase profilers, aggregates the shipped per-shard
+// reports, surfaces the top bins on the status endpoint, and — because
+// profiling is observational — produces a report fingerprint identical to
+// an unprofiled single-process sched.Run.
+func TestFleetProfileRollup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	const iters = 5
+	specs := fleetSpecs(iters)[:2] // two skeleton shards
+	ref := sched.Run(fleetSpecs(iters)[:2], sched.Options{Workers: 1})
+	want := fingerprintOf(ref)
+
+	c, addr := startFleet(t, specs, fleet.Options{Profile: true})
+	workInProcess(t, addr, 1)
+	rep := c.Wait()
+	for _, camp := range rep.Campaigns {
+		if camp.Err != nil {
+			t.Fatalf("fleet campaign %q: %v", camp.Label, camp.Err)
+		}
+	}
+	if got := fingerprintOf(rep); !reflect.DeepEqual(got, want) {
+		t.Fatal("profiled fleet report diverged from unprofiled sched.Run")
+	}
+
+	exe, ok := rep.Profile.Get("execute")
+	if !ok {
+		t.Fatalf("fleet profile has no execute bin: %v", rep.Profile)
+	}
+	total := 0
+	for _, camp := range rep.Campaigns {
+		total += len(camp.Result.Iterations)
+	}
+	if exe.Count != int64(total) {
+		t.Fatalf("fleet execute bin count %d, want %d (one per iteration across shards)", exe.Count, total)
+	}
+	if st := c.StatusText(); !strings.Contains(st, "profile: ") || !strings.Contains(st, "execute=") {
+		t.Fatalf("status text missing profile line:\n%s", st)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/binstat"
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/proto"
@@ -122,6 +123,12 @@ type Welcome struct {
 	RetryMS int64 `json:"retry_ms"`
 	// SnapshotEvery is the progress-snapshot cadence in iterations.
 	SnapshotEvery int `json:"snapshot_every"`
+	// Profile asks workers to run their engines under a phase profiler and
+	// ship the per-shard report in the complete frame. Profiling is
+	// observational — trajectories are pinned byte-identical either way — so
+	// a worker may also enable it locally; this flag just lets one
+	// coordinator switch the whole fleet.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // LeaseRequest asks for the next shard.
@@ -180,10 +187,14 @@ type Merge struct {
 	Errors []core.ErrorRecord `json:"errors,omitempty"`
 }
 
-// Complete finishes a shard with its final snapshot.
+// Complete finishes a shard with its final snapshot. Profile, when present,
+// is the shard engine's phase-profile report (the worker ran with profiling
+// on); the coordinator folds it into the fleet-wide aggregate shown by the
+// status endpoint.
 type Complete struct {
 	Lease    string         `json:"lease"`
 	Snapshot *core.Snapshot `json:"snapshot"`
+	Profile  binstat.Report `json:"profile,omitempty"`
 }
 
 // ErrorReport fails a shard: the spec cannot run, deterministically, on any

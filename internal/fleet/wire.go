@@ -72,6 +72,7 @@ func SpecToWire(sp sched.Spec) (WireSpec, error) {
 		{"Config.Trace", cfg.Trace != nil},
 		{"Config.Checkpoint", cfg.Checkpoint != nil},
 		{"Config.ErrorLog", cfg.ErrorLog != nil},
+		{"Config.Profiler", cfg.Profiler != nil},
 	} {
 		if live.present {
 			return WireSpec{}, fmt.Errorf("fleet: spec %q carries a live %s and cannot be dispatched", sp.DisplayLabel(), live.field)

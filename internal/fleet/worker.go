@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/binstat"
 	"repro/internal/core"
 	"repro/internal/proto"
 	"repro/internal/target"
@@ -28,6 +29,11 @@ type WorkerOptions struct {
 	// DialWindow is how long to keep retrying the initial connection (the
 	// coordinator may start after the workers). Default 10s.
 	DialWindow time.Duration
+
+	// Profile runs every leased engine under a phase profiler and ships the
+	// per-shard report with the complete frame. The coordinator's welcome
+	// can also switch this on fleet-wide; either source enables it.
+	Profile bool
 
 	// Logf, when non-nil, receives worker event lines.
 	Logf func(format string, args ...any)
@@ -123,7 +129,7 @@ func workOne(addr, name string, opt WorkerOptions) error {
 			}
 			time.Sleep(retry)
 		case LeaseGranted:
-			runLease(write, lease, ttl, w.SnapshotEvery, logf)
+			runLease(write, lease, ttl, w.SnapshotEvery, opt.Profile || w.Profile, logf)
 		default:
 			return nil
 		}
@@ -185,9 +191,14 @@ func (t *errorTail) drain() []core.ErrorRecord {
 // Deterministic spec failures (unknown target, unstartable external binary)
 // are reported as error frames; transport failures are simply dropped — the
 // coordinator's lease deadline handles a worker that can no longer speak.
-func runLease(write func(Frame) error, lease *Lease, ttl time.Duration, snapshotEvery int, logf func(string, ...any)) {
+func runLease(write func(Frame) error, lease *Lease, ttl time.Duration, snapshotEvery int, profile bool, logf func(string, ...any)) {
 	sp := SpecFromWire(*lease.Spec)
 	cfg := sp.Config
+	if profile && cfg.Profiler == nil {
+		// One profiler per lease: the complete frame then carries exactly
+		// this shard's bins, and the coordinator does the fleet-wide rollup.
+		cfg.Profiler = binstat.New()
+	}
 	fail := func(err error) {
 		logf("fleet: lease %s: %v", lease.ID, err)
 		write(Frame{Type: FrameError, Error: &ErrorReport{Lease: lease.ID, Msg: err.Error()}})
@@ -279,7 +290,9 @@ func runLease(write func(Frame) error, lease *Lease, ttl time.Duration, snapshot
 	eng.Run()
 	close(stopRenew)
 	final := eng.Snapshot()
-	write(Frame{Type: FrameComplete, Complete: &Complete{Lease: lease.ID, Snapshot: final}})
+	write(Frame{Type: FrameComplete, Complete: &Complete{
+		Lease: lease.ID, Snapshot: final, Profile: cfg.Profiler.Report(),
+	}})
 	logf("fleet: lease %s complete at %d iterations", lease.ID, final.Iters)
 }
 

@@ -162,7 +162,7 @@ func Launch(spec Spec) RunResult {
 				}
 			}()
 			res.Log = cp.Log()
-			res.LogBytes = len(res.Log.Encode())
+			res.LogBytes = res.Log.EncodedSize()
 			resMu.Lock()
 			results[rank] = res
 			resMu.Unlock()

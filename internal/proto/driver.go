@@ -199,6 +199,7 @@ func (d *Driver) Launch(s core.LaunchSpec) mpi.RunResult {
 		MaxTicks:  s.MaxTicks,
 		Reduction: s.Reduction,
 		OneWay:    s.OneWay,
+		TraceHint: s.TraceHint,
 		Inputs:    s.Inputs,
 		Params:    s.Params,
 	}})

@@ -112,6 +112,7 @@ type Assign struct {
 	MaxTicks  int64            `json:"max_ticks,omitempty"`
 	Reduction bool             `json:"reduction,omitempty"`
 	OneWay    bool             `json:"one_way,omitempty"`
+	TraceHint int              `json:"trace_hint,omitempty"`
 	Inputs    map[string]int64 `json:"inputs,omitempty"`
 	Params    map[string]int64 `json:"params,omitempty"`
 }

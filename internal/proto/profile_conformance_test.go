@@ -1,0 +1,62 @@
+package proto_test
+
+import (
+	"testing"
+
+	"repro/internal/binstat"
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/target"
+)
+
+// TestProfilingConformance is the measurement-never-perturbs pin at the
+// proto layer: a profiled campaign must be observationally identical to an
+// unprofiled one on both sides of the pipe — in-process and driving an
+// external compi-target process. Profiling lives entirely on the engine
+// side, so the assign frames a profiled driver writes must be byte-for-byte
+// what an unprofiled driver writes; any divergence here means measurement
+// leaked into the protocol.
+func TestProfilingConformance(t *testing.T) {
+	bin := targetBin(t)
+	for _, name := range []string{"skeleton", "stencil"} {
+		t.Run(name, func(t *testing.T) {
+			prog, ok := target.Lookup(name)
+			if !ok {
+				t.Fatalf("target %q not registered", name)
+			}
+
+			cfg := conformanceConfig()
+			cfg.Program = prog
+			plain := core.NewEngine(cfg).Run()
+
+			pcfg := conformanceConfig()
+			pcfg.Program = prog
+			pcfg.Profiler = binstat.New()
+			profiled := core.NewEngine(pcfg).Run()
+			assertConformant(t, plain, profiled)
+
+			drv, err := proto.Start(bin, proto.Options{Args: []string{"-target", name}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer drv.Close()
+			remote, err := drv.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			xcfg := conformanceConfig()
+			xcfg.Program = remote
+			xcfg.Backend = drv
+			xcfg.Profiler = binstat.New()
+			piped := core.NewEngine(xcfg).Run()
+			assertConformant(t, plain, piped)
+
+			// The profiled piped run actually measured: the execute bin saw
+			// every iteration.
+			exe, ok := piped.Profile.Get("execute")
+			if !ok || exe.Count != int64(len(piped.Iterations)) {
+				t.Fatalf("piped campaign execute bin: %+v (want count %d)", exe, len(piped.Iterations))
+			}
+		})
+	}
+}

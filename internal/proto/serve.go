@@ -81,6 +81,7 @@ func Serve(r io.Reader, w io.Writer, prog *target.Program) error {
 			MaxTicks:  a.MaxTicks,
 			Reduction: a.Reduction,
 			OneWay:    a.OneWay,
+			TraceHint: a.TraceHint,
 		})
 
 		for _, rr := range run.Ranks {

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/binstat"
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/proto"
@@ -144,6 +145,11 @@ type Report struct {
 	// the campaign store before the batch started (0 without a store).
 	WarmUnsat int
 
+	// Profile is the batch's phase-profile window (nil unless the run was
+	// given Options.Profiler): every campaign's engine bins plus the shared
+	// solver service's, aggregated across the whole batch.
+	Profile binstat.Report
+
 	// BatchID is the store batch manifest this run wrote (empty without a
 	// store).
 	BatchID string
@@ -216,6 +222,9 @@ func (r *Report) WriteSummary(w io.Writer) {
 	if r.Solver.Calls > 0 {
 		fmt.Fprintf(w, "\n%s\n", r.Solver.Summary())
 	}
+	if len(r.Profile) > 0 {
+		fmt.Fprintf(w, "\n%s", r.Profile.String())
+	}
 	if r.BatchID != "" {
 		fmt.Fprintf(w, "\nstore batch %s (%d warm unsat entries)\n", r.BatchID, r.WarmUnsat)
 	}
@@ -248,6 +257,13 @@ type Options struct {
 	// engine's default private solver.Service. Trajectories are identical
 	// either way; this exists for cache-attribution tests and benchmarks.
 	PrivateSolvers bool
+
+	// Profiler, when non-nil, is shared by every campaign in the batch
+	// (specs whose Config.Profiler is already set keep their own) and by the
+	// shared solver service, so the Report's Profile aggregates the whole
+	// batch's phase bins. Profiling is observational: trajectories are
+	// byte-identical with or without it.
+	Profiler *binstat.Profiler
 
 	// Store, when non-nil, makes the batch durable: campaign snapshots are
 	// checkpointed into the store as they run, a batch manifest tracks
@@ -297,12 +313,13 @@ func Run(specs []Spec, opt Options) *Report {
 	// SAT results and proven-UNSAT sets.
 	shared := opt.Solver
 	if shared == nil && !opt.PrivateSolvers {
-		shared = solver.NewService(solver.ServiceConfig{})
+		shared = solver.NewService(solver.ServiceConfig{Profiler: opt.Profiler})
 	}
 	var solver0 solver.Stats
 	if shared != nil {
 		solver0 = shared.Stats()
 	}
+	prof0 := opt.Profiler.Report()
 
 	// Campaign store wiring: warm the shared service from the persisted
 	// UNSAT cache (proven refutations are run-independent, so this cannot
@@ -326,7 +343,7 @@ func Run(specs []Spec, opt Options) *Report {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				runOne(&rep.Campaigns[i], specs[i], shared, opt.Trace, &traceMu, bp, i, opt.CheckpointEvery)
+				runOne(&rep.Campaigns[i], specs[i], shared, opt.Profiler, opt.Trace, &traceMu, bp, i, opt.CheckpointEvery)
 			}
 		}()
 	}
@@ -338,6 +355,9 @@ func Run(specs []Spec, opt Options) *Report {
 	rep.Elapsed = time.Since(start)
 	if shared != nil {
 		rep.Solver = shared.Stats().Delta(solver0)
+	}
+	if opt.Profiler != nil {
+		rep.Profile = opt.Profiler.Report().Delta(prof0)
 	}
 	if opt.Store != nil {
 		if svc, ok := shared.(*solver.Service); ok {
@@ -392,7 +412,7 @@ func (r *Report) mergeCampaigns() {
 }
 
 // runOne executes a single campaign in the calling worker goroutine.
-func runOne(c *Campaign, spec Spec, shared core.SolverService, trace func(string, core.IterationStat), traceMu *sync.Mutex, bp *batchPersist, idx int, every int) {
+func runOne(c *Campaign, spec Spec, shared core.SolverService, prof *binstat.Profiler, trace func(string, core.IterationStat), traceMu *sync.Mutex, bp *batchPersist, idx int, every int) {
 	c.Spec = spec
 	c.Label = spec.label()
 	c.Target = spec.targetName()
@@ -434,6 +454,9 @@ func runOne(c *Campaign, spec Spec, shared core.SolverService, trace func(string
 	cfg := spec.Config
 	if cfg.Solver == nil {
 		cfg.Solver = shared
+	}
+	if cfg.Profiler == nil {
+		cfg.Profiler = prof
 	}
 	if spec.External != nil {
 		drv, err := proto.Start(spec.External.Bin, proto.Options{

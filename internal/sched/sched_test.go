@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/binstat"
 	"repro/internal/conc"
 	"repro/internal/core"
 	_ "repro/internal/targets/skeleton"
@@ -230,5 +231,51 @@ func TestTraceIsSerializedAndComplete(t *testing.T) {
 	}
 	if len(seen) != want {
 		t.Fatalf("trace saw %d iterations, campaigns ran %d", len(seen), want)
+	}
+}
+
+// TestBatchProfileRollup pins two things about Options.Profiler: profiling
+// a batch never perturbs it (fingerprint-equal to the unprofiled run), and
+// the batch report's Profile window actually contains the campaigns' engine
+// phase bins — not just the shared solver service's — with per-iteration
+// counts that add up across campaigns.
+func TestBatchProfileRollup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	mkSpecs := func() []Spec {
+		return []Spec{skeletonSpec(31), skeletonSpec(32)}
+	}
+
+	plain := Run(mkSpecs(), Options{Workers: 2})
+	if len(plain.Profile) != 0 {
+		t.Fatalf("unprofiled batch has a profile: %v", plain.Profile)
+	}
+
+	prof := binstat.New()
+	profiled := Run(mkSpecs(), Options{Workers: 2, Profiler: prof})
+	if !reflect.DeepEqual(fingerprintOf(plain), fingerprintOf(profiled)) {
+		t.Fatal("profiled batch diverged from the unprofiled batch")
+	}
+
+	var iters int64
+	for _, c := range profiled.Campaigns {
+		iters += int64(len(c.Result.Iterations))
+	}
+	exec, ok := profiled.Profile.Get("execute")
+	if !ok || exec.Count != iters {
+		t.Fatalf("execute bin count %d (present=%v), want one per iteration (%d)", exec.Count, ok, iters)
+	}
+	for _, bin := range []string{"trace-collect", "constraint-build", "solve", "solver.canon"} {
+		if st, ok := profiled.Profile.Get(bin); !ok || st.Count == 0 {
+			t.Fatalf("batch profile missing %q bin: %v", bin, profiled.Profile)
+		}
+	}
+
+	// The summary renders the profile table after the batch lines.
+	var buf bytes.Buffer
+	profiled.WriteSummary(&buf)
+	if !strings.Contains(buf.String(), "execute") {
+		t.Fatalf("WriteSummary omitted the profile table:\n%s", buf.String())
 	}
 }

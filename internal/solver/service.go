@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/binstat"
 	"repro/internal/expr"
 )
 
@@ -43,6 +44,16 @@ type Service struct {
 	sat   *lru[[32]byte, map[expr.Var]int64]
 	unsat *lru[unsatKey, struct{}]
 	stats Stats
+
+	// memo caches canonical keys: solveCached needs the canonical form of
+	// every conjunction for the UNSAT cache, and engines re-submit the same
+	// incremental subsets throughout a campaign. Self-locking, shared by all
+	// callers of the service.
+	memo *expr.KeyMemo
+
+	// prof, when non-nil, receives the service's own bins ("solver.canon",
+	// "solver.live"). Purely observational.
+	prof *binstat.Profiler
 }
 
 // unsatKey is a refuted canonical form. Bounds propagation depends on the
@@ -58,6 +69,13 @@ type ServiceConfig struct {
 	// (least-recently-used eviction). Negative disables that cache.
 	MaxSAT   int
 	MaxUnsat int
+
+	// Profiler, when non-nil, receives the service's wall-clock bins:
+	// "solver.canon" (canonical-key computation per call, memo hits
+	// included) and "solver.live" (live backtracking solves). Profiling is
+	// purely observational and the profiler may be shared with the engines
+	// using this service.
+	Profiler *binstat.Profiler
 }
 
 // Default cache bounds.
@@ -77,6 +95,8 @@ func NewService(cfg ServiceConfig) *Service {
 	return &Service{
 		sat:   newLRU[[32]byte, map[expr.Var]int64](cfg.MaxSAT),
 		unsat: newLRU[unsatKey, struct{}](cfg.MaxUnsat),
+		memo:  expr.NewKeyMemo(0),
+		prof:  cfg.Profiler,
 	}
 }
 
@@ -163,7 +183,9 @@ func (s *Service) Solve(preds []expr.Pred, prev map[expr.Var]int64, opt Options)
 // third return reports whether the UNSAT was proven (an UNSAT-cache hit is
 // by construction a proven refutation).
 func (s *Service) solveCached(sub []expr.Pred, prev map[expr.Var]int64, opt Options) (map[expr.Var]int64, bool, bool) {
-	uk := unsatKey{canon: expr.CanonicalKey(sub), lo: opt.Lo, hi: opt.Hi}
+	csp := s.prof.Time("solver.canon")
+	uk := unsatKey{canon: s.memo.Key(sub), lo: opt.Lo, hi: opt.Hi}
+	csp.End()
 	sk := satFingerprint(sub, prev, opt)
 
 	s.mu.Lock()
@@ -190,6 +212,7 @@ func (s *Service) solveCached(sub []expr.Pred, prev map[expr.Var]int64, opt Opti
 	p := newProblem(sub, prev, opt)
 	vals, ok, proven := p.solve()
 	elapsed := time.Since(start)
+	s.prof.Observe("solver.live", elapsed)
 
 	s.mu.Lock()
 	s.stats.LiveTime += elapsed

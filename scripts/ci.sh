@@ -36,6 +36,11 @@ go test -race ./internal/target/...
 echo "== go test -race ./internal/solver ./internal/sched ./internal/coverage ./internal/store =="
 go test -race ./internal/solver ./internal/sched ./internal/coverage ./internal/store
 
+echo "== go test -race ./internal/binstat ./internal/expr =="
+# The profiler's concurrent bin updates and the canonical-key memo are both
+# lock-striped hot paths; the race detector is the test that matters.
+go test -race ./internal/binstat ./internal/expr
+
 echo "== go test -race ./internal/fleet =="
 go test -race ./internal/fleet
 
@@ -59,6 +64,25 @@ fi
   echo "compi store could not read back the state dir" >&2; exit 1; }
 go test ./internal/sched -run 'TestStoreBatchResumeEqualsFresh|TestStoreCrossBatchReuse' -count=1
 rm -rf "$STATE_DIR"
+
+echo "== profiling determinism (compi drive -bin with and without -profile) =="
+# Measurement must never perturb the campaign: a profiled drive of an
+# out-of-process target must report the same iterations/coverage/solver/error
+# summary as the unprofiled drive. (The core- and proto-layer versions of
+# this pin are tests; this one exercises the actual CLI flag.)
+PROF_DIR="$(mktemp -d)"
+"$BIN_DIR/compi" drive -bin "$COMPI_TARGET_BIN" -iters 60 -seed 9 -- -target stencil \
+  > "$PROF_DIR/plain.out"
+"$BIN_DIR/compi" drive -bin "$COMPI_TARGET_BIN" -iters 60 -seed 9 -profile -- -target stencil \
+  > "$PROF_DIR/profiled.out"
+if ! diff <(grep -E '^(iterations|covered|solver calls|error kinds)' "$PROF_DIR/plain.out") \
+          <(grep -E '^(iterations|covered|solver calls|error kinds)' "$PROF_DIR/profiled.out"); then
+  echo "profiled drive diverged from the unprofiled drive" >&2
+  exit 1
+fi
+grep -q '^bin ' "$PROF_DIR/profiled.out" || grep -qE '^execute|^solve' "$PROF_DIR/profiled.out" || {
+  echo "profiled drive printed no profile table" >&2; exit 1; }
+rm -rf "$PROF_DIR"
 
 echo "== fleet determinism (serve + 2 workers == sched -j2) =="
 # A coordinator leasing shards to two worker processes must land on the
@@ -102,5 +126,15 @@ go test -run '^$' \
 } > BENCH_fleet.json
 rm -f "$BENCH_OUT"
 echo "wrote BENCH_fleet.json"
+
+echo "== engine throughput trajectory (BENCH_engine.json) =="
+# Iterations per second per core on the paper's two headline targets, with
+# profiling off and on (the pair doubles as the disabled-profiler overhead
+# pin). compi-bench appends to the committed trajectory file and prints each
+# metric's delta against the previous CI run.
+go build -o "$BIN_DIR/compi-bench" ./cmd/compi-bench
+go test -run '^$' -bench 'BenchmarkEngine' -benchtime 5x . \
+  | "$BIN_DIR/compi-bench" -out BENCH_engine.json
+echo "wrote BENCH_engine.json"
 
 echo "CI green."
