@@ -27,6 +27,8 @@ import (
 	"repro/internal/target"
 	_ "repro/internal/targets/hpl"
 	_ "repro/internal/targets/imb"
+	_ "repro/internal/targets/mworder"
+	_ "repro/internal/targets/relay"
 	_ "repro/internal/targets/skeleton"
 	_ "repro/internal/targets/stencil"
 	_ "repro/internal/targets/susy"

@@ -44,6 +44,8 @@ import (
 	"repro/internal/target"
 	_ "repro/internal/targets/hpl"
 	_ "repro/internal/targets/imb"
+	_ "repro/internal/targets/mworder"
+	_ "repro/internal/targets/relay"
 	_ "repro/internal/targets/skeleton"
 	"repro/internal/targets/stencil"
 	"repro/internal/targets/susy"
@@ -75,27 +77,28 @@ func main() {
 		return
 	}
 	var (
-		name     = flag.String("target", "skeleton", "program under test")
-		iters    = flag.Int("iters", 200, "test iterations (program executions)")
-		seed     = flag.Int64("seed", 1, "campaign seed")
-		strategy = flag.String("strategy", "compi", "compi | bounded-dfs | random-branch | uniform-random | cfg")
-		bound    = flag.Int("bound", 0, "explicit DFS depth bound (0 = derive)")
-		dfsPhase = flag.Int("dfs-phase", 50, "pure-DFS executions before BoundedDFS")
-		procs    = flag.Int("np", 8, "initial number of processes")
-		maxProcs = flag.Int("max-np", 16, "process-count cap")
-		noRed    = flag.Bool("no-reduction", false, "disable constraint set reduction")
-		oneWay   = flag.Bool("one-way", false, "disable two-way instrumentation")
-		noFwk    = flag.Bool("no-framework", false, "disable the MPI framework")
-		random   = flag.Bool("random", false, "pure random testing baseline")
-		bugs     = flag.Bool("bugs", false, "leave the seeded SUSY-HMC bugs live")
-		budget   = flag.Duration("budget", 0, "wall-clock budget (0 = none)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-execution watchdog")
-		verbose  = flag.Bool("v", false, "per-iteration trace")
-		list     = flag.Bool("list", false, "list targets")
-		replay   = flag.String("replay", "", `replay one input set, e.g. "x=100,y=50" (skips the campaign)`)
-		state    = flag.String("state", "", "campaign state file: loaded if present, saved after the run")
-		errlog   = flag.String("errlog", "", "append error-inducing inputs as JSON lines to this file")
-		profile  = flag.Bool("profile", false, "measure the iteration loop's phase bins and print the table after the summary")
+		name      = flag.String("target", "skeleton", "program under test")
+		iters     = flag.Int("iters", 200, "test iterations (program executions)")
+		seed      = flag.Int64("seed", 1, "campaign seed")
+		strategy  = flag.String("strategy", "compi", "compi | bounded-dfs | random-branch | uniform-random | cfg")
+		bound     = flag.Int("bound", 0, "explicit DFS depth bound (0 = derive)")
+		dfsPhase  = flag.Int("dfs-phase", 50, "pure-DFS executions before BoundedDFS")
+		procs     = flag.Int("np", 8, "initial number of processes")
+		maxProcs  = flag.Int("max-np", 16, "process-count cap")
+		noRed     = flag.Bool("no-reduction", false, "disable constraint set reduction")
+		oneWay    = flag.Bool("one-way", false, "disable two-way instrumentation")
+		noFwk     = flag.Bool("no-framework", false, "disable the MPI framework")
+		random    = flag.Bool("random", false, "pure random testing baseline")
+		schedules = flag.Bool("schedules", false, "explore wildcard-receive match orders (schedule-space testing with deadlock detection)")
+		bugs      = flag.Bool("bugs", false, "leave the seeded SUSY-HMC bugs live")
+		budget    = flag.Duration("budget", 0, "wall-clock budget (0 = none)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-execution watchdog")
+		verbose   = flag.Bool("v", false, "per-iteration trace")
+		list      = flag.Bool("list", false, "list targets")
+		replay    = flag.String("replay", "", `replay one input set, e.g. "x=100,y=50" (skips the campaign)`)
+		state     = flag.String("state", "", "campaign state file: loaded if present, saved after the run")
+		errlog    = flag.String("errlog", "", "append error-inducing inputs as JSON lines to this file")
+		profile   = flag.Bool("profile", false, "measure the iteration loop's phase bins and print the table after the summary")
 	)
 	flag.Parse()
 
@@ -159,6 +162,7 @@ func main() {
 		OneWay:       *oneWay,
 		Framework:    !*noFwk,
 		PureRandom:   *random,
+		Schedules:    *schedules,
 		Seed:         *seed,
 		RunTimeout:   *timeout,
 	}
@@ -246,6 +250,10 @@ func printResult(prog *target.Program, res core.Result) {
 	fmt.Printf("coverage rate   %.1f%% of reachable\n", 100*res.CoverageRate(prog))
 	fmt.Printf("solver calls    %d (%d unsat)\n", res.SolverCall, res.UnsatCalls)
 	fmt.Printf("%s\n", res.Solver.Summary())
+	if res.Schedule != (core.ScheduleStats{}) {
+		fmt.Printf("schedules       %d choice points, %d orders explored, %d deadlocks\n",
+			res.Schedule.ChoicePoints, res.Schedule.Orders, res.Schedule.Deadlocks)
+	}
 
 	distinct := res.DistinctErrors()
 	fmt.Printf("error kinds     %d\n", len(distinct))
@@ -268,23 +276,24 @@ func printResult(prog *target.Program, res core.Result) {
 func runDrive(args []string) {
 	fs := flag.NewFlagSet("compi drive", flag.ExitOnError)
 	var (
-		bin      = fs.String("bin", "", "target binary speaking the pipe protocol (required)")
-		manifest = fs.String("manifest", "", "load the program model from this manifest file instead of the handshake")
-		name     = fs.String("target", "", "program to select from a multi-program manifest file")
-		iters    = fs.Int("iters", 200, "test iterations (program executions)")
-		seed     = fs.Int64("seed", 1, "campaign seed")
-		procs    = fs.Int("np", 8, "initial number of processes")
-		maxProcs = fs.Int("max-np", 16, "process-count cap")
-		dfsPhase = fs.Int("dfs-phase", 50, "pure-DFS executions before BoundedDFS")
-		budget   = fs.Duration("budget", 0, "wall-clock budget (0 = none)")
-		timeout  = fs.Duration("timeout", 30*time.Second, "per-execution watchdog")
-		bugs     = fs.Bool("bugs", false, "leave the seeded bugs live")
-		shard    = fs.Int("shard", 1, "split the campaign into N shards by initial setup, one target process each (reported merged)")
-		workers  = fs.Int("j", 0, "concurrently running shards (0 = GOMAXPROCS)")
-		stateDir = fs.String("state-dir", "", "campaign store directory: checkpoint the campaign, resume or reuse prior explorations")
-		verbose  = fs.Bool("v", false, "per-iteration trace")
-		errlog   = fs.String("errlog", "", "append error-inducing inputs as JSON lines to this file")
-		profile  = fs.Bool("profile", false, "measure the iteration loop's phase bins and print the table after the summary")
+		bin       = fs.String("bin", "", "target binary speaking the pipe protocol (required)")
+		manifest  = fs.String("manifest", "", "load the program model from this manifest file instead of the handshake")
+		name      = fs.String("target", "", "program to select from a multi-program manifest file")
+		iters     = fs.Int("iters", 200, "test iterations (program executions)")
+		seed      = fs.Int64("seed", 1, "campaign seed")
+		procs     = fs.Int("np", 8, "initial number of processes")
+		maxProcs  = fs.Int("max-np", 16, "process-count cap")
+		dfsPhase  = fs.Int("dfs-phase", 50, "pure-DFS executions before BoundedDFS")
+		budget    = fs.Duration("budget", 0, "wall-clock budget (0 = none)")
+		timeout   = fs.Duration("timeout", 30*time.Second, "per-execution watchdog")
+		bugs      = fs.Bool("bugs", false, "leave the seeded bugs live")
+		schedules = fs.Bool("schedules", false, "explore wildcard-receive match orders (schedule-space testing with deadlock detection)")
+		shard     = fs.Int("shard", 1, "split the campaign into N shards by initial setup, one target process each (reported merged)")
+		workers   = fs.Int("j", 0, "concurrently running shards (0 = GOMAXPROCS)")
+		stateDir  = fs.String("state-dir", "", "campaign store directory: checkpoint the campaign, resume or reuse prior explorations")
+		verbose   = fs.Bool("v", false, "per-iteration trace")
+		errlog    = fs.String("errlog", "", "append error-inducing inputs as JSON lines to this file")
+		profile   = fs.Bool("profile", false, "measure the iteration loop's phase bins and print the table after the summary")
 	)
 	var rest []string
 	for i, a := range args {
@@ -363,6 +372,7 @@ func runDrive(args []string) {
 		Reduction:    true,
 		Framework:    true,
 		DFSPhase:     *dfsPhase,
+		Schedules:    *schedules,
 		Seed:         *seed,
 		RunTimeout:   *timeout,
 	}
@@ -594,30 +604,32 @@ func runStoreCompact(args []string) {
 // requested target × every seed, optionally sharded); they differ only in
 // who runs it — an in-process scheduler or a fleet of worker processes.
 type gridFlags struct {
-	targets  *string
-	seeds    *string
-	iters    *int
-	budget   *time.Duration
-	timeout  *time.Duration
-	procs    *int
-	maxProcs *int
-	dfsPhase *int
-	bugs     *bool
-	shard    *int
+	targets   *string
+	seeds     *string
+	iters     *int
+	budget    *time.Duration
+	timeout   *time.Duration
+	procs     *int
+	maxProcs  *int
+	dfsPhase  *int
+	bugs      *bool
+	schedules *bool
+	shard     *int
 }
 
 func registerGridFlags(fs *flag.FlagSet) *gridFlags {
 	return &gridFlags{
-		targets:  fs.String("targets", "", "comma-separated target list (default: all registered)"),
-		seeds:    fs.String("seeds", "1", "comma-separated campaign seeds (one campaign per target per seed)"),
-		iters:    fs.Int("iters", 200, "test iterations per campaign"),
-		budget:   fs.Duration("budget", 0, "per-campaign wall-clock budget (0 = none)"),
-		timeout:  fs.Duration("timeout", 30*time.Second, "per-execution watchdog"),
-		procs:    fs.Int("np", 8, "initial number of processes"),
-		maxProcs: fs.Int("max-np", 16, "process-count cap"),
-		dfsPhase: fs.Int("dfs-phase", 50, "pure-DFS executions before BoundedDFS"),
-		bugs:     fs.Bool("bugs", false, "leave the seeded bugs live"),
-		shard:    fs.Int("shard", 1, "split every campaign into N shards by initial setup (reported merged)"),
+		targets:   fs.String("targets", "", "comma-separated target list (default: all registered)"),
+		seeds:     fs.String("seeds", "1", "comma-separated campaign seeds (one campaign per target per seed)"),
+		iters:     fs.Int("iters", 200, "test iterations per campaign"),
+		budget:    fs.Duration("budget", 0, "per-campaign wall-clock budget (0 = none)"),
+		timeout:   fs.Duration("timeout", 30*time.Second, "per-execution watchdog"),
+		procs:     fs.Int("np", 8, "initial number of processes"),
+		maxProcs:  fs.Int("max-np", 16, "process-count cap"),
+		dfsPhase:  fs.Int("dfs-phase", 50, "pure-DFS executions before BoundedDFS"),
+		bugs:      fs.Bool("bugs", false, "leave the seeded bugs live"),
+		schedules: fs.Bool("schedules", false, "explore wildcard-receive match orders (schedule-space testing with deadlock detection)"),
+		shard:     fs.Int("shard", 1, "split every campaign into N shards by initial setup (reported merged)"),
 	}
 }
 
@@ -663,6 +675,7 @@ func (g *gridFlags) specs() []sched.Spec {
 					Reduction:    true,
 					Framework:    true,
 					DFSPhase:     *g.dfsPhase,
+					Schedules:    *g.schedules,
 					RunTimeout:   *g.timeout,
 				},
 			})

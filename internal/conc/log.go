@@ -27,6 +27,22 @@ type Log struct {
 	// did, which is why one-way instrumentation makes every rank's log
 	// balloon (Table IV).
 	Trace []BranchBit
+	// Matches are this rank's wildcard-receive choice points (schedule-mode
+	// runs only): each quiescent wildcard match with more than one eligible
+	// sender records the eligible-set fingerprint and the index chosen. The
+	// engine negates these indices the way it negates branch predicates.
+	// Recorded by every mode — the engine needs all ranks' choice points,
+	// not just the focus's.
+	Matches []MatchRec
+}
+
+// MatchRec is one recorded wildcard-receive choice point.
+type MatchRec struct {
+	Seq    int32   // global grant sequence within the run (total order)
+	Comm   int32   // communicator the receive matched on
+	Tag    int32   // receive tag
+	Srcs   []int32 // eligible local source ranks, sorted ascending
+	Choice int32   // index into Srcs actually matched
 }
 
 var errTruncated = errors.New("conc: truncated log")
@@ -76,6 +92,23 @@ func (l *Log) Encode() []byte {
 	for _, e := range l.Trace {
 		b = binary.AppendUvarint(b, uint64(e))
 	}
+	// The match-choice section is appended only when non-empty, so logs from
+	// schedule-off runs stay byte-identical to the pre-schedule format (and
+	// old decoders' exact-consumption property carries over: Decode reads
+	// the section iff bytes remain).
+	if len(l.Matches) > 0 {
+		b = binary.AppendUvarint(b, uint64(len(l.Matches)))
+		for _, m := range l.Matches {
+			b = binary.AppendUvarint(b, uint64(m.Seq))
+			b = binary.AppendVarint(b, int64(m.Comm))
+			b = binary.AppendVarint(b, int64(m.Tag))
+			b = binary.AppendUvarint(b, uint64(len(m.Srcs)))
+			for _, s := range m.Srcs {
+				b = binary.AppendVarint(b, int64(s))
+			}
+			b = binary.AppendUvarint(b, uint64(m.Choice))
+		}
+	}
 	return b
 }
 
@@ -122,6 +155,19 @@ func (l *Log) EncodedSize() int {
 	n += uvarintLen(uint64(len(l.Trace)))
 	for _, e := range l.Trace {
 		n += uvarintLen(uint64(e))
+	}
+	if len(l.Matches) > 0 {
+		n += uvarintLen(uint64(len(l.Matches)))
+		for _, m := range l.Matches {
+			n += uvarintLen(uint64(m.Seq))
+			n += varintLen(int64(m.Comm))
+			n += varintLen(int64(m.Tag))
+			n += uvarintLen(uint64(len(m.Srcs)))
+			for _, s := range m.Srcs {
+				n += varintLen(int64(s))
+			}
+			n += uvarintLen(uint64(m.Choice))
+		}
 	}
 	return n
 }
@@ -203,6 +249,21 @@ func Decode(b []byte) (*Log, error) {
 	n = d.count()
 	for i := uint64(0); i < n; i++ {
 		l.Trace = append(l.Trace, BranchBit(d.uvarint()))
+	}
+	if len(d.b) > 0 { // optional trailing match-choice section
+		n = d.count()
+		for i := uint64(0); i < n; i++ {
+			var m MatchRec
+			m.Seq = int32(d.uvarint())
+			m.Comm = int32(d.varint())
+			m.Tag = int32(d.varint())
+			k := d.count()
+			for j := uint64(0); j < k; j++ {
+				m.Srcs = append(m.Srcs, int32(d.varint()))
+			}
+			m.Choice = int32(d.uvarint())
+			l.Matches = append(l.Matches, m)
+		}
 	}
 	if d.err != nil {
 		return nil, d.err

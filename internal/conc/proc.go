@@ -208,6 +208,7 @@ type Proc struct {
 	obsSeen     map[expr.Var]struct{}
 	lastOutcome map[CondID]bool
 	mapping     [][]int32 // local→global rank rows, one per sub-communicator
+	matches     []MatchRec
 	funcsHit    map[string]struct{}
 	ticks       int64
 	tickCheck   int64
@@ -507,5 +508,13 @@ func (p *Proc) Log() *Log {
 		l.Mapping = p.mapping
 		l.Trace = p.trace
 	}
+	l.Matches = p.matches
 	return l
+}
+
+// RecordMatch appends one wildcard-receive choice point to the log. Unlike
+// the trace, matches are recorded in every mode: the engine enumerates
+// untried match indices across all ranks, not just the focus.
+func (p *Proc) RecordMatch(m MatchRec) {
+	p.matches = append(p.matches, m)
 }

@@ -47,6 +47,16 @@ type LaunchSpec struct {
 	// count (the previous focus trace length). Backends pass it to the
 	// runtime as a buffer pre-sizing hint; it never affects behavior.
 	TraceHint int
+
+	// Schedules turns on schedule-space semantics in the runtime: wildcard
+	// receives match at quiescence and are recorded as choice points.
+	Schedules bool
+
+	// MatchOrder directs wildcard match choices per global rank (entry r is
+	// the eligible-set indices rank r's choice points consume in order) —
+	// plain data, serializable across the pipe protocol like the rest of
+	// the spec. Empty means every choice takes the default index.
+	MatchOrder [][]int
 }
 
 // Backend abstracts how one test iteration is executed. The engine computes
@@ -124,7 +134,9 @@ func (b *inProcess) Launch(s LaunchSpec) mpi.RunResult {
 				TraceHint: s.TraceHint,
 			}
 		},
-		Timeout: s.Timeout,
+		Timeout:    s.Timeout,
+		Schedules:  s.Schedules,
+		MatchOrder: s.MatchOrder,
 	})
 }
 

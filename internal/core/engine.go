@@ -77,6 +77,13 @@ type Config struct {
 	// under the same caps (§VI-E Random).
 	PureRandom bool
 
+	// Schedules adds the match-order dimension to the search: wildcard
+	// receives match at quiescence, every multi-candidate match is a
+	// recorded choice point, and the engine negates untried choices into
+	// directed runs the same way it negates branch predicates. Off (the
+	// default) keeps the runtime's historical eager matching bit-for-bit.
+	Schedules bool
+
 	// Backend, when non-nil, executes the campaign's iterations instead of
 	// the default in-process MPI runtime — this is how out-of-process
 	// targets are driven over the pipe protocol (internal/proto). A
@@ -171,6 +178,7 @@ type IterationStat struct {
 	OtherLog  int // max non-focus log bytes
 	Failed    bool
 	Restarted bool
+	Scheduled bool // directed match-order run popped off the schedule frontier
 }
 
 // ErrorRecord is one error-inducing input COMPI logs for bug analysis.
@@ -185,6 +193,14 @@ type ErrorRecord struct {
 	Msg    string
 	Inputs map[string]int64
 	Params map[string]int64 `json:",omitempty"`
+
+	// Schedules and MatchOrder capture the schedule-space context of the
+	// error: Schedules records that the run used quiescent matching, and
+	// MatchOrder is the directive prefix that steered it there (empty for a
+	// default-order run). Replay feeds both back to the runtime, which is
+	// what makes a discovered deadlock reproducible on demand.
+	Schedules  bool    `json:",omitempty"`
+	MatchOrder [][]int `json:",omitempty"`
 }
 
 // Result is the outcome of a campaign.
@@ -220,6 +236,10 @@ type Result struct {
 	// campaigns did in the window, so per-campaign attribution should use
 	// SolverCall/UnsatCalls and read cache rates off the shared service.
 	Solver solver.Stats
+
+	// Schedule summarizes the match-order dimension (zero value unless
+	// Config.Schedules was on).
+	Schedule ScheduleStats
 }
 
 // CoverageRate returns covered / reachable-branch estimate.
@@ -305,6 +325,17 @@ type Engine struct {
 	// recent execution under that setup actually used — the per-setup input
 	// corpora a snapshot carries so future strategies can reseed from them.
 	corpus map[setup]map[string]int64
+
+	// Schedule-frontier state (Config.Schedules). schedPend is the LIFO
+	// stack of pending directed runs (pop from the end = deepest choice
+	// point first, the DFS order); schedSeen holds the serialized key of
+	// every child ever enqueued so re-discovered orders are not re-run;
+	// schedPoints/schedOrders feed Result.Schedule. All four are snapshotted
+	// so a resumed campaign continues the same schedule walk.
+	schedPend   []schedRun
+	schedSeen   map[string]struct{}
+	schedPoints int
+	schedOrders int
 }
 
 type capInfo struct {
@@ -316,17 +347,18 @@ type capInfo struct {
 func NewEngine(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		cfg:     cfg,
-		vars:    conc.NewVarSpace(),
-		cov:     coverage.New(),
-		rng:     newPRNG(cfg.Seed),
-		inputs:  cloneInputs(cfg.Inputs),
-		caps:    map[string]capInfo{},
-		prev:    map[expr.Var]int64{},
-		names:   map[expr.Var]string{},
-		cur:     setup{nprocs: cfg.InitialProcs, focus: cfg.InitialFocus},
-		refuted: map[expr.Key]struct{}{},
-		corpus:  map[setup]map[string]int64{},
+		cfg:       cfg,
+		vars:      conc.NewVarSpace(),
+		cov:       coverage.New(),
+		rng:       newPRNG(cfg.Seed),
+		inputs:    cloneInputs(cfg.Inputs),
+		caps:      map[string]capInfo{},
+		prev:      map[expr.Var]int64{},
+		names:     map[expr.Var]string{},
+		cur:       setup{nprocs: cfg.InitialProcs, focus: cfg.InitialFocus},
+		refuted:   map[expr.Key]struct{}{},
+		corpus:    map[setup]map[string]int64{},
+		schedSeen: map[string]struct{}{},
 	}
 	e.backend = cfg.Backend
 	if e.backend == nil {
@@ -401,14 +433,21 @@ func (e *Engine) Run() Result {
 		SolverCall:   e.solverCalls,
 		UnsatCalls:   e.unsatCalls,
 		RefutedSkips: e.refutedSkips,
+		Schedule:     scheduleStats(e.schedPoints, e.schedOrders, e.errors),
 	}
 	res.Solver = e.solver.Stats().Delta(solver0)
 	res.Profile = e.prof.Report()
 	return res
 }
 
-// iterate performs one launch + one input-generation step.
+// iterate performs one launch + one input-generation step. Pending directed
+// runs on the schedule frontier take priority over input exploration — they
+// are the deepest untried match orders, exactly as unexplored branch
+// negations would be under DFS.
 func (e *Engine) iterate(it int) IterationStat {
+	if e.cfg.Schedules && len(e.schedPend) > 0 {
+		return e.iterateScheduled(it)
+	}
 	stat := IterationStat{NProcs: e.cur.nprocs, Focus: e.cur.focus}
 
 	sp := e.prof.Time("execute")
@@ -446,15 +485,12 @@ func (e *Engine) iterate(it int) IterationStat {
 		rec := ErrorRecord{
 			Iter: it, NProcs: e.cur.nprocs, Focus: e.cur.focus,
 			Status: fe.Status, Rank: fe.Rank, Msg: msg,
-			Inputs: cloneInputs(e.inputs),
-			Params: e.cfg.Params,
+			Inputs:    cloneInputs(e.inputs),
+			Params:    e.cfg.Params,
+			Schedules: e.cfg.Schedules,
 		}
 		e.errors = append(e.errors, rec)
-		if e.cfg.ErrorLog != nil {
-			if b, err := json.Marshal(rec); err == nil {
-				fmt.Fprintf(e.cfg.ErrorLog, "%s\n", b)
-			}
-		}
+		e.logError(rec)
 	}
 
 	focusLog := run.Ranks[e.cur.focus].Log
@@ -481,6 +517,16 @@ func (e *Engine) iterate(it int) IterationStat {
 	// The inputs map now holds exactly the values this setup's execution
 	// consumed: record them as the setup's corpus entry.
 	e.corpus[e.cur] = cloneInputs(e.inputs)
+
+	// Harvest this run's wildcard choice points into the schedule frontier.
+	// The run was free (no directives), so every multi-candidate match is a
+	// negation opportunity. The harvest happens after observation learning so
+	// the inputs pinned into each child are the values this execution
+	// actually consumed — that, plus the directive prefix, is what makes the
+	// child deterministically reach the same choice point.
+	if e.cfg.Schedules {
+		e.harvestMatches(run, nil, e.inputs, e.cur.nprocs, e.cur.focus)
+	}
 	sp.End()
 
 	if e.cfg.PureRandom {
@@ -551,6 +597,16 @@ func (e *Engine) iterate(it int) IterationStat {
 		e.strategy.Accept()
 		e.apply(focusLog, sol)
 		return stat
+	}
+}
+
+// logError emits rec to the persistent error log (one JSON line per record).
+func (e *Engine) logError(rec ErrorRecord) {
+	if e.cfg.ErrorLog == nil {
+		return
+	}
+	if b, err := json.Marshal(rec); err == nil {
+		fmt.Fprintf(e.cfg.ErrorLog, "%s\n", b)
 	}
 }
 
@@ -652,6 +708,7 @@ func (e *Engine) launch(it int) mpi.RunResult {
 		Reduction: e.cfg.Reduction,
 		OneWay:    e.cfg.OneWay,
 		TraceHint: e.traceHint,
+		Schedules: e.cfg.Schedules,
 	})
 }
 
@@ -703,6 +760,8 @@ func Replay(prog *target.Program, rec ErrorRecord, timeout time.Duration) mpi.Ru
 				Params: rec.Params,
 			}
 		},
-		Timeout: timeout,
+		Timeout:    timeout,
+		Schedules:  rec.Schedules || len(rec.MatchOrder) > 0,
+		MatchOrder: rec.MatchOrder,
 	})
 }

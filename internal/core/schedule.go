@@ -1,0 +1,211 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/mpi"
+)
+
+// ScheduleStats summarizes a campaign's schedule-space exploration.
+type ScheduleStats struct {
+	ChoicePoints int // wildcard choice points observed across all executions
+	Orders       int // directed match orders executed (beyond the defaults)
+	Deadlocks    int // distinct deadlock errors found
+}
+
+// schedRun is one pending directed execution on the schedule frontier: the
+// per-rank match-order prefix to replay plus the concrete setup and inputs of
+// the run that discovered it (a match order is only meaningful under the
+// inputs that produced its choice points).
+type schedRun struct {
+	Order  [][]int          `json:"order"`
+	Inputs map[string]int64 `json:"inputs,omitempty"`
+	NProcs int              `json:"nprocs"`
+	Focus  int              `json:"focus"`
+}
+
+// key is the frontier dedup fingerprint. json.Marshal sorts map keys, so the
+// key is deterministic.
+func (sr schedRun) key() string {
+	b, _ := json.Marshal(sr)
+	return string(b)
+}
+
+// matchPoint is one choice point flattened out of a run's rank logs.
+type matchPoint struct {
+	rank    int // global rank that matched
+	rankIdx int // index within that rank's choice-point sequence
+	nsrcs   int // eligible-set size
+	choice  int // index actually matched
+	seq     int // global grant sequence (total order across ranks)
+}
+
+// collectMatches flattens every rank's recorded choice points and orders them
+// by the global grant sequence. Quiescent matching serializes grants, so the
+// sequence is a total order: "the deepest choice point" is well-defined the
+// same way the deepest branch on a path is.
+func collectMatches(run mpi.RunResult) []matchPoint {
+	var pts []matchPoint
+	for _, rr := range run.Ranks {
+		if rr.Log == nil {
+			continue
+		}
+		for i, m := range rr.Log.Matches {
+			pts = append(pts, matchPoint{
+				rank:    rr.Rank,
+				rankIdx: i,
+				nsrcs:   len(m.Srcs),
+				choice:  int(m.Choice),
+				seq:     int(m.Seq),
+			})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].seq < pts[j].seq })
+	return pts
+}
+
+// harvestMatches negates match choices the way the strategy negates branch
+// predicates: for every free choice point of the run (one not directed by the
+// parent's order prefix), every untried eligible index becomes a pending
+// child run whose order replays the choices up to that point and diverges
+// there. Children are pushed shallow-to-deep, and the frontier pops from the
+// end, so the deepest choice point's alternatives run first — the DFS shape
+// of the branch search, transplanted to schedule space.
+func (e *Engine) harvestMatches(run mpi.RunResult, parent [][]int, inputs map[string]int64, nprocs, focus int) {
+	pts := collectMatches(run)
+	if len(pts) == 0 {
+		return
+	}
+	e.schedPoints += len(pts)
+	dir := make([]int, nprocs)
+	for r := 0; r < len(parent) && r < nprocs; r++ {
+		dir[r] = len(parent[r])
+	}
+	for i, pt := range pts {
+		if pt.rank < nprocs && pt.rankIdx < dir[pt.rank] {
+			continue // directed by the parent: its alternatives are already queued
+		}
+		for alt := 0; alt < pt.nsrcs; alt++ {
+			if alt == pt.choice {
+				continue
+			}
+			sr := schedRun{
+				Order:  childOrder(pts[:i], pt, alt, nprocs),
+				Inputs: cloneInputs(inputs),
+				NProcs: nprocs,
+				Focus:  focus,
+			}
+			key := sr.key()
+			if _, dup := e.schedSeen[key]; dup {
+				continue
+			}
+			e.schedSeen[key] = struct{}{}
+			e.schedPend = append(e.schedPend, sr)
+		}
+	}
+}
+
+// childOrder rebuilds the per-rank directive prefix that replays prefix's
+// choices and then takes alt at pt. Within a rank, global sequence order and
+// choice-point order coincide (both are execution order), so grouping the
+// prefix by rank yields exactly the directive streams the runtime consumes.
+func childOrder(prefix []matchPoint, pt matchPoint, alt, nprocs int) [][]int {
+	order := make([][]int, nprocs)
+	for _, p := range prefix {
+		if p.rank < nprocs {
+			order[p.rank] = append(order[p.rank], p.choice)
+		}
+	}
+	if pt.rank < nprocs {
+		order[pt.rank] = append(order[pt.rank], alt)
+	}
+	return order
+}
+
+// iterateScheduled pops the deepest pending directed run and executes it.
+// Scheduled iterations bypass the input-negation machinery entirely — the
+// inputs are pinned to the discovering run's — but merge coverage, record
+// errors (with the order attached for replay), and harvest new choice points
+// like any other execution.
+func (e *Engine) iterateScheduled(it int) IterationStat {
+	n := len(e.schedPend)
+	sr := e.schedPend[n-1]
+	e.schedPend = e.schedPend[:n-1]
+	stat := IterationStat{NProcs: sr.NProcs, Focus: sr.Focus, Scheduled: true}
+
+	sp := e.prof.Time("execute")
+	run := e.backend.Launch(LaunchSpec{
+		Iter:       it,
+		NProcs:     sr.NProcs,
+		Focus:      sr.Focus,
+		Inputs:     cloneInputs(sr.Inputs),
+		Params:     e.cfg.Params,
+		Seed:       e.cfg.Seed + int64(it),
+		Timeout:    e.cfg.RunTimeout,
+		MaxTicks:   e.cfg.MaxTicks,
+		Reduction:  e.cfg.Reduction,
+		OneWay:     e.cfg.OneWay,
+		TraceHint:  e.traceHint,
+		Schedules:  true,
+		MatchOrder: sr.Order,
+	})
+	sp.End()
+	e.schedOrders++
+	stat.RunTime = run.Elapsed
+	stat.Failed = run.Failed()
+
+	sp = e.prof.Time("trace-collect")
+	for _, rr := range run.Ranks {
+		if rr.Log == nil {
+			continue
+		}
+		if e.cfg.Framework || rr.Rank == sr.Focus {
+			e.cov.AddLog(rr.Log)
+		}
+		stat.LogBytes += rr.LogBytes
+		if rr.Rank == sr.Focus {
+			stat.FocusLog = rr.LogBytes
+		} else if rr.LogBytes > stat.OtherLog {
+			stat.OtherLog = rr.LogBytes
+		}
+	}
+	if fe, bad := run.FirstError(); bad {
+		msg := fmt.Sprintf("exit=%d", fe.Exit)
+		if fe.Err != nil {
+			msg = fe.Err.Error()
+		}
+		rec := ErrorRecord{
+			Iter: it, NProcs: sr.NProcs, Focus: sr.Focus,
+			Status: fe.Status, Rank: fe.Rank, Msg: msg,
+			Inputs:     cloneInputs(sr.Inputs),
+			Params:     e.cfg.Params,
+			Schedules:  true,
+			MatchOrder: sr.Order,
+		}
+		e.errors = append(e.errors, rec)
+		e.logError(rec)
+	}
+	e.harvestMatches(run, sr.Order, sr.Inputs, sr.NProcs, sr.Focus)
+	sp.End()
+	return stat
+}
+
+// scheduleStats assembles the campaign's schedule-exploration summary;
+// Deadlocks counts distinct deadlock messages among the error records.
+func scheduleStats(points, orders int, errors []ErrorRecord) ScheduleStats {
+	st := ScheduleStats{ChoicePoints: points, Orders: orders}
+	seen := map[string]struct{}{}
+	for _, rec := range errors {
+		if rec.Status != mpi.StatusDeadlock {
+			continue
+		}
+		if _, dup := seen[rec.Msg]; dup {
+			continue
+		}
+		seen[rec.Msg] = struct{}{}
+		st.Deadlocks++
+	}
+	return st
+}

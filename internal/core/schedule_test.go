@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	_ "repro/internal/targets/mworder"
+	_ "repro/internal/targets/relay"
+)
+
+// schedConfig pins the 3-rank protocol setup the seeded targets need; the
+// wildcard-receive bugs live in the message schedule, not the input space.
+func schedConfig(t *testing.T, name string, schedules bool) Config {
+	return Config{
+		Program: prog(t, name), Iterations: 25,
+		InitialProcs: 3, MaxProcs: 3, Reduction: true,
+		Schedules: schedules, Seed: 7, RunTimeout: 5 * time.Second,
+	}
+}
+
+// deadlockRecord pulls the (single) deadlock error record out of a campaign.
+func deadlockRecord(t *testing.T, res Result) ErrorRecord {
+	t.Helper()
+	var recs []ErrorRecord
+	for _, r := range res.Errors {
+		if r.Status == mpi.StatusDeadlock {
+			recs = append(recs, r)
+		}
+	}
+	if len(recs) == 0 {
+		t.Fatal("campaign found no deadlock")
+	}
+	return recs[0]
+}
+
+// TestScheduleExplorationFindsDeadlocks is the core-level form of the
+// headline claim: with the match-order dimension on, the engine's schedule
+// frontier reaches both seeded wildcard-receive deadlocks and names the
+// wait-for cycle; with it off, the same budget and seed find nothing.
+func TestScheduleExplorationFindsDeadlocks(t *testing.T) {
+	cycles := map[string]string{
+		"mworder": "wait-for cycle 0->2->0",
+		"relay":   "wait-for cycle 0->2->1->0",
+	}
+	for name, cycle := range cycles {
+		t.Run(name, func(t *testing.T) {
+			off := NewEngine(schedConfig(t, name, false)).Run()
+			if n := len(off.Errors); n != 0 {
+				t.Fatalf("input-only exploration found %d errors; the bug must be schedule-only", n)
+			}
+			if off.Schedule != (ScheduleStats{}) {
+				t.Fatalf("schedules-off campaign reported schedule stats: %+v", off.Schedule)
+			}
+			for _, it := range off.Iterations {
+				if it.Scheduled {
+					t.Fatal("schedules-off campaign ran a scheduled iteration")
+				}
+			}
+
+			on := NewEngine(schedConfig(t, name, true)).Run()
+			rec := deadlockRecord(t, on)
+			if !strings.Contains(rec.Msg, cycle) {
+				t.Fatalf("deadlock message %q does not name cycle %q", rec.Msg, cycle)
+			}
+			if len(rec.MatchOrder) == 0 {
+				t.Fatal("deadlock record carries no match-order directive")
+			}
+			if !rec.Schedules {
+				t.Fatal("deadlock record not marked as schedule-directed")
+			}
+			st := on.Schedule
+			if st.ChoicePoints < 1 || st.Orders < 1 || st.Deadlocks != 1 {
+				t.Fatalf("schedule stats %+v, want >=1 choice points, >=1 orders, exactly 1 deadlock", st)
+			}
+		})
+	}
+}
+
+// TestScheduleCampaignDeterminism pins that schedule-space exploration is as
+// deterministic as the input dimension: two identical -schedules campaigns
+// produce byte-for-byte the same trajectory and schedule stats.
+func TestScheduleCampaignDeterminism(t *testing.T) {
+	a := NewEngine(schedConfig(t, "mworder", true)).Run()
+	b := NewEngine(schedConfig(t, "mworder", true)).Run()
+	if !reflect.DeepEqual(projectTrajectory(a), projectTrajectory(b)) {
+		t.Fatal("two identical -schedules campaigns diverged")
+	}
+	if a.Schedule != b.Schedule {
+		t.Fatalf("schedule stats diverged: %+v vs %+v", a.Schedule, b.Schedule)
+	}
+}
+
+// TestScheduleReplayDeterminism pins the developer-facing contract: the
+// error record of a schedule-directed deadlock replays to the same wedge —
+// every live rank reports StatusDeadlock, the cycle description is
+// identical, and the replayed trace matches byte for byte across replays.
+func TestScheduleReplayDeterminism(t *testing.T) {
+	res := NewEngine(schedConfig(t, "relay", true)).Run()
+	rec := deadlockRecord(t, res)
+	p := prog(t, "relay")
+
+	r1 := Replay(p, rec, 5*time.Second)
+	r2 := Replay(p, rec, 5*time.Second)
+	for _, rr := range r1.Ranks {
+		if rr.Status != mpi.StatusDeadlock {
+			t.Fatalf("rank %d replayed to %v, want deadlock", rr.Rank, rr.Status)
+		}
+	}
+	fe, ok := r1.FirstError()
+	if !ok || !strings.Contains(fe.Err.Error(), "wait-for cycle 0->2->1->0") {
+		t.Fatalf("replay error %v does not name the recorded cycle", fe.Err)
+	}
+	for i := range r1.Ranks {
+		a, b := r1.Ranks[i], r2.Ranks[i]
+		if a.Status != b.Status {
+			t.Fatalf("rank %d statuses diverge across replays: %v vs %v", i, a.Status, b.Status)
+		}
+		if !bytes.Equal(a.Log.Encode(), b.Log.Encode()) {
+			t.Fatalf("rank %d traces diverge across replays", i)
+		}
+	}
+}
+
+// TestScheduleResumeDeterminism extends the snapshot determinism contract to
+// the schedule frontier (snapshot schema v3): interrupting a -schedules
+// campaign mid-flight and restoring must replay the exact trajectory of an
+// uninterrupted run, including which deadlock was found and the stats.
+func TestScheduleResumeDeterminism(t *testing.T) {
+	const k, n = 4, 25
+	base := schedConfig(t, "mworder", true)
+	full := base
+	full.Iterations = n
+	want := NewEngine(full).Run()
+
+	head := base
+	head.Iterations = k
+	e1 := NewEngine(head)
+	e1.Run()
+	var buf bytes.Buffer
+	if err := e1.Snapshot().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := NewEngine(full)
+	if err := e2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	got := e2.Run()
+	assertSameCampaign(t, got, want)
+	if got.Schedule != want.Schedule {
+		t.Fatalf("schedule stats diverged after resume: %+v vs %+v", got.Schedule, want.Schedule)
+	}
+	deadlockRecord(t, got)
+}

@@ -17,10 +17,13 @@ import (
 // determinism needs — the global iteration count and per-iteration history,
 // restart history, the engine RNG state, the variable allocation order, the
 // refuted-conjunction keys, the search-strategy position, and the per-setup
-// input corpora. Loaders accept any version ≤ SnapshotVersion (older
-// snapshots resume with degraded fidelity: exploration restarts rather than
-// continuing) and reject newer ones.
-const SnapshotVersion = 2
+// input corpora. Version 3 adds the schedule frontier (pending directed
+// match-order runs, the seen-order dedup set, and the choice-point/order
+// counters) so schedule-space campaigns resume deterministically. Loaders
+// accept any version ≤ SnapshotVersion (older snapshots resume with degraded
+// fidelity: exploration restarts rather than continuing) and reject newer
+// ones.
+const SnapshotVersion = 3
 
 // Snapshot is the persistent campaign state. COMPI itself operates through
 // files between executions; Snapshot captures the equivalent cross-iteration
@@ -78,6 +81,17 @@ type Snapshot struct {
 	// Corpus maps "nprocs/focus" setup keys to the input values most
 	// recently executed under that setup.
 	Corpus map[string]map[string]int64 `json:"corpus,omitempty"`
+
+	// v3 fields: the schedule frontier (Config.Schedules campaigns).
+
+	// SchedPend is the LIFO stack of pending directed match-order runs, and
+	// SchedSeen the sorted serialized keys of every child ever enqueued.
+	SchedPend []schedRun `json:"schedPend,omitempty"`
+	SchedSeen []string   `json:"schedSeen,omitempty"`
+
+	// SchedPoints/SchedOrders are the running Schedule-stats counters.
+	SchedPoints int `json:"schedPoints,omitempty"`
+	SchedOrders int `json:"schedOrders,omitempty"`
 }
 
 // StrategyState is an opaque strategy position tagged with the strategy
@@ -145,6 +159,13 @@ func (e *Engine) Snapshot() *Snapshot {
 			s.Corpus[fmt.Sprintf("%d/%d", st.nprocs, st.focus)] = cloneInputs(inputs)
 		}
 	}
+	s.SchedPend = append([]schedRun(nil), e.schedPend...)
+	for k := range e.schedSeen {
+		s.SchedSeen = append(s.SchedSeen, k)
+	}
+	sort.Strings(s.SchedSeen)
+	s.SchedPoints = e.schedPoints
+	s.SchedOrders = e.schedOrders
 	return s
 }
 
@@ -266,6 +287,13 @@ func (e *Engine) Restore(s *Snapshot) error {
 			e.corpus[setup{nprocs: np, focus: f}] = cloneInputs(inputs)
 		}
 	}
+	e.schedPend = append([]schedRun(nil), s.SchedPend...)
+	e.schedSeen = make(map[string]struct{}, len(s.SchedSeen))
+	for _, k := range s.SchedSeen {
+		e.schedSeen[k] = struct{}{}
+	}
+	e.schedPoints = s.SchedPoints
+	e.schedOrders = s.SchedOrders
 	return nil
 }
 
@@ -300,6 +328,7 @@ func (s *Snapshot) Result() Result {
 		SolverCall:   s.SolverCalls,
 		UnsatCalls:   s.UnsatCalls,
 		RefutedSkips: s.RefutedSkips,
+		Schedule:     scheduleStats(s.SchedPoints, s.SchedOrders, s.Errors),
 	}
 }
 

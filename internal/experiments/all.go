@@ -27,6 +27,7 @@ func Registry() map[string]Runner {
 			return []*Table{t5, f9}
 		},
 		"table6": func(s Scale) []*Table { return []*Table{TableVI(s)} },
+		"sched":  func(s Scale) []*Table { return []*Table{TableSched(s)} },
 	}
 }
 
@@ -44,7 +45,7 @@ func IDs() []string {
 // RunAll executes every experiment once (table5/fig9 share one run) and
 // prints the tables to w.
 func RunAll(w io.Writer, s Scale) {
-	order := []string{"table3", "fig4", "fig6", "bugs", "fig8", "table4", "table5", "table6"}
+	order := []string{"table3", "fig4", "fig6", "bugs", "fig8", "table4", "table5", "table6", "sched"}
 	reg := Registry()
 	for _, id := range order {
 		fmt.Fprintf(w, "--- running %s ---\n", id)

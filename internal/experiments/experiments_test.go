@@ -96,6 +96,42 @@ func TestFig6Shape(t *testing.T) {
 	}
 }
 
+func TestTableSchedHeadline(t *testing.T) {
+	// The headline claim: within the same fixed budget, -schedules finds
+	// both seeded wildcard-receive deadlocks (with the wait-for cycle
+	// named), and input-only exploration finds neither.
+	tab := TableSched(testScale)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows: %d (%+v)", len(tab.Rows), tab.Rows)
+	}
+	wantCycle := map[string]string{
+		"mworder": "wait-for cycle 0->2->0",
+		"relay":   "wait-for cycle 0->2->1->0",
+	}
+	for i := range tab.Rows {
+		name, mode := cell(t, tab, i, 0), cell(t, tab, i, 1)
+		deadlocks, cycle := num(t, cell(t, tab, i, 5)), cell(t, tab, i, 6)
+		switch mode {
+		case "off":
+			if deadlocks != 0 || cycle != "" {
+				t.Fatalf("%s input-only found %v deadlocks (%q); the bug must be schedule-only", name, deadlocks, cycle)
+			}
+		case "on":
+			if deadlocks != 1 {
+				t.Fatalf("%s -schedules found %v deadlocks, want exactly 1", name, deadlocks)
+			}
+			if !strings.Contains(cycle, wantCycle[name]) {
+				t.Fatalf("%s cycle %q, want %q", name, cycle, wantCycle[name])
+			}
+			if orders := num(t, cell(t, tab, i, 4)); orders < 1 {
+				t.Fatalf("%s explored %v directed orders, want >= 1", name, orders)
+			}
+		default:
+			t.Fatalf("row %d has mode %q", i, mode)
+		}
+	}
+}
+
 func TestBugsFindsAllFour(t *testing.T) {
 	s := testScale
 	s.Iters = 150
@@ -257,7 +293,8 @@ func TestRegistryAndIDs(t *testing.T) {
 		t.Fatal("IDs/Registry mismatch")
 	}
 	want := map[string]bool{"table3": true, "fig4": true, "fig6": true, "bugs": true,
-		"fig8": true, "table4": true, "table5": true, "fig9": true, "table6": true}
+		"fig8": true, "table4": true, "table5": true, "fig9": true, "table6": true,
+		"sched": true}
 	for _, id := range ids {
 		if !want[id] {
 			t.Fatalf("unexpected ID %q", id)

@@ -95,7 +95,8 @@ func TestWireSpecRoundTrip(t *testing.T) {
 			InitialProcs: 8, InitialFocus: 1, MaxProcs: 16,
 			Reduction: true, DepthBound: 6, DFSPhase: 10,
 			OneWay: true, Framework: true, PureRandom: true,
-			Seed: 3, RunTimeout: 5 * time.Second, MaxTicks: 1 << 20,
+			Schedules: true,
+			Seed:      3, RunTimeout: 5 * time.Second, MaxTicks: 1 << 20,
 			SolverMaxNodes: 4096,
 		},
 	}

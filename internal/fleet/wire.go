@@ -49,6 +49,7 @@ type WireConfig struct {
 	OneWay         bool             `json:"one_way,omitempty"`
 	Framework      bool             `json:"framework,omitempty"`
 	PureRandom     bool             `json:"pure_random,omitempty"`
+	Schedules      bool             `json:"schedules,omitempty"`
 	Seed           int64            `json:"seed,omitempty"`
 	RunTimeoutMS   int64            `json:"run_timeout_ms,omitempty"`
 	MaxTicks       int64            `json:"max_ticks,omitempty"`
@@ -110,6 +111,7 @@ func SpecToWire(sp sched.Spec) (WireSpec, error) {
 			OneWay:         cfg.OneWay,
 			Framework:      cfg.Framework,
 			PureRandom:     cfg.PureRandom,
+			Schedules:      cfg.Schedules,
 			Seed:           cfg.Seed,
 			RunTimeoutMS:   cfg.RunTimeout.Milliseconds(),
 			MaxTicks:       cfg.MaxTicks,
@@ -146,6 +148,7 @@ func SpecFromWire(w WireSpec) sched.Spec {
 			OneWay:         w.Config.OneWay,
 			Framework:      w.Config.Framework,
 			PureRandom:     w.Config.PureRandom,
+			Schedules:      w.Config.Schedules,
 			Seed:           w.Config.Seed,
 			RunTimeout:     time.Duration(w.Config.RunTimeoutMS) * time.Millisecond,
 			MaxTicks:       w.Config.MaxTicks,

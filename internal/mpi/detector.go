@@ -1,0 +1,288 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// ErrDeadlock is the panic value raised in ranks that are permanently stuck
+// in a wait-for cycle the moment the detector proves no rank can ever make
+// progress. Desc carries the canonical cycle description, so every rank in
+// the same deadlock produces the same dedup key modulo its own rank prefix.
+type ErrDeadlock struct {
+	Rank  int
+	Cycle []int // global ranks forming the wait-for cycle (or stuck chain)
+	Desc  string
+}
+
+func (e *ErrDeadlock) Error() string {
+	return fmt.Sprintf("rank %d: deadlock: %s", e.Rank, e.Desc)
+}
+
+// waitState is one rank's position in the wait-for graph.
+type waitState uint8
+
+const (
+	waitRunning waitState = iota
+	waitBlocked
+	waitDone
+)
+
+// rankWait is one rank's current receive, while blocked.
+type rankWait struct {
+	state    waitState
+	wild     bool
+	srcLocal int // awaited local source rank (when !wild)
+	tag      int
+	comm     int
+	awaited  []int // global ranks whose send could unblock this receive
+	granted  bool  // quiescence match grant issued (schedule mode, wildcard)
+}
+
+// detector maintains the wait-for graph over blocked ranks and, in schedule
+// mode, serializes wildcard matching: a wildcard receive only matches when
+// every other live rank is blocked or finished (quiescence), which makes the
+// eligible set complete and deterministic — the lazy-matching discipline of
+// MPISE/MPI-SV. The same bookkeeping proves deadlocks: the moment every live
+// rank is blocked and no queued message can satisfy any of them, the job is
+// permanently stuck, because sends are buffered and never block.
+type detector struct {
+	mu     sync.Mutex
+	rt     *Runtime
+	sched  bool
+	order  [][]int // per-global-rank wildcard match directives
+	cursor []int   // next directive index per rank
+	waits  []rankWait
+	live   int
+
+	unclean bool // a rank exited abnormally: the job is failing anyway
+	fired   bool
+	stuck   []bool // ranks blocked at fire time
+	cycle   []int
+	desc    string
+
+	seq int // global choice-point sequence, ordering grants across ranks
+}
+
+func newDetector(rt *Runtime, sched bool, order [][]int) *detector {
+	return &detector{
+		rt:     rt,
+		sched:  sched,
+		order:  order,
+		cursor: make([]int, rt.nprocs),
+		waits:  make([]rankWait, rt.nprocs),
+		live:   rt.nprocs,
+	}
+}
+
+// block registers rank as blocked on a receive and re-evaluates the graph.
+// awaited must be sorted ascending for canonical cycle extraction.
+func (d *detector) block(rank int, wild bool, srcLocal, tag, comm int, awaited []int) {
+	d.mu.Lock()
+	w := &d.waits[rank]
+	w.state = waitBlocked
+	w.wild = wild
+	w.srcLocal = srcLocal
+	w.tag = tag
+	w.comm = comm
+	w.awaited = awaited
+	d.check()
+	d.mu.Unlock()
+}
+
+// unblock marks rank as running again. An un-consumed grant survives: the
+// grantee clears it when it actually matches.
+func (d *detector) unblock(rank int) {
+	d.mu.Lock()
+	d.waits[rank].state = waitRunning
+	d.mu.Unlock()
+}
+
+// finish retires rank from the graph. clean is false when the rank panicked
+// or returned a non-zero exit: a failing job cancels itself, so the detector
+// stands down rather than misreport collateral blocking as a deadlock.
+func (d *detector) finish(rank int, clean bool) {
+	d.mu.Lock()
+	d.waits[rank].state = waitDone
+	d.live--
+	if !clean {
+		d.unclean = true
+	}
+	d.check()
+	d.mu.Unlock()
+}
+
+// deadlockErr returns the rank's share of a detected deadlock, or nil.
+func (d *detector) deadlockErr(rank int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.fired || !d.stuck[rank] {
+		return nil
+	}
+	return &ErrDeadlock{Rank: rank, Cycle: d.cycle, Desc: d.desc}
+}
+
+// check runs with d.mu held after every block/finish transition. When all
+// live ranks are blocked it decides: wake (a satisfiable specific match),
+// grant (schedule mode: lowest-rank wildcard waiter with candidates), or
+// fire (provable deadlock).
+func (d *detector) check() {
+	if d.fired || d.unclean || d.live == 0 {
+		return
+	}
+	blocked := 0
+	for i := range d.waits {
+		if d.waits[i].state == waitBlocked {
+			blocked++
+		}
+	}
+	if blocked != d.live {
+		return
+	}
+	grant := -1
+	for r := range d.waits {
+		w := &d.waits[r]
+		if w.state != waitBlocked {
+			continue
+		}
+		if w.granted {
+			return // an outstanding grant will wake r
+		}
+		if w.wild && d.sched {
+			if grant < 0 && d.rt.mbox[r].hasMatch(AnySource, w.tag, w.comm) {
+				grant = r
+			}
+			continue
+		}
+		src := w.srcLocal
+		if w.wild {
+			src = AnySource
+		}
+		if d.rt.mbox[r].hasMatch(src, w.tag, w.comm) {
+			return // r holds a pending notify token and will match
+		}
+	}
+	if grant >= 0 {
+		d.waits[grant].granted = true
+		d.rt.mbox[grant].wake()
+		return
+	}
+	d.fire()
+}
+
+// fire records the deadlock (with d.mu held) and cancels the job; blocked
+// ranks unwind through ErrDeadlock instead of burning the watchdog budget.
+func (d *detector) fire() {
+	d.fired = true
+	d.stuck = make([]bool, len(d.waits))
+	for r := range d.waits {
+		d.stuck[r] = d.waits[r].state == waitBlocked
+	}
+	d.cycle, d.desc = d.buildCycle()
+	d.rt.cancel()
+}
+
+// buildCycle walks the wait-for graph from the lowest blocked rank, always
+// following the smallest blocked awaited rank, until it revisits a node (a
+// cycle) or reaches a rank awaiting only exited peers (a stuck chain). The
+// walk is deterministic, so the description is a stable dedup key.
+func (d *detector) buildCycle() ([]int, string) {
+	start := -1
+	for r := range d.waits {
+		if d.waits[r].state == waitBlocked {
+			start = r
+			break
+		}
+	}
+	if start < 0 {
+		return nil, "no blocked ranks"
+	}
+	pos := map[int]int{}
+	var path []int
+	cur := start
+	for {
+		if i, ok := pos[cur]; ok {
+			cyc := append([]int(nil), path[i:]...)
+			return cyc, cycleDesc(cyc)
+		}
+		pos[cur] = len(path)
+		path = append(path, cur)
+		next := -1
+		for _, a := range d.waits[cur].awaited {
+			if a != cur && d.waits[a].state == waitBlocked {
+				next = a
+				break
+			}
+		}
+		if next < 0 {
+			return append([]int(nil), path...),
+				fmt.Sprintf("rank %d waits on exited peer(s) %v", cur, d.waits[cur].awaited)
+		}
+		cur = next
+	}
+}
+
+func cycleDesc(cyc []int) string {
+	parts := make([]string, 0, len(cyc)+1)
+	for _, r := range cyc {
+		parts = append(parts, fmt.Sprint(r))
+	}
+	parts = append(parts, fmt.Sprint(cyc[0]))
+	return "wait-for cycle " + strings.Join(parts, "->")
+}
+
+// wildMatch is one quiescent wildcard match: the message, the eligible-set
+// fingerprint (sorted candidate local sources), the index chosen, and the
+// global choice sequence number.
+type wildMatch struct {
+	msg    message
+	srcs   []int
+	choice int
+	seq    int
+}
+
+// takeGranted consumes an outstanding quiescence grant for rank: it computes
+// the (stable, complete) candidate set, picks the directed or default index,
+// and removes the chosen message. ok is false when no grant is pending.
+// Lock order is detector.mu then mailbox.mu, matching check's peeks.
+func (d *detector) takeGranted(rank, tag, comm int) (wildMatch, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w := &d.waits[rank]
+	if !w.granted {
+		return wildMatch{}, false
+	}
+	w.granted = false
+	mb := d.rt.mbox[rank]
+	srcs := mb.candidateSources(tag, comm)
+	if len(srcs) == 0 {
+		// Unreachable by construction (grants require a candidate), but a
+		// fuzzer-visible invariant: fall back to blocking again.
+		return wildMatch{}, false
+	}
+	choice := 0
+	var seq int
+	if len(srcs) > 1 {
+		if rank < len(d.order) && d.cursor[rank] < len(d.order[rank]) {
+			choice = d.order[rank][d.cursor[rank]]
+			if choice < 0 {
+				choice = 0
+			}
+			if choice >= len(srcs) {
+				choice = len(srcs) - 1
+			}
+		}
+		d.cursor[rank]++
+		seq = d.seq
+		d.seq++
+	}
+	msg, ok := mb.take(srcs[choice], tag, comm)
+	if !ok {
+		// candidateSources and take see the same queue under mb.mu; a miss
+		// here would mean the queue changed under detector.mu, which only
+		// the owner (this rank) can do.
+		panic(fmt.Sprintf("mpi: granted wildcard match lost its candidate (rank %d tag %d comm %d)", rank, tag, comm))
+	}
+	return wildMatch{msg: msg, srcs: srcs, choice: choice, seq: seq}, true
+}

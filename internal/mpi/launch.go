@@ -13,10 +13,11 @@ type RankStatus uint8
 
 // Rank outcomes.
 const (
-	StatusOK      RankStatus = iota
-	StatusCrash              // panic: segfault analogue, assertion, FP exception
-	StatusHang               // watchdog deadline or tick budget exceeded
-	StatusAborted            // MPI_Abort, non-zero exit, or stopped by a peer failure
+	StatusOK       RankStatus = iota
+	StatusCrash               // panic: segfault analogue, assertion, FP exception
+	StatusHang                // watchdog deadline or tick budget exceeded
+	StatusAborted             // MPI_Abort, non-zero exit, or stopped by a peer failure
+	StatusDeadlock            // proven wait-for cycle: every live rank blocked, no satisfiable match
 )
 
 func (s RankStatus) String() string {
@@ -29,6 +30,8 @@ func (s RankStatus) String() string {
 		return "hang"
 	case StatusAborted:
 		return "aborted"
+	case StatusDeadlock:
+		return "deadlock"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
@@ -60,13 +63,13 @@ func (r RunResult) Failed() bool {
 	return false
 }
 
-// FirstError returns the most significant failure: crashes and hangs beat
-// secondary aborted statuses.
+// FirstError returns the most significant failure: crashes, hangs, and
+// deadlocks beat secondary aborted statuses.
 func (r RunResult) FirstError() (RankResult, bool) {
 	var second *RankResult
 	for i, rr := range r.Ranks {
 		switch rr.Status {
-		case StatusCrash, StatusHang:
+		case StatusCrash, StatusHang, StatusDeadlock:
 			return rr, true
 		case StatusAborted:
 			if second == nil {
@@ -104,6 +107,18 @@ type Spec struct {
 	// Timeout bounds the whole run; ranks still blocked afterwards are
 	// reported as hangs. Zero means one minute.
 	Timeout time.Duration
+	// Schedules turns on schedule-space semantics: wildcard receives match
+	// only at quiescence (every other live rank blocked or finished), which
+	// makes the eligible set complete and deterministic, and each match with
+	// more than one candidate is recorded as a choice point in the rank's
+	// log. Off, wildcard matching is the historical first-queued-match.
+	Schedules bool
+	// MatchOrder directs wildcard match choices per global rank: entry r is
+	// the sequence of eligible-set indices rank r's choice points consume,
+	// in order. Indices are clamped to the eligible set; exhausted or absent
+	// directives fall back to the default (lowest candidate source). Only
+	// consulted under Schedules.
+	MatchOrder [][]int
 }
 
 // Launch runs one test iteration: it starts NProcs ranks, waits for them all
@@ -113,7 +128,7 @@ func Launch(spec Spec) RunResult {
 		spec.Timeout = time.Minute
 	}
 	start := time.Now()
-	rt := newRuntime(spec.NProcs)
+	rt := newRuntime(spec.NProcs, spec.Schedules, spec.MatchOrder)
 	cancelCause := &causeTracker{}
 
 	results := make([]RankResult, spec.NProcs)
@@ -161,6 +176,10 @@ func Launch(spec Spec) RunResult {
 					rt.cancel()
 				}
 			}()
+			// Retire the rank from the wait-for graph. An unclean finish
+			// stands the detector down: the job is already failing and
+			// collateral blocking must keep reporting as Aborted.
+			rt.det.finish(rank, res.Status == StatusOK && res.Err == nil && res.Exit == 0)
 			res.Log = cp.Log()
 			res.LogBytes = res.Log.EncodedSize()
 			resMu.Lock()
@@ -237,6 +256,8 @@ func classify(rank int, r any, cause *causeTracker) (RankStatus, error) {
 		return StatusHang, e
 	case *conc.ErrAssert:
 		return StatusCrash, e
+	case *ErrDeadlock:
+		return StatusDeadlock, e
 	case *ErrAbort:
 		return StatusAborted, e
 	case *ErrStopped:

@@ -33,20 +33,81 @@ func (m *mailbox) put(msg message) {
 	}
 }
 
+// wake sets the notify token without enqueueing anything; the detector uses
+// it to deliver a quiescence match grant to a blocked wildcard receiver.
+func (m *mailbox) wake() {
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
 // take removes and returns the first message matching (src, tag, comm);
 // src may be AnySource. ok is false when no match is queued.
 func (m *mailbox) take(src, tag, comm int) (message, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for i, msg := range m.queue {
-		if msg.comm != comm || msg.tag != tag {
-			continue
-		}
-		if src != AnySource && msg.src != src {
+		if !matches(msg, src, tag, comm) {
 			continue
 		}
 		m.queue = append(m.queue[:i], m.queue[i+1:]...)
 		return msg, true
 	}
 	return message{}, false
+}
+
+// hasMatch reports whether take(src, tag, comm) would succeed, without
+// consuming anything. The deadlock detector peeks with it while holding its
+// own lock (lock order: detector.mu, then mailbox.mu).
+func (m *mailbox) hasMatch(src, tag, comm int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, msg := range m.queue {
+		if matches(msg, src, tag, comm) {
+			return true
+		}
+	}
+	return false
+}
+
+// candidateSources returns the distinct local source ranks with at least one
+// queued (tag, comm) match, sorted ascending: the eligible set of a wildcard
+// receive. Sorting by source (not queue position) keeps the set — and the
+// index space MatchOrder directives address — independent of arrival order.
+func (m *mailbox) candidateSources(tag, comm int) []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var srcs []int
+	for _, msg := range m.queue {
+		if msg.tag != tag || msg.comm != comm {
+			continue
+		}
+		pos := len(srcs)
+		dup := false
+		for i, s := range srcs {
+			if s == msg.src {
+				dup = true
+				break
+			}
+			if s > msg.src {
+				pos = i
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		srcs = append(srcs, 0)
+		copy(srcs[pos+1:], srcs[pos:])
+		srcs[pos] = msg.src
+	}
+	return srcs
+}
+
+func matches(msg message, src, tag, comm int) bool {
+	if msg.comm != comm || msg.tag != tag {
+		return false
+	}
+	return src == AnySource || msg.src == src
 }

@@ -33,6 +33,7 @@ const internalTag = -2
 type Runtime struct {
 	nprocs int
 	mbox   []*mailbox
+	det    *detector
 	done   chan struct{}
 	once   sync.Once
 
@@ -47,8 +48,10 @@ type commKey struct {
 	color  int
 }
 
-// newRuntime creates the shared state for an nprocs-rank job.
-func newRuntime(nprocs int) *Runtime {
+// newRuntime creates the shared state for an nprocs-rank job. sched turns on
+// schedule-space semantics (quiescent wildcard matching); order carries the
+// per-rank wildcard match directives to replay.
+func newRuntime(nprocs int, sched bool, order [][]int) *Runtime {
 	rt := &Runtime{
 		nprocs:   nprocs,
 		mbox:     make([]*mailbox, nprocs),
@@ -59,6 +62,7 @@ func newRuntime(nprocs int) *Runtime {
 	for i := range rt.mbox {
 		rt.mbox[i] = newMailbox()
 	}
+	rt.det = newDetector(rt, sched, order)
 	return rt
 }
 

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -410,11 +411,16 @@ func TestTickBudgetHang(t *testing.T) {
 	}
 }
 
-func TestDeadlockCaughtByWatchdog(t *testing.T) {
+func TestDeadlockDetectedImmediately(t *testing.T) {
+	// Both ranks receive first: classic deadlock. The wait-for-graph
+	// detector must prove and report it the moment both ranks block — with
+	// the cycle named — instead of burning the watchdog budget on a generic
+	// hang. The generous timeout is the point: finishing fast is only
+	// possible through detection.
+	start := time.Now()
 	res := Launch(Spec{
 		NProcs: 2,
 		Main: func(p *Proc) int {
-			// Both ranks receive first: classic deadlock.
 			p.Recv(p.World(), 1-p.Rank(), 0)
 			return 0
 		},
@@ -422,12 +428,59 @@ func TestDeadlockCaughtByWatchdog(t *testing.T) {
 		Conc: func(rank int) conc.Config {
 			return conc.Config{Mode: conc.Light, Seed: 1}
 		},
-		Timeout: 200 * time.Millisecond,
+		Timeout: 30 * time.Second,
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadlock took %s to surface; the detector should be immediate", elapsed)
+	}
+	for _, rr := range res.Ranks {
+		if rr.Status != StatusDeadlock {
+			t.Fatalf("rank %d: %v (want deadlock)", rr.Rank, rr.Status)
+		}
+		var dl *ErrDeadlock
+		if !errors.As(rr.Err, &dl) {
+			t.Fatalf("rank %d err: %v (want *ErrDeadlock)", rr.Rank, rr.Err)
+		}
+		if len(dl.Cycle) != 2 {
+			t.Fatalf("rank %d cycle: %v (want both ranks)", rr.Rank, dl.Cycle)
+		}
+		if want := "wait-for cycle 0->1->0"; dl.Desc != want {
+			t.Fatalf("rank %d desc: %q (want %q)", rr.Rank, dl.Desc, want)
+		}
+	}
+	fe, ok := res.FirstError()
+	if !ok || fe.Status != StatusDeadlock {
+		t.Fatalf("FirstError = %+v, %v (want primary deadlock)", fe, ok)
+	}
+}
+
+func TestTrueHangStaysHang(t *testing.T) {
+	// One rank blocked on a never-sent message while another spins: no
+	// quiescence, no cycle — the watchdog, not the detector, must end it.
+	res := Launch(Spec{
+		NProcs: 2,
+		Main: func(p *Proc) int {
+			if p.Rank() == 0 {
+				p.Recv(p.World(), 1, 0)
+				return 0
+			}
+			for {
+				p.Tick()
+			}
+		},
+		Vars: conc.NewVarSpace(),
+		Conc: func(rank int) conc.Config {
+			return conc.Config{Mode: conc.Light, Seed: 1, MaxTicks: 1 << 40}
+		},
+		Timeout: 300 * time.Millisecond,
 	})
 	for _, rr := range res.Ranks {
-		if rr.Status != StatusHang {
-			t.Fatalf("rank %d: %v", rr.Rank, rr.Status)
+		if rr.Status == StatusDeadlock {
+			t.Fatalf("rank %d: %v (a non-quiescent job is a hang, not a deadlock)", rr.Rank, rr.Status)
 		}
+	}
+	if !res.Failed() {
+		t.Fatal("hung run must fail")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -18,6 +19,8 @@ import (
 
 	_ "repro/internal/targets/hpl"
 	_ "repro/internal/targets/imb"
+	_ "repro/internal/targets/mworder"
+	_ "repro/internal/targets/relay"
 	_ "repro/internal/targets/skeleton"
 	_ "repro/internal/targets/stencil"
 	_ "repro/internal/targets/susy"
@@ -183,6 +186,71 @@ func TestCrossProcessConformance(t *testing.T) {
 			piped := core.NewEngine(pcfg).Run()
 
 			assertConformant(t, inproc, piped)
+		})
+	}
+}
+
+// TestScheduleConformance pins schedule-space exploration across the process
+// boundary: a -schedules campaign over a piped target must be observationally
+// identical to the in-process one. This exercises the protocol-v2 Assign
+// fields (Schedules, MatchOrder) outbound and the match-record log section
+// inbound — the engine can only grow the schedule frontier if the recorded
+// choice points survive the wire — and checks the deadlock (status 4) error
+// keys, cycle descriptions included, agree on both sides.
+func TestScheduleConformance(t *testing.T) {
+	bin := targetBin(t)
+	for _, name := range []string{"mworder", "relay"} {
+		t.Run(name, func(t *testing.T) {
+			prog, ok := target.Lookup(name)
+			if !ok {
+				t.Fatalf("target %q vanished from the registry", name)
+			}
+			mkCfg := func() core.Config {
+				return core.Config{
+					Iterations:   25,
+					InitialProcs: 3,
+					MaxProcs:     3,
+					Reduction:    true,
+					Schedules:    true,
+					Seed:         7,
+					RunTimeout:   20 * time.Second,
+				}
+			}
+
+			cfg := mkCfg()
+			cfg.Program = prog
+			inproc := core.NewEngine(cfg).Run()
+
+			drv, err := proto.Start(bin, proto.Options{Args: []string{"-target", name}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				if err := drv.Close(); err != nil {
+					t.Errorf("closing driver: %v", err)
+				}
+			}()
+			remote, err := drv.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pcfg := mkCfg()
+			pcfg.Program = remote
+			pcfg.Backend = drv
+			piped := core.NewEngine(pcfg).Run()
+
+			assertConformant(t, inproc, piped)
+			if inproc.Schedule != piped.Schedule {
+				t.Fatalf("schedule stats diverged across the pipe: in-process %+v, piped %+v",
+					inproc.Schedule, piped.Schedule)
+			}
+			if inproc.Schedule.Deadlocks != 1 {
+				t.Fatalf("in-process campaign found %d deadlocks, want 1", inproc.Schedule.Deadlocks)
+			}
+			keys := errorKeys(inproc)
+			if len(keys) == 0 || !strings.Contains(keys[0], "wait-for cycle") {
+				t.Fatalf("error keys %q do not name a wait-for cycle", keys)
+			}
 		})
 	}
 }

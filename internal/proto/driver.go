@@ -191,17 +191,19 @@ func (d *Driver) Launch(s core.LaunchSpec) mpi.RunResult {
 	}
 
 	err := WriteFrame(d.stdin, Frame{Type: FrameAssign, Assign: &Assign{
-		Iter:      s.Iter,
-		NProcs:    s.NProcs,
-		Focus:     s.Focus,
-		Seed:      s.Seed,
-		TimeoutMS: s.Timeout.Milliseconds(),
-		MaxTicks:  s.MaxTicks,
-		Reduction: s.Reduction,
-		OneWay:    s.OneWay,
-		TraceHint: s.TraceHint,
-		Inputs:    s.Inputs,
-		Params:    s.Params,
+		Iter:       s.Iter,
+		NProcs:     s.NProcs,
+		Focus:      s.Focus,
+		Seed:       s.Seed,
+		TimeoutMS:  s.Timeout.Milliseconds(),
+		MaxTicks:   s.MaxTicks,
+		Reduction:  s.Reduction,
+		OneWay:     s.OneWay,
+		TraceHint:  s.TraceHint,
+		Inputs:     s.Inputs,
+		Params:     s.Params,
+		Schedules:  s.Schedules,
+		MatchOrder: s.MatchOrder,
 	}})
 	if err != nil {
 		// The write half broke: the target is gone. Classify by exit code.

@@ -50,8 +50,11 @@ import (
 
 // Version is the protocol version carried in the handshake. The driver
 // refuses a target speaking a different version: the frame schema is an
-// interface contract, pinned by a golden-file test.
-const Version = 1
+// interface contract, pinned by a golden-file test. Version 2 added the
+// schedule-space fields to Assign (Schedules, MatchOrder) and the deadlock
+// status to ErrorEvent's range — a v1 peer would silently drop the match
+// directives, so the mismatch is a refusal, not a downgrade.
+const Version = 2
 
 // MaxFrameBytes bounds a single frame's JSON payload. Branch-event frames
 // carry whole rank logs (the focus trace scales with the instrumentation
@@ -115,6 +118,12 @@ type Assign struct {
 	TraceHint int              `json:"trace_hint,omitempty"`
 	Inputs    map[string]int64 `json:"inputs,omitempty"`
 	Params    map[string]int64 `json:"params,omitempty"`
+
+	// Schedules and MatchOrder (protocol v2) carry the schedule-space
+	// dimension across the pipe: quiescent wildcard matching on, and the
+	// per-rank match directives for this iteration (empty = default order).
+	Schedules  bool    `json:"schedules,omitempty"`
+	MatchOrder [][]int `json:"match_order,omitempty"`
 }
 
 // Branch carries one rank's branch events: the conc.Log wire encoding
@@ -128,8 +137,9 @@ type Branch struct {
 }
 
 // ErrorEvent reports one rank's abnormal end: the mpi.RankStatus enum value
-// (1 crash, 2 hang, 3 aborted), the exit code, and the error message the
-// in-process runtime would have recorded — the engine's error-dedup key.
+// (1 crash, 2 hang, 3 aborted, 4 deadlock), the exit code, and the error
+// message the in-process runtime would have recorded — the engine's
+// error-dedup key. For deadlocks the message names the wait-for cycle.
 type ErrorEvent struct {
 	Iter   int    `json:"iter"`
 	Rank   int    `json:"rank"`

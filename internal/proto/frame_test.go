@@ -13,11 +13,11 @@ import (
 )
 
 // handshakeGolden pins the on-the-wire schema of the session-opening frame
-// (protocol version 1). It embeds the manifest schema `compi targets --json`
-// exports, so drift in either layer is an explicit interface break for
-// external targets: update deliberately, alongside README/DESIGN and the
-// protocol Version.
-const handshakeGolden = `{"type":"handshake","handshake":{"proto":1,"manifest":{"program":"mini","sloc":42,"total_branches":4,"functions":["sanity","solve","main"],"conds":[{"id":0,"func":"sanity","label":"x \u003e= 1"},{"id":1,"func":"solve","label":"i \u003c x"}],"calls":[{"id":0,"caller":"main","callee":"sanity"},{"id":1,"caller":"main","callee":"solve"}],"inputs":[{"name":"x","cap":100,"capped":true},{"name":"seed"}]}}}`
+// (protocol version 2, which added the schedule-space Assign fields). It
+// embeds the manifest schema `compi targets --json` exports, so drift in
+// either layer is an explicit interface break for external targets: update
+// deliberately, alongside README/DESIGN and the protocol Version.
+const handshakeGolden = `{"type":"handshake","handshake":{"proto":2,"manifest":{"program":"mini","sloc":42,"total_branches":4,"functions":["sanity","solve","main"],"conds":[{"id":0,"func":"sanity","label":"x \u003e= 1"},{"id":1,"func":"solve","label":"i \u003c x"}],"calls":[{"id":0,"caller":"main","callee":"sanity"},{"id":1,"caller":"main","callee":"solve"}],"inputs":[{"name":"x","cap":100,"capped":true},{"name":"seed"}]}}}`
 
 func TestHandshakeGolden(t *testing.T) {
 	raw, err := proto.EncodeFrame(proto.Frame{Type: proto.FrameHandshake, Handshake: &proto.Handshake{
@@ -44,6 +44,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Type: proto.FrameAssign, Assign: &proto.Assign{
 			Iter: 3, NProcs: 8, Focus: 2, Seed: 99, TimeoutMS: 10_000, MaxTicks: 5_000_000,
 			Reduction: true, Inputs: map[string]int64{"x": 7}, Params: map[string]int64{"susy.dimcap": 4},
+			Schedules: true, MatchOrder: [][]int{{1, 0}, nil, {2}},
 		}},
 		{Type: proto.FrameBranch, Branch: &proto.Branch{Iter: 3, Rank: 1, Log: []byte{1, 2, 3}}},
 		{Type: proto.FrameError, Error: &proto.ErrorEvent{Iter: 3, Rank: 0, Status: 1, Exit: 2, Msg: "rank 0: boom"}},

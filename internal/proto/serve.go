@@ -71,17 +71,19 @@ func Serve(r io.Reader, w io.Writer, prog *target.Program) error {
 		}
 
 		run := backend.Launch(core.LaunchSpec{
-			Iter:      a.Iter,
-			NProcs:    a.NProcs,
-			Focus:     a.Focus,
-			Inputs:    a.Inputs,
-			Params:    a.Params,
-			Seed:      a.Seed,
-			Timeout:   time.Duration(a.TimeoutMS) * time.Millisecond,
-			MaxTicks:  a.MaxTicks,
-			Reduction: a.Reduction,
-			OneWay:    a.OneWay,
-			TraceHint: a.TraceHint,
+			Iter:       a.Iter,
+			NProcs:     a.NProcs,
+			Focus:      a.Focus,
+			Inputs:     a.Inputs,
+			Params:     a.Params,
+			Seed:       a.Seed,
+			Timeout:    time.Duration(a.TimeoutMS) * time.Millisecond,
+			MaxTicks:   a.MaxTicks,
+			Reduction:  a.Reduction,
+			OneWay:     a.OneWay,
+			TraceHint:  a.TraceHint,
+			Schedules:  a.Schedules,
+			MatchOrder: a.MatchOrder,
 		})
 
 		for _, rr := range run.Ranks {

@@ -53,6 +53,7 @@ type setupKeyState struct {
 	OneWay       bool             `json:"oneWay"`
 	Framework    bool             `json:"framework"`
 	PureRandom   bool             `json:"pureRandom"`
+	Schedules    bool             `json:"schedules,omitempty"`
 	RunTimeout   time.Duration    `json:"runTimeout"`
 	MaxTicks     int64            `json:"maxTicks"`
 	MaxNodes     int              `json:"maxNodes"`
@@ -84,6 +85,7 @@ func SetupKey(spec Spec) (string, bool) {
 		OneWay:       cfg.OneWay,
 		Framework:    cfg.Framework,
 		PureRandom:   cfg.PureRandom,
+		Schedules:    cfg.Schedules,
 		RunTimeout:   cfg.RunTimeout,
 		MaxTicks:     cfg.MaxTicks,
 		MaxNodes:     cfg.SolverMaxNodes,

@@ -53,6 +53,11 @@ func TestSetupKeyContract(t *testing.T) {
 	if kc, _ := SetupKey(c); kc == ka {
 		t.Fatal("different seeds share a setup key")
 	}
+	s := skeletonSpec(1)
+	s.Config.Schedules = true
+	if ks, _ := SetupKey(s); ks == ka {
+		t.Fatal("schedule-space exploration did not change the setup key")
+	}
 	d := skeletonSpec(1)
 	d.Config.NewStrategy = func(*target.Program, *coverage.Tracker) core.Strategy { return core.NewBoundedDFS(4) }
 	if _, ok := SetupKey(d); ok {

@@ -1,0 +1,99 @@
+// Package mworder seeds the classic master/worker match-order bug (the MPISE
+// motivating example): the master drains worker ready messages with one
+// wildcard receive followed by a rank-specific receive, silently assuming the
+// wildcard matched worker 1. The workers' sends are causally chained —
+// worker 2 announces itself only after worker 1 hands it a token — so under
+// eager matching (and under the schedule explorer's default lowest-source
+// order) the assumption always holds and every input-only campaign passes.
+// Only directing the wildcard to match worker 2 first exposes the bug: the
+// master then re-awaits worker 2's already-consumed ready and the job wedges
+// in the 0<->2 wait-for cycle. No input value can trigger it, which is what
+// makes the target a pure schedule-space benchmark.
+package mworder
+
+import (
+	"repro/internal/conc"
+	"repro/internal/mpi"
+	"repro/internal/target"
+)
+
+// ParamFixOrder toggles the developer fix: the master drains both readies
+// with wildcard receives and learns who is who from the message status.
+const ParamFixOrder = "mworder.fix.order"
+
+const (
+	tagReady = 1
+	tagToken = 2
+	tagTask  = 3
+)
+
+var b = target.NewBuilder("mworder", 95)
+
+var (
+	cEnough = b.Cond("main", "size >= 3")
+	cIsMast = b.Cond("main", "rank == 0")
+	cIsW1   = b.Cond("main", "rank == 1")
+	cIsW2   = b.Cond("main", "rank == 2")
+	cRounds = b.Cond("master", "r < rounds")
+)
+
+func init() {
+	b.InCap("rounds", 8)
+	b.Call("main", "master")
+	b.Call("main", "worker")
+	target.Register(b.Build(Main))
+}
+
+// Main is the program under test: one master, two chained workers, extra
+// ranks idle. rounds is the symbolic input the concolic side explores; the
+// protocol bug is independent of it.
+func Main(p *mpi.Proc) int {
+	p.Enter("main")
+	w := p.World()
+	rounds := p.InCap("rounds", 8)
+	rank := p.CommRank(w, "mworder:rank")
+	size := p.CommSize(w, "mworder:size")
+
+	if !p.If(cEnough, conc.GE(size, conc.K(3))) {
+		return 0 // degenerate launch: no protocol to run
+	}
+
+	switch {
+	case p.If(cIsMast, conc.EQ(rank, conc.K(0))):
+		return master(p, rounds)
+	case p.If(cIsW1, conc.EQ(rank, conc.K(1))):
+		p.Send(w, 0, tagReady, []float64{1})
+		p.Send(w, 2, tagToken, nil)
+		p.Recv(w, 0, tagTask)
+	case p.If(cIsW2, conc.EQ(rank, conc.K(2))):
+		p.Recv(w, 1, tagToken)
+		p.Send(w, 0, tagReady, []float64{2})
+		p.Recv(w, 0, tagTask)
+	}
+	return 0
+}
+
+// master collects both workers' ready messages and hands out the task
+// assignments. The unfixed drain hard-codes the arrival order.
+func master(p *mpi.Proc, rounds conc.Value) int {
+	p.Enter("master")
+	w := p.World()
+	if p.ParamBool(ParamFixOrder, false) {
+		// Fixed drain: two wildcards, identity from the status.
+		p.Recv(w, mpi.AnySource, tagReady)
+		p.Recv(w, mpi.AnySource, tagReady)
+	} else {
+		// Seeded bug: assumes the wildcard matched worker 1, so worker 2's
+		// ready must still be pending. If the wildcard actually consumed
+		// worker 2's ready, this receive waits forever.
+		p.Recv(w, mpi.AnySource, tagReady)
+		p.Recv(w, 2, tagReady)
+	}
+	work := 0.0
+	for r := conc.K(0); p.If(cRounds, conc.LT(r, rounds)); r = conc.Add(r, conc.K(1)) {
+		work = work*0.5 + 1
+	}
+	p.Send(w, 1, tagTask, []float64{work})
+	p.Send(w, 2, tagTask, []float64{work})
+	return 0
+}

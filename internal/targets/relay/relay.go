@@ -1,0 +1,102 @@
+// Package relay seeds a three-rank circular-wait bug behind a wildcard
+// receive. Rank 0 coordinates a token relay: it waits for a start
+// announcement, and its reaction depends on who it hears first. The
+// announcements are causally chained (rank 2 announces only after rank 1
+// passes it the token), so eager matching — and the schedule explorer's
+// default order — always hears rank 1 first and the relay completes. Directed
+// to hear rank 2 first, rank 0 takes the branch that waits for data rank 2
+// only produces after receiving the relayed pass, which rank 1 only sends
+// after rank 0's go: a 0->2->1->0 wait-for cycle spanning all three ranks.
+// Like mworder, no input assignment reaches the bug; unlike mworder, the
+// cycle is longer than a mutual wait, exercising the detector's cycle walk.
+package relay
+
+import (
+	"repro/internal/conc"
+	"repro/internal/mpi"
+	"repro/internal/target"
+)
+
+// ParamFixBranch toggles the developer fix: rank 0 reacts to the announcer
+// it actually heard instead of branching into a wait for unproduced data.
+const ParamFixBranch = "relay.fix.branch"
+
+const (
+	tagStart = 1
+	tagToken = 2
+	tagGo    = 3
+	tagPass  = 4
+	tagData  = 5
+)
+
+var b = target.NewBuilder("relay", 88)
+
+var (
+	cEnough = b.Cond("main", "size >= 3")
+	cIsR0   = b.Cond("main", "rank == 0")
+	cIsR1   = b.Cond("main", "rank == 1")
+	cIsR2   = b.Cond("main", "rank == 2")
+	cFrom1  = b.Cond("lead", "source == 1")
+	cAmp    = b.Cond("lead", "amp > 4")
+)
+
+func init() {
+	b.InCap("amp", 16)
+	b.Call("main", "lead")
+	target.Register(b.Build(Main))
+}
+
+// Main is the program under test. amp is the symbolic input; it scales the
+// relayed payload and gives the concolic side branches to chase, but no value
+// of it changes the match order.
+func Main(p *mpi.Proc) int {
+	p.Enter("main")
+	w := p.World()
+	amp := p.InCap("amp", 16)
+	rank := p.CommRank(w, "relay:rank")
+	size := p.CommSize(w, "relay:size")
+
+	if !p.If(cEnough, conc.GE(size, conc.K(3))) {
+		return 0
+	}
+
+	switch {
+	case p.If(cIsR0, conc.EQ(rank, conc.K(0))):
+		return lead(p, amp)
+	case p.If(cIsR1, conc.EQ(rank, conc.K(1))):
+		p.Send(w, 0, tagStart, []float64{1})
+		p.Send(w, 2, tagToken, nil)
+		p.Recv(w, 0, tagGo)
+		p.Send(w, 2, tagPass, nil)
+	case p.If(cIsR2, conc.EQ(rank, conc.K(2))):
+		p.Recv(w, 1, tagToken)
+		p.Send(w, 0, tagStart, []float64{2})
+		p.Recv(w, 1, tagPass)
+	}
+	return 0
+}
+
+// lead is rank 0's coordination: hear a start, react, hear the other start.
+func lead(p *mpi.Proc, amp conc.Value) int {
+	p.Enter("lead")
+	w := p.World()
+	_, st := p.Recv(w, mpi.AnySource, tagStart)
+	src := conc.K(int64(st.Source))
+	scale := 1.0
+	if p.If(cAmp, conc.GT(amp, conc.K(4))) {
+		scale = 2
+	}
+	_ = scale
+	if p.If(cFrom1, conc.EQ(src, conc.K(1))) || p.ParamBool(ParamFixBranch, false) {
+		// Heard rank 1 (or fixed): release the relay, then collect the
+		// other announcement.
+		p.Send(w, 1, tagGo, nil)
+		p.Recv(w, mpi.AnySource, tagStart)
+	} else {
+		// Seeded bug: "rank 2 started early, its result must be coming."
+		// Rank 2 never sends data before the relay completes — and the
+		// relay cannot complete while rank 0 sits here.
+		p.Recv(w, 2, tagData)
+	}
+	return 0
+}

@@ -44,8 +44,14 @@ go test -race ./internal/binstat ./internal/expr
 echo "== go test -race ./internal/fleet =="
 go test -race ./internal/fleet
 
+echo "== go test -race ./internal/mpi =="
+# The quiescent match grant protocol and the wait-for-graph detector span
+# two mutexes (detector, mailbox) across all rank goroutines; the race
+# detector is the test that matters for the schedule-space machinery.
+go test -race ./internal/mpi
+
 echo "== cross-process conformance (piped == in-process) =="
-go test ./internal/proto -run 'TestCrossProcessConformance|TestSchedMixedConformance|TestSchedShardedServiceConformance|TestSnapshotConformance' -count=1
+go test ./internal/proto -run 'TestCrossProcessConformance|TestScheduleConformance|TestSchedMixedConformance|TestSchedShardedServiceConformance|TestSnapshotConformance' -count=1
 
 echo "== kill-and-resume determinism (compi -state / sched store) =="
 # A campaign stopped at iteration k and resumed from its state file must
@@ -83,6 +89,43 @@ fi
 grep -q '^bin ' "$PROF_DIR/profiled.out" || grep -qE '^execute|^solve' "$PROF_DIR/profiled.out" || {
   echo "profiled drive printed no profile table" >&2; exit 1; }
 rm -rf "$PROF_DIR"
+
+echo "== deadlock detection smoke (drive -schedules reports deadlock, not hang) =="
+# The seeded match-order bug must classify as a deadlock with the wait-for
+# cycle named — a hang report here means the detector regressed to the
+# timeout watchdog.
+SCHED_DIR="$(mktemp -d)"
+"$BIN_DIR/compi" drive -bin "$COMPI_TARGET_BIN" -iters 60 -seed 7 -np 3 -max-np 3 \
+  -schedules -- -target mworder > "$SCHED_DIR/drive.out"
+grep -q '\[deadlock\] rank 0: deadlock: wait-for cycle 0->2->0' "$SCHED_DIR/drive.out" || {
+  echo "drive -schedules did not report the named deadlock cycle" >&2; exit 1; }
+if grep -q '\[hang\]' "$SCHED_DIR/drive.out"; then
+  echo "drive -schedules reported a hang; deadlock detector regressed" >&2; exit 1
+fi
+
+echo "== schedule-space fingerprints (serve + 2 workers == sched -j2, -schedules) =="
+# Match-order exploration must survive the fleet protocol unchanged: the
+# coordinator/worker run and the in-process scheduler must report identical
+# coverage and error lines (deadlock cycles included) with -schedules on.
+"$BIN_DIR/compi" sched -targets mworder,relay -seeds 7 -iters 40 -np 3 -max-np 3 \
+  -schedules -j 2 > "$SCHED_DIR/sched.out"
+"$BIN_DIR/compi" serve -targets mworder,relay -seeds 7 -iters 40 -np 3 -max-np 3 \
+  -schedules -addr-file "$SCHED_DIR/addr" > "$SCHED_DIR/fleet.out" 2> "$SCHED_DIR/fleet.err" &
+SCHED_SERVE=$!
+for _ in $(seq 1 100); do [ -s "$SCHED_DIR/addr" ] && break; sleep 0.1; done
+[ -s "$SCHED_DIR/addr" ] || { echo "compi serve never published its address" >&2; exit 1; }
+SCHED_ADDR="$(cat "$SCHED_DIR/addr")"
+"$BIN_DIR/compi" work -connect "$SCHED_ADDR" -name ci-sw1 &
+SW1=$!
+"$BIN_DIR/compi" work -connect "$SCHED_ADDR" -name ci-sw2 &
+SW2=$!
+wait "$SW1" "$SW2" "$SCHED_SERVE"
+if ! diff <(grep -E 'branches covered|^  \[' "$SCHED_DIR/fleet.out") \
+          <(grep -E 'branches covered|^  \[' "$SCHED_DIR/sched.out"); then
+  echo "-schedules fleet run diverged from the single-process scheduler" >&2
+  exit 1
+fi
+rm -rf "$SCHED_DIR"
 
 echo "== fleet determinism (serve + 2 workers == sched -j2) =="
 # A coordinator leasing shards to two worker processes must land on the
