@@ -23,6 +23,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/sched"
 	"repro/internal/solver"
+	"repro/internal/spec"
 	"repro/internal/store"
 	"repro/internal/target"
 	_ "repro/internal/targets/hpl"
@@ -372,16 +373,14 @@ func BenchmarkSchedSpeedup(b *testing.B) {
 	specs := func() []sched.Spec {
 		var out []sched.Spec
 		for _, seed := range []int64{1, 2, 3, 4} {
-			out = append(out, sched.Spec{
-				Target: "skeleton",
-				Seed:   seed,
-				Config: core.Config{
-					Iterations: 60,
-					Reduction:  true,
-					Framework:  true,
-					RunTimeout: 5 * time.Second,
-				},
-			})
+			out = append(out, sched.Spec{Campaign: spec.Campaign{
+				Target:     "skeleton",
+				Seed:       seed,
+				Iterations: 60,
+				Reduction:  true,
+				Framework:  true,
+				RunTimeout: 5 * time.Second,
+			}})
 		}
 		return out
 	}

@@ -1,10 +1,12 @@
-// Command compi runs a COMPI testing campaign against one of the bundled
-// target programs.
+// Command compi runs COMPI testing campaigns against the bundled target
+// programs. It is a registry of modes, each a thin shell around one library
+// entry point; every campaign-shaping flag is defined once (internal/spec's
+// FlagBinder) and shared by all campaign modes.
 //
 // Usage:
 //
-//	compi -target hpl -iters 500
-//	compi -target susy-hmc -bugs            # leave the seeded bugs live
+//	compi -target hpl -iters 500            # default mode: one campaign
+//	compi run -target susy-hmc -bugs        # same mode, spelled out
 //	compi -target imb-mpi1 -strategy random-branch
 //	compi -list
 //	compi targets                           # declaration summary per target
@@ -13,857 +15,61 @@
 //	compi sched -targets hpl -shard 8 -j 8  # one campaign split into 8 shards
 //	compi drive -bin ./compi-target -- -target stencil
 //	                                        # drive an out-of-process target
-//	                                        # over the pipe protocol
-//	compi drive -bin ./compi-target -shard 4 -- -target stencil
-//	                                        # sharded out-of-process campaign,
-//	                                        # one target process per shard
 //	compi serve -state-dir ./state -listen 127.0.0.1:7045
-//	                                        # coordinator: lease campaign
-//	                                        # shards to workers
+//	                                        # coordinator: lease shards
 //	compi work -connect 127.0.0.1:7045 -j 4 # worker: run leased shards
 //	compi store compact -dir ./state        # drop superseded snapshots
+//	compi replay -spec failure.json         # re-execute a recorded failure
+//	compi help                              # mode listing
 package main
 
 import (
-	"encoding/json"
-	"flag"
 	"fmt"
-	"net"
 	"os"
-	"strconv"
 	"strings"
-	"time"
-
-	"repro/internal/binstat"
-	"repro/internal/core"
-	"repro/internal/fleet"
-	"repro/internal/proto"
-	"repro/internal/sched"
-	"repro/internal/solver"
-	"repro/internal/store"
-	"repro/internal/target"
-	_ "repro/internal/targets/hpl"
-	_ "repro/internal/targets/imb"
-	_ "repro/internal/targets/mworder"
-	_ "repro/internal/targets/relay"
-	_ "repro/internal/targets/skeleton"
-	"repro/internal/targets/stencil"
-	"repro/internal/targets/susy"
 )
 
+// modes is the registry: every subcommand, in the order `compi help` lists
+// them. Each call constructs fresh modes (and fresh FlagSets), so a mode can
+// be parsed at most once per construction.
+func modes() []Mode {
+	return []Mode{
+		newRunMode(),
+		newTargetsMode(),
+		newDriveMode(),
+		newSchedMode(),
+		newServeMode(),
+		newWorkMode(),
+		newStoreMode(),
+		newReplayMode(),
+		newHelpMode(),
+	}
+}
+
+// usageText renders the top-level usage from the registry, so the listing
+// can never drift from what dispatch actually accepts.
+func usageText() string {
+	var b strings.Builder
+	b.WriteString("usage: compi [mode] [flags]\n\nmodes:\n")
+	for _, m := range modes() {
+		fmt.Fprintf(&b, "  %-8s %s\n", m.Name(), m.Synopsis())
+	}
+	b.WriteString("\nBare flags select the default run mode; `compi <mode> -h` lists a mode's flags.\n")
+	return b.String()
+}
+
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "targets" {
-		runTargets(os.Args[2:])
-		return
+	args := os.Args[1:]
+	// Bare flags (or nothing) select the default campaign mode, preserving
+	// the original single-command interface.
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		os.Exit(newRunMode().Run(args))
 	}
-	if len(os.Args) > 1 && os.Args[1] == "sched" {
-		runSched(os.Args[2:])
-		return
-	}
-	if len(os.Args) > 1 && os.Args[1] == "drive" {
-		runDrive(os.Args[2:])
-		return
-	}
-	if len(os.Args) > 1 && os.Args[1] == "store" {
-		runStore(os.Args[2:])
-		return
-	}
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		runServe(os.Args[2:])
-		return
-	}
-	if len(os.Args) > 1 && os.Args[1] == "work" {
-		runWork(os.Args[2:])
-		return
-	}
-	var (
-		name      = flag.String("target", "skeleton", "program under test")
-		iters     = flag.Int("iters", 200, "test iterations (program executions)")
-		seed      = flag.Int64("seed", 1, "campaign seed")
-		strategy  = flag.String("strategy", "compi", "compi | bounded-dfs | random-branch | uniform-random | cfg")
-		bound     = flag.Int("bound", 0, "explicit DFS depth bound (0 = derive)")
-		dfsPhase  = flag.Int("dfs-phase", 50, "pure-DFS executions before BoundedDFS")
-		procs     = flag.Int("np", 8, "initial number of processes")
-		maxProcs  = flag.Int("max-np", 16, "process-count cap")
-		noRed     = flag.Bool("no-reduction", false, "disable constraint set reduction")
-		oneWay    = flag.Bool("one-way", false, "disable two-way instrumentation")
-		noFwk     = flag.Bool("no-framework", false, "disable the MPI framework")
-		random    = flag.Bool("random", false, "pure random testing baseline")
-		schedules = flag.Bool("schedules", false, "explore wildcard-receive match orders (schedule-space testing with deadlock detection)")
-		bugs      = flag.Bool("bugs", false, "leave the seeded SUSY-HMC bugs live")
-		budget    = flag.Duration("budget", 0, "wall-clock budget (0 = none)")
-		timeout   = flag.Duration("timeout", 30*time.Second, "per-execution watchdog")
-		verbose   = flag.Bool("v", false, "per-iteration trace")
-		list      = flag.Bool("list", false, "list targets")
-		replay    = flag.String("replay", "", `replay one input set, e.g. "x=100,y=50" (skips the campaign)`)
-		state     = flag.String("state", "", "campaign state file: loaded if present, saved after the run")
-		errlog    = flag.String("errlog", "", "append error-inducing inputs as JSON lines to this file")
-		profile   = flag.Bool("profile", false, "measure the iteration loop's phase bins and print the table after the summary")
-	)
-	flag.Parse()
-
-	if *list {
-		fmt.Println(strings.Join(target.Names(), "\n"))
-		return
-	}
-	prog, ok := target.Lookup(*name)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown target %q; available: %s\n",
-			*name, strings.Join(target.Names(), ", "))
-		os.Exit(2)
-	}
-	params := map[string]int64{}
-	if !*bugs {
-		params = core.MergeParams(susy.FixAll(), stencil.FixAll())
-	}
-
-	if *replay != "" {
-		rec := core.ErrorRecord{NProcs: *procs, Focus: 0,
-			Inputs: map[string]int64{}, Params: params}
-		for _, kv := range strings.Split(*replay, ",") {
-			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
-			if !ok {
-				fmt.Fprintf(os.Stderr, "bad -replay entry %q\n", kv)
-				os.Exit(2)
-			}
-			n, err := strconv.ParseInt(v, 10, 64)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "bad -replay value %q: %v\n", kv, err)
-				os.Exit(2)
-			}
-			rec.Inputs[k] = n
-		}
-		res := core.Replay(prog, rec, *timeout)
-		for _, rr := range res.Ranks {
-			fmt.Printf("rank %d: %v", rr.Rank, rr.Status)
-			if rr.Err != nil {
-				fmt.Printf("  %v", rr.Err)
-			} else if rr.Exit != 0 {
-				fmt.Printf("  exit=%d", rr.Exit)
-			}
-			fmt.Println()
-		}
-		if res.Failed() {
-			os.Exit(1)
-		}
-		return
-	}
-
-	cfg := core.Config{
-		Program:      prog,
-		Params:       params,
-		Iterations:   *iters,
-		TimeBudget:   *budget,
-		InitialProcs: *procs,
-		MaxProcs:     *maxProcs,
-		Reduction:    !*noRed,
-		DepthBound:   *bound,
-		DFSPhase:     *dfsPhase,
-		OneWay:       *oneWay,
-		Framework:    !*noFwk,
-		PureRandom:   *random,
-		Schedules:    *schedules,
-		Seed:         *seed,
-		RunTimeout:   *timeout,
-	}
-	if *profile {
-		cfg.Profiler = binstat.New()
-	}
-	if *errlog != "" {
-		f, err := os.OpenFile(*errlog, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "opening %s: %v\n", *errlog, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		cfg.ErrorLog = f
-	}
-	if *verbose {
-		cfg.Trace = func(it core.IterationStat) {
-			fmt.Printf("iter %4d  np=%-2d focus=%-2d covered=%-5d set=%-5d %s\n",
-				it.Iter, it.NProcs, it.Focus, it.Covered, it.PathLen,
-				map[bool]string{true: "FAILED", false: ""}[it.Failed])
+	for _, m := range modes() {
+		if m.Name() == args[0] {
+			os.Exit(m.Run(args[1:]))
 		}
 	}
-	eng := core.NewEngine(cfg)
-	switch *strategy {
-	case "compi":
-		// Default two-phase DFS; already configured.
-	case "bounded-dfs":
-		b := *bound
-		if b == 0 {
-			b = core.Unbounded
-		}
-		eng.SetStrategy(core.NewBoundedDFS(b))
-	case "random-branch":
-		eng.SetStrategy(core.NewRandomBranch(*seed))
-	case "uniform-random":
-		eng.SetStrategy(core.NewUniformRandom(*seed))
-	case "cfg":
-		eng.SetStrategy(core.NewCFG(prog, eng.Coverage()))
-	default:
-		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
-		os.Exit(2)
-	}
-
-	if *state != "" {
-		if f, err := os.Open(*state); err == nil {
-			snap, err := core.LoadSnapshot(f)
-			f.Close()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "loading %s: %v\n", *state, err)
-				os.Exit(1)
-			}
-			// Restore validates the snapshot against the program (schema
-			// version, branch bits, input names) and says what is wrong.
-			if err := eng.Restore(snap); err != nil {
-				fmt.Fprintf(os.Stderr, "loading %s: %v\n", *state, err)
-				os.Exit(1)
-			}
-			fmt.Printf("resumed campaign: %d iterations done, %d branches already covered\n",
-				snap.Iters, eng.Coverage().Count())
-		}
-	}
-
-	res := eng.Run()
-
-	if *state != "" {
-		err := store.WriteAtomic(*state, eng.Snapshot().Save)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "saving %s: %v\n", *state, err)
-			os.Exit(1)
-		}
-	}
-
-	printResult(prog, res)
-}
-
-// printResult writes the end-of-campaign summary shared by the default
-// campaign flow and `compi drive`.
-func printResult(prog *target.Program, res core.Result) {
-	reach := prog.ReachableBranches(res.Coverage.Funcs())
-	fmt.Printf("\ntarget          %s\n", prog.Name)
-	fmt.Printf("iterations      %d (restarts %d)\n", len(res.Iterations), res.Restarts)
-	fmt.Printf("elapsed         %s\n", res.Elapsed.Round(time.Millisecond))
-	fmt.Printf("covered         %d branches (total %d, reachable est. %d)\n",
-		res.Coverage.Count(), prog.TotalBranches(), reach)
-	fmt.Printf("coverage rate   %.1f%% of reachable\n", 100*res.CoverageRate(prog))
-	fmt.Printf("solver calls    %d (%d unsat)\n", res.SolverCall, res.UnsatCalls)
-	fmt.Printf("%s\n", res.Solver.Summary())
-	if res.Schedule != (core.ScheduleStats{}) {
-		fmt.Printf("schedules       %d choice points, %d orders explored, %d deadlocks\n",
-			res.Schedule.ChoicePoints, res.Schedule.Orders, res.Schedule.Deadlocks)
-	}
-
-	distinct := res.DistinctErrors()
-	fmt.Printf("error kinds     %d\n", len(distinct))
-	for msg, recs := range distinct {
-		r := recs[0]
-		fmt.Printf("  [%s] %s\n", r.Status, msg)
-		fmt.Printf("      first at iter %d, np=%d focus=%d inputs=%v\n",
-			r.Iter, r.NProcs, r.Focus, r.Inputs)
-	}
-	if len(res.Profile) > 0 {
-		fmt.Printf("\n%s", res.Profile.String())
-	}
-}
-
-// runDrive implements `compi drive`: a campaign against an out-of-process
-// target binary spoken to over the pipe protocol. The program model comes
-// from the target's handshake manifest, or from a `compi targets --json`
-// style manifest file given with -manifest (cross-checked against the
-// handshake). Arguments after "--" are passed to the target binary.
-func runDrive(args []string) {
-	fs := flag.NewFlagSet("compi drive", flag.ExitOnError)
-	var (
-		bin       = fs.String("bin", "", "target binary speaking the pipe protocol (required)")
-		manifest  = fs.String("manifest", "", "load the program model from this manifest file instead of the handshake")
-		name      = fs.String("target", "", "program to select from a multi-program manifest file")
-		iters     = fs.Int("iters", 200, "test iterations (program executions)")
-		seed      = fs.Int64("seed", 1, "campaign seed")
-		procs     = fs.Int("np", 8, "initial number of processes")
-		maxProcs  = fs.Int("max-np", 16, "process-count cap")
-		dfsPhase  = fs.Int("dfs-phase", 50, "pure-DFS executions before BoundedDFS")
-		budget    = fs.Duration("budget", 0, "wall-clock budget (0 = none)")
-		timeout   = fs.Duration("timeout", 30*time.Second, "per-execution watchdog")
-		bugs      = fs.Bool("bugs", false, "leave the seeded bugs live")
-		schedules = fs.Bool("schedules", false, "explore wildcard-receive match orders (schedule-space testing with deadlock detection)")
-		shard     = fs.Int("shard", 1, "split the campaign into N shards by initial setup, one target process each (reported merged)")
-		workers   = fs.Int("j", 0, "concurrently running shards (0 = GOMAXPROCS)")
-		stateDir  = fs.String("state-dir", "", "campaign store directory: checkpoint the campaign, resume or reuse prior explorations")
-		verbose   = fs.Bool("v", false, "per-iteration trace")
-		errlog    = fs.String("errlog", "", "append error-inducing inputs as JSON lines to this file")
-		profile   = fs.Bool("profile", false, "measure the iteration loop's phase bins and print the table after the summary")
-	)
-	var rest []string
-	for i, a := range args {
-		if a == "--" {
-			rest = args[i+1:]
-			args = args[:i]
-			break
-		}
-	}
-	fs.Parse(args)
-	if *bin == "" {
-		fmt.Fprintln(os.Stderr, "compi drive: -bin is required")
-		os.Exit(2)
-	}
-
-	drv, err := proto.Start(*bin, proto.Options{Args: rest})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "compi drive: %v\n", err)
-		os.Exit(1)
-	}
-	defer drv.Close()
-
-	m := drv.Manifest()
-	if *manifest != "" {
-		f, err := os.Open(*manifest)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "compi drive: %v\n", err)
-			os.Exit(1)
-		}
-		ms, err := target.ReadManifests(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "compi drive: %s: %v\n", *manifest, err)
-			os.Exit(1)
-		}
-		want := *name
-		if want == "" {
-			want = m.Program
-		}
-		idx := -1
-		for i := range ms {
-			if ms[i].Program == want {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			fmt.Fprintf(os.Stderr, "compi drive: manifest file %s has no program %q\n", *manifest, want)
-			os.Exit(1)
-		}
-		if ms[idx].Program != m.Program {
-			fmt.Fprintf(os.Stderr, "compi drive: manifest file describes %q but the target serves %q\n",
-				ms[idx].Program, m.Program)
-			os.Exit(1)
-		}
-		m = ms[idx]
-	}
-	prog, err := target.FromManifest(m)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "compi drive: %v\n", err)
-		os.Exit(1)
-	}
-
-	params := map[string]int64{}
-	if !*bugs {
-		params = core.MergeParams(susy.FixAll(), stencil.FixAll())
-	}
-	cfg := core.Config{
-		Program:      prog,
-		Backend:      drv,
-		Params:       params,
-		Iterations:   *iters,
-		TimeBudget:   *budget,
-		InitialProcs: *procs,
-		MaxProcs:     *maxProcs,
-		Reduction:    true,
-		Framework:    true,
-		DFSPhase:     *dfsPhase,
-		Schedules:    *schedules,
-		Seed:         *seed,
-		RunTimeout:   *timeout,
-	}
-	if *errlog != "" {
-		f, err := os.OpenFile(*errlog, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "opening %s: %v\n", *errlog, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		cfg.ErrorLog = f
-	}
-	if *shard > 1 || *stateDir != "" {
-		// Sharded (or store-backed) drive: the handshake driver only supplied
-		// the program model; the scheduler starts one fresh target process
-		// per shard, wires every shard into its shared solver service, and —
-		// with a store attached — checkpoints and resumes each campaign.
-		if err := drv.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "compi drive: %v\n", err)
-			os.Exit(1)
-		}
-		cfg.Backend = nil
-		base := sched.Spec{
-			Label:    prog.Name + "/drive",
-			Config:   cfg,
-			External: &sched.External{Bin: *bin, Args: rest},
-		}
-		opt := sched.Options{Workers: *workers}
-		if *profile {
-			opt.Profiler = binstat.New()
-		}
-		if *stateDir != "" {
-			st := openStateDir(*stateDir)
-			defer st.Close()
-			opt.Store = st
-		}
-		if *verbose {
-			opt.Trace = func(label string, it core.IterationStat) {
-				fmt.Printf("%-24s iter %4d  np=%-2d focus=%-2d covered=%-5d %s\n",
-					label, it.Iter, it.NProcs, it.Focus, it.Covered,
-					map[bool]string{true: "FAILED", false: ""}[it.Failed])
-			}
-		}
-		sched.Run(sched.Shard(base, *shard), opt).WriteSummary(os.Stdout)
-		return
-	}
-	if *verbose {
-		cfg.Trace = func(it core.IterationStat) {
-			fmt.Printf("iter %4d  np=%-2d focus=%-2d covered=%-5d set=%-5d %s\n",
-				it.Iter, it.NProcs, it.Focus, it.Covered, it.PathLen,
-				map[bool]string{true: "FAILED", false: ""}[it.Failed])
-		}
-	}
-	if *profile {
-		cfg.Profiler = binstat.New()
-	}
-
-	res := core.NewEngine(cfg).Run()
-	printResult(prog, res)
-	if err := drv.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "compi drive: %v\n", err)
-		os.Exit(1)
-	}
-}
-
-// openStateDir opens (creating if needed) the campaign store behind a
-// -state-dir flag, exiting with the store's explanation when it is
-// unusable (e.g. written by a newer schema).
-func openStateDir(dir string) *store.Store {
-	st, err := store.Open(dir)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "compi: %v\n", err)
-		os.Exit(1)
-	}
-	return st
-}
-
-// runStore implements `compi store`: inspect a campaign store directory —
-// schema version, stored campaigns and their progress, batch manifests, the
-// setup index, and the persisted solver cache — and `compi store compact`.
-func runStore(args []string) {
-	if len(args) > 0 && args[0] == "compact" {
-		runStoreCompact(args[1:])
-		return
-	}
-	fs := flag.NewFlagSet("compi store", flag.ExitOnError)
-	dir := fs.String("dir", "", "campaign store directory (required)")
-	jsonOut := fs.Bool("json", false, "emit the inventory as JSON")
-	fs.Parse(args)
-	if *dir == "" && fs.NArg() == 1 {
-		*dir = fs.Arg(0)
-	}
-	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "compi store: -dir is required")
-		os.Exit(2)
-	}
-	if fi, err := os.Stat(*dir); err != nil || !fi.IsDir() {
-		fmt.Fprintf(os.Stderr, "compi store: %s is not a store directory\n", *dir)
-		os.Exit(1)
-	}
-	st, err := store.Open(*dir)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "compi store: %v\n", err)
-		os.Exit(1)
-	}
-	defer st.Close()
-
-	type campaignInfo struct {
-		Name    string `json:"name"`
-		Program string `json:"program"`
-		Iters   int    `json:"iters"`
-		Covered int    `json:"covered"`
-		Errors  int    `json:"errors"`
-	}
-	type batchInfo struct {
-		ID     string         `json:"id"`
-		Counts map[string]int `json:"counts"` // status → entries
-	}
-	type inventory struct {
-		Dir         string         `json:"dir"`
-		Version     int            `json:"version"`
-		Campaigns   []campaignInfo `json:"campaigns"`
-		Batches     []batchInfo    `json:"batches"`
-		Setups      int            `json:"setups"`
-		SolverUnsat int            `json:"solverUnsat"`
-		SolverErr   string         `json:"solverErr,omitempty"`
-	}
-	inv := inventory{Dir: st.Dir(), Version: store.Version}
-
-	names, _ := st.Campaigns()
-	for _, n := range names {
-		ci := campaignInfo{Name: n}
-		if snap, err := st.LoadCampaign(n); err == nil {
-			ci.Program = snap.Program
-			ci.Iters = snap.Iters
-			ci.Covered = len(snap.Covered)
-			ci.Errors = len(snap.Errors)
-		}
-		inv.Campaigns = append(inv.Campaigns, ci)
-	}
-	ids, _ := st.Batches()
-	for _, id := range ids {
-		bi := batchInfo{ID: id, Counts: map[string]int{}}
-		if man, err := st.LoadBatch(id); err == nil && man != nil {
-			for _, e := range man.Entries {
-				bi.Counts[e.Status]++
-			}
-		}
-		inv.Batches = append(inv.Batches, bi)
-	}
-	if setups, err := st.Setups(); err == nil {
-		inv.Setups = len(setups)
-	}
-	n, err := st.LoadSolverCacheInto(solver.NewService(solver.ServiceConfig{}))
-	inv.SolverUnsat = n
-	if err != nil {
-		inv.SolverErr = err.Error()
-	}
-
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		enc.Encode(inv)
-		return
-	}
-	fmt.Printf("store %s (schema v%d)\n", inv.Dir, inv.Version)
-	fmt.Printf("campaigns %d\n", len(inv.Campaigns))
-	for _, c := range inv.Campaigns {
-		fmt.Printf("  %-40s %-10s iters=%-5d covered=%-5d errors=%d\n",
-			c.Name, c.Program, c.Iters, c.Covered, c.Errors)
-	}
-	fmt.Printf("batches %d\n", len(inv.Batches))
-	for _, b := range inv.Batches {
-		fmt.Printf("  %-24s", b.ID)
-		for _, status := range []string{"pending", "running", "done", "reused", "error"} {
-			if b.Counts[status] > 0 {
-				fmt.Printf(" %s=%d", status, b.Counts[status])
-			}
-		}
-		fmt.Println()
-	}
-	fmt.Printf("setup index %d entries\n", inv.Setups)
-	if inv.SolverErr != "" {
-		fmt.Printf("solver cache unusable: %s\n", inv.SolverErr)
-	} else {
-		fmt.Printf("solver cache %d proven-unsat entries\n", inv.SolverUnsat)
-	}
-}
-
-// runStoreCompact implements `compi store compact`: drop campaign snapshots
-// superseded by further-progressed runs of the same setup, redirecting batch
-// manifests to the surviving files. Resume behaviour is unchanged — the
-// setup index, which the resume path reads, always references the file kept.
-func runStoreCompact(args []string) {
-	fs := flag.NewFlagSet("compi store compact", flag.ExitOnError)
-	dir := fs.String("dir", "", "campaign store directory (required)")
-	fs.Parse(args)
-	if *dir == "" && fs.NArg() == 1 {
-		*dir = fs.Arg(0)
-	}
-	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "compi store compact: -dir is required")
-		os.Exit(2)
-	}
-	if fi, err := os.Stat(*dir); err != nil || !fi.IsDir() {
-		fmt.Fprintf(os.Stderr, "compi store compact: %s is not a store directory\n", *dir)
-		os.Exit(1)
-	}
-	st, err := store.Open(*dir)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "compi store compact: %v\n", err)
-		os.Exit(1)
-	}
-	defer st.Close()
-	stats, err := st.Compact()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "compi store compact: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("compacted %s: removed %d superseded snapshots, kept %d, redirected %d batch entries\n",
-		st.Dir(), len(stats.Removed), stats.Kept, stats.Rewritten)
-	for _, name := range stats.Removed {
-		fmt.Printf("  removed %s\n", name)
-	}
-}
-
-// gridFlags is the campaign-grid flag block shared by `compi sched` and
-// `compi serve`: both commands describe the same grid of campaigns (every
-// requested target × every seed, optionally sharded); they differ only in
-// who runs it — an in-process scheduler or a fleet of worker processes.
-type gridFlags struct {
-	targets   *string
-	seeds     *string
-	iters     *int
-	budget    *time.Duration
-	timeout   *time.Duration
-	procs     *int
-	maxProcs  *int
-	dfsPhase  *int
-	bugs      *bool
-	schedules *bool
-	shard     *int
-}
-
-func registerGridFlags(fs *flag.FlagSet) *gridFlags {
-	return &gridFlags{
-		targets:   fs.String("targets", "", "comma-separated target list (default: all registered)"),
-		seeds:     fs.String("seeds", "1", "comma-separated campaign seeds (one campaign per target per seed)"),
-		iters:     fs.Int("iters", 200, "test iterations per campaign"),
-		budget:    fs.Duration("budget", 0, "per-campaign wall-clock budget (0 = none)"),
-		timeout:   fs.Duration("timeout", 30*time.Second, "per-execution watchdog"),
-		procs:     fs.Int("np", 8, "initial number of processes"),
-		maxProcs:  fs.Int("max-np", 16, "process-count cap"),
-		dfsPhase:  fs.Int("dfs-phase", 50, "pure-DFS executions before BoundedDFS"),
-		bugs:      fs.Bool("bugs", false, "leave the seeded bugs live"),
-		schedules: fs.Bool("schedules", false, "explore wildcard-receive match orders (schedule-space testing with deadlock detection)"),
-		shard:     fs.Int("shard", 1, "split every campaign into N shards by initial setup (reported merged)"),
-	}
-}
-
-// specs expands the parsed grid flags into the campaign spec list, exiting
-// with a usage error on unknown targets or malformed seed lists.
-func (g *gridFlags) specs() []sched.Spec {
-	names := target.Names()
-	if *g.targets != "" {
-		names = strings.Split(*g.targets, ",")
-	}
-	params := map[string]int64{}
-	if !*g.bugs {
-		params = core.MergeParams(susy.FixAll(), stencil.FixAll())
-	}
-	var seedVals []int64
-	for _, sv := range strings.Split(*g.seeds, ",") {
-		n, err := strconv.ParseInt(strings.TrimSpace(sv), 10, 64)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad -seeds entry %q: %v\n", sv, err)
-			os.Exit(2)
-		}
-		seedVals = append(seedVals, n)
-	}
-
-	var specs []sched.Spec
-	for _, n := range names {
-		n = strings.TrimSpace(n)
-		if _, ok := target.Lookup(n); !ok {
-			fmt.Fprintf(os.Stderr, "unknown target %q; available: %s\n",
-				n, strings.Join(target.Names(), ", "))
-			os.Exit(2)
-		}
-		for _, sd := range seedVals {
-			specs = append(specs, sched.Spec{
-				Target: n,
-				Seed:   sd,
-				Config: core.Config{
-					Params:       params,
-					Iterations:   *g.iters,
-					TimeBudget:   *g.budget,
-					InitialProcs: *g.procs,
-					MaxProcs:     *g.maxProcs,
-					Reduction:    true,
-					Framework:    true,
-					DFSPhase:     *g.dfsPhase,
-					Schedules:    *g.schedules,
-					RunTimeout:   *g.timeout,
-				},
-			})
-		}
-	}
-
-	if *g.shard > 1 {
-		sharded := make([]sched.Spec, 0, len(specs)*(*g.shard))
-		for _, sp := range specs {
-			sharded = append(sharded, sched.Shard(sp, *g.shard)...)
-		}
-		specs = sharded
-	}
-	return specs
-}
-
-// runSched implements `compi sched`: a grid of campaigns (every requested
-// target × every seed) run concurrently through the parallel scheduler, with
-// a merged per-target summary at the end.
-func runSched(args []string) {
-	fs := flag.NewFlagSet("compi sched", flag.ExitOnError)
-	grid := registerGridFlags(fs)
-	var (
-		workers  = fs.Int("j", 0, "concurrently running campaigns (0 = GOMAXPROCS)")
-		stateDir = fs.String("state-dir", "", "campaign store directory: checkpoint campaigns, resume interrupted batches, reuse setups explored by prior batches")
-		batchID  = fs.String("batch", "", "batch manifest name in the store (default: derived from the spec list)")
-		verbose  = fs.Bool("v", false, "per-iteration trace")
-		profile  = fs.Bool("profile", false, "measure every campaign's phase bins and print the batch-wide table after the summary")
-	)
-	fs.Parse(args)
-	specs := grid.specs()
-
-	opt := sched.Options{Workers: *workers, BatchID: *batchID}
-	if *profile {
-		opt.Profiler = binstat.New()
-	}
-	if *stateDir != "" {
-		st := openStateDir(*stateDir)
-		defer st.Close()
-		opt.Store = st
-	}
-	if *verbose {
-		opt.Trace = func(label string, it core.IterationStat) {
-			fmt.Printf("%-24s iter %4d  np=%-2d focus=%-2d covered=%-5d %s\n",
-				label, it.Iter, it.NProcs, it.Focus, it.Covered,
-				map[bool]string{true: "FAILED", false: ""}[it.Failed])
-		}
-	}
-	sched.Run(specs, opt).WriteSummary(os.Stdout)
-}
-
-// runServe implements `compi serve`: the fleet coordinator. It owns the same
-// campaign grid `compi sched` would run (and, with -state-dir, the same
-// store), but leases shards to `compi work` processes over the dispatch
-// protocol instead of running engines itself, prints the merged summary when
-// the batch resolves, and exits.
-func runServe(args []string) {
-	fs := flag.NewFlagSet("compi serve", flag.ExitOnError)
-	grid := registerGridFlags(fs)
-	var (
-		listen    = fs.String("listen", "127.0.0.1:0", "dispatch address workers connect to")
-		status    = fs.String("status", "", "serve plain-text fleet status on this address (empty = off)")
-		addrFile  = fs.String("addr-file", "", "write the dispatch address to this file once listening (worker discovery)")
-		stateDir  = fs.String("state-dir", "", "campaign store directory: checkpoint shards, resume interrupted batches, reuse setups explored by prior batches")
-		batchID   = fs.String("batch", "", "batch manifest name in the store (default: derived from the spec list)")
-		ttl       = fs.Duration("ttl", 10*time.Second, "lease time-to-live: a lease not renewed within this window is reclaimed and re-leased")
-		snapEvery = fs.Int("snapshot-every", 8, "iterations between streamed progress snapshots (resume granularity after a worker death)")
-		verbose   = fs.Bool("v", false, "log fleet events to stderr")
-		profile   = fs.Bool("profile", false, "ask workers to profile their engines; top bins appear on -status and the final summary")
-	)
-	fs.Parse(args)
-	specs := grid.specs()
-
-	opt := fleet.Options{BatchID: *batchID, TTL: *ttl, SnapshotEvery: *snapEvery, Profile: *profile}
-	if *stateDir != "" {
-		st := openStateDir(*stateDir)
-		defer st.Close()
-		opt.Store = st
-	}
-	if *verbose {
-		opt.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
-	}
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "compi serve: %v\n", err)
-		os.Exit(1)
-	}
-	c := fleet.NewCoordinator(specs, opt)
-	fmt.Fprintf(os.Stderr, "compi serve: dispatching %d shards on %s\n", len(specs), ln.Addr())
-	if *addrFile != "" {
-		// Write-then-rename so a polling worker launcher never reads a
-		// half-written address.
-		tmp := *addrFile + ".tmp"
-		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err == nil {
-			err = os.Rename(tmp, *addrFile)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "compi serve: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	if *status != "" {
-		sln, err := net.Listen("tcp", *status)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "compi serve: status: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "compi serve: status on %s\n", sln.Addr())
-		go c.ServeStatus(sln)
-	}
-	go c.Serve(ln)
-	c.Wait().WriteSummary(os.Stdout)
-}
-
-// runWork implements `compi work`: a fleet worker that leases shards from a
-// `compi serve` coordinator until the batch drains or the coordinator goes
-// away.
-func runWork(args []string) {
-	fs := flag.NewFlagSet("compi work", flag.ExitOnError)
-	var (
-		connect = fs.String("connect", "", "coordinator dispatch address (required)")
-		jobs    = fs.Int("j", 1, "parallel campaign slots")
-		name    = fs.String("name", "", "worker name in coordinator logs and status (default pid<n>)")
-		window  = fs.Duration("dial-window", 10*time.Second, "how long to retry the initial connection")
-		verbose = fs.Bool("v", false, "log worker events to stderr")
-		profile = fs.Bool("profile", false, "profile every leased engine and ship the per-shard reports to the coordinator")
-	)
-	fs.Parse(args)
-	if *connect == "" {
-		fmt.Fprintln(os.Stderr, "compi work: -connect is required")
-		os.Exit(2)
-	}
-	opt := fleet.WorkerOptions{Name: *name, Jobs: *jobs, DialWindow: *window, Profile: *profile}
-	if *verbose {
-		opt.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
-	}
-	if err := fleet.Work(*connect, opt); err != nil {
-		fmt.Fprintf(os.Stderr, "compi work: %v\n", err)
-		os.Exit(1)
-	}
-}
-
-// runTargets implements `compi targets [--json] [-target name]`: the static
-// declaration manifests of the registered programs, without running anything.
-func runTargets(args []string) {
-	fs := flag.NewFlagSet("compi targets", flag.ExitOnError)
-	jsonOut := fs.Bool("json", false, "emit the full JSON manifest array")
-	name := fs.String("target", "", "restrict the listing to one program")
-	fs.Parse(args)
-
-	progs := target.Programs()
-	if *name != "" {
-		p, ok := target.Lookup(*name)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown target %q; available: %s\n",
-				*name, strings.Join(target.Names(), ", "))
-			os.Exit(2)
-		}
-		progs = []*target.Program{p}
-	}
-
-	if *jsonOut {
-		ms := make([]target.Manifest, len(progs))
-		for i, p := range progs {
-			ms[i] = p.Manifest()
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(ms); err != nil {
-			fmt.Fprintf(os.Stderr, "encoding manifests: %v\n", err)
-			os.Exit(1)
-		}
-		return
-	}
-
-	for _, p := range progs {
-		fmt.Printf("%-10s sloc=%-5d branches=%-4d functions=%-2d callsites=%-2d inputs=%d\n",
-			p.Name, p.SLOC, p.TotalBranches(), len(p.Functions()), len(p.Calls()), len(p.Inputs()))
-		for _, in := range p.Inputs() {
-			if in.HasCap {
-				fmt.Printf("    input %-12s cap=%d\n", in.Name, in.Cap)
-			} else {
-				fmt.Printf("    input %s\n", in.Name)
-			}
-		}
-	}
+	fmt.Fprintf(os.Stderr, "compi: unknown mode %q\n\n%s", args[0], usageText())
+	os.Exit(2)
 }

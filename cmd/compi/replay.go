@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/target"
+)
+
+// replayMode re-executes one recorded failing input set deterministically,
+// either from a spec file (`-spec failure.json`, the JSON shape `-emit`
+// prints) or from flags. Exit code 1 means the replay reproduced a failure.
+type replayMode struct {
+	fs *flag.FlagSet
+
+	specFile *string
+	name     *string
+	inputs   *string
+	procs    *int
+	focus    *int
+	timeout  *time.Duration
+	bugs     *bool
+	emit     *bool
+}
+
+func newReplayMode() *replayMode {
+	fs := newFlagSet("replay")
+	m := &replayMode{fs: fs}
+	m.specFile = fs.String("spec", "", "replay campaign spec file (JSON, as printed by -emit)")
+	m.name = fs.String("target", "skeleton", "program under test")
+	m.inputs = fs.String("inputs", "", `input set to replay, e.g. "x=100,y=50"`)
+	m.procs = fs.Int("np", 8, "number of processes")
+	m.focus = fs.Int("focus", 0, "focused rank of the recorded failure")
+	m.timeout = fs.Duration("timeout", 30*time.Second, "per-execution watchdog")
+	m.bugs = fs.Bool("bugs", false, "leave the seeded bugs live")
+	m.emit = fs.Bool("emit", false, "print the canonical replay spec as JSON instead of executing it")
+	return m
+}
+
+func (m *replayMode) Name() string { return "replay" }
+func (m *replayMode) Synopsis() string {
+	return "re-execute a recorded failing input set from a spec file or flags"
+}
+func (m *replayMode) Flags() *flag.FlagSet { return m.fs }
+
+// Excluded maps the campaign-shaping flags replay has no use for: a replay
+// is a single deterministic execution, not an exploration.
+func (m *replayMode) Excluded() map[string]string {
+	ex := map[string]string{}
+	for _, name := range spec.CampaignFlagNames() {
+		switch name {
+		case "target", "np", "timeout", "bugs":
+			continue // bound above with replay-specific meaning
+		}
+		ex[name] = "replay executes one recorded input set; exploration flags do not apply"
+	}
+	return ex
+}
+
+func (m *replayMode) Run(args []string) int {
+	m.fs.Parse(args)
+
+	var rc spec.Campaign
+	if *m.specFile != "" {
+		f, err := os.Open(*m.specFile)
+		if err != nil {
+			return fatalf("compi replay: %v", err)
+		}
+		rc, err = spec.Decode(f)
+		f.Close()
+		if err != nil {
+			return fatalf("compi replay: %s: %v", *m.specFile, err)
+		}
+	} else {
+		params := map[string]int64{}
+		if !*m.bugs {
+			params = fixParams()
+		}
+		rec := core.ErrorRecord{NProcs: *m.procs, Focus: *m.focus,
+			Inputs: map[string]int64{}, Params: params}
+		for _, kv := range strings.Split(*m.inputs, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return usagef("bad -inputs entry %q", kv)
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return usagef("bad -inputs value %q: %v", kv, err)
+			}
+			rec.Inputs[k] = n
+		}
+		rc = spec.FromErrorRecord(*m.name, rec)
+		rc.RunTimeout = *m.timeout
+		if err := rc.Validate(); err != nil {
+			return usagef("%v", err)
+		}
+	}
+
+	prog, ok := target.Lookup(rc.Target)
+	if !ok {
+		return usagef("unknown target %q; available: %s",
+			rc.Target, strings.Join(target.Names(), ", "))
+	}
+
+	if *m.emit {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rc); err != nil {
+			return fatalf("compi replay: %v", err)
+		}
+		return 0
+	}
+	return replayCampaign(prog, rc, rc.RunTimeout)
+}
+
+// replayCampaign executes the replay campaign's recorded input set once and
+// reports each rank's outcome; shared with `compi run -replay`.
+func replayCampaign(prog *target.Program, rc spec.Campaign, timeout time.Duration) int {
+	res := core.Replay(prog, rc.ErrorRecord(), timeout)
+	for _, rr := range res.Ranks {
+		fmt.Printf("rank %d: %v", rr.Rank, rr.Status)
+		if rr.Err != nil {
+			fmt.Printf("  %v", rr.Err)
+		} else if rr.Exit != 0 {
+			fmt.Printf("  exit=%d", rr.Exit)
+		}
+		fmt.Println()
+	}
+	if res.Failed() {
+		return 1
+	}
+	return 0
+}

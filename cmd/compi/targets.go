@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/target"
+)
+
+// targetsMode prints the static declaration manifests of the registered
+// programs, without running anything.
+type targetsMode struct {
+	fs *flag.FlagSet
+
+	jsonOut *bool
+	name    *string
+}
+
+func newTargetsMode() *targetsMode {
+	fs := newFlagSet("targets")
+	m := &targetsMode{fs: fs}
+	m.jsonOut = fs.Bool("json", false, "emit the full JSON manifest array")
+	m.name = fs.String("target", "", "restrict the listing to one program")
+	return m
+}
+
+func (m *targetsMode) Name() string { return "targets" }
+func (m *targetsMode) Synopsis() string {
+	return "print the registered programs' static declaration manifests"
+}
+func (m *targetsMode) Flags() *flag.FlagSet { return m.fs }
+
+func (m *targetsMode) Run(args []string) int {
+	m.fs.Parse(args)
+
+	progs := target.Programs()
+	if *m.name != "" {
+		p, ok := target.Lookup(*m.name)
+		if !ok {
+			return usagef("unknown target %q; available: %s",
+				*m.name, strings.Join(target.Names(), ", "))
+		}
+		progs = []*target.Program{p}
+	}
+
+	if *m.jsonOut {
+		ms := make([]target.Manifest, len(progs))
+		for i, p := range progs {
+			ms[i] = p.Manifest()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ms); err != nil {
+			return fatalf("encoding manifests: %v", err)
+		}
+		return 0
+	}
+
+	for _, p := range progs {
+		fmt.Printf("%-10s sloc=%-5d branches=%-4d functions=%-2d callsites=%-2d inputs=%d\n",
+			p.Name, p.SLOC, p.TotalBranches(), len(p.Functions()), len(p.Calls()), len(p.Inputs()))
+		for _, in := range p.Inputs() {
+			if in.HasCap {
+				fmt.Printf("    input %-12s cap=%d\n", in.Name, in.Cap)
+			} else {
+				fmt.Printf("    input %s\n", in.Name)
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/spec"
+)
+
+// workMode is a fleet worker that leases shards from a `compi serve`
+// coordinator until the batch drains or the coordinator goes away. It takes
+// no campaign flags of its own: the specs arrive fully formed inside leases.
+type workMode struct {
+	fs *flag.FlagSet
+
+	connect *string
+	jobs    *int
+	name    *string
+	window  *time.Duration
+	verbose *bool
+	profile *bool
+}
+
+func newWorkMode() *workMode {
+	fs := newFlagSet("work")
+	m := &workMode{fs: fs}
+	m.connect = fs.String("connect", "", "coordinator dispatch address (required)")
+	m.jobs = fs.Int("j", 1, "parallel campaign slots")
+	m.name = fs.String("name", "", "worker name in coordinator logs and status (default pid<n>)")
+	m.window = fs.Duration("dial-window", 10*time.Second, "how long to retry the initial connection")
+	m.verbose = fs.Bool("v", false, "log worker events to stderr")
+	m.profile = fs.Bool("profile", false, "profile every leased engine and ship the per-shard reports to the coordinator")
+	return m
+}
+
+func (m *workMode) Name() string { return "work" }
+func (m *workMode) Synopsis() string {
+	return "run campaign shards leased from a coordinator"
+}
+func (m *workMode) Flags() *flag.FlagSet { return m.fs }
+
+// Excluded explains why the worker binds no campaign flags: the campaign
+// specs arrive from the coordinator's leases, so shaping them locally would
+// silently diverge from what the fleet agreed to run. -profile stays local
+// (it shapes the worker's engines, not the campaigns) and is bound above.
+func (m *workMode) Excluded() map[string]string {
+	ex := map[string]string{}
+	for _, name := range spec.CampaignFlagNames() {
+		if name == "profile" {
+			continue // bound locally: profiling is a worker decision
+		}
+		ex[name] = "campaign specs arrive from the coordinator's leases"
+	}
+	return ex
+}
+
+func (m *workMode) Run(args []string) int {
+	m.fs.Parse(args)
+	if *m.connect == "" {
+		return usagef("compi work: -connect is required")
+	}
+	opt := fleet.WorkerOptions{Name: *m.name, Jobs: *m.jobs,
+		DialWindow: *m.window, Profile: *m.profile}
+	if *m.verbose {
+		opt.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if err := fleet.Work(*m.connect, opt); err != nil {
+		return fatalf("compi work: %v", err)
+	}
+	return 0
+}

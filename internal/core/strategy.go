@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -346,3 +347,31 @@ func (s *twoPhase) Propose() ([]conc.PathEntry, int, bool) { return s.inner.Prop
 func (s *twoPhase) Accept()                                { s.inner.Accept() }
 func (s *twoPhase) Reject()                                { s.inner.Reject() }
 func (s *twoPhase) Reset()                                 { s.inner.Reset() }
+
+// NamedStrategy resolves a strategy *name* — campaign data, as a
+// spec.Campaign carries it — to a strategy factory, making search
+// strategies portable across process boundaries: a fleet lease or a stored
+// campaign names its strategy instead of carrying a live object. The empty
+// name (and "compi", its CLI spelling) selects the engine's default
+// two-phase DFS and returns a nil factory. seed feeds the random
+// strategies; bound feeds bounded-dfs (0 derives Unbounded, matching the
+// historical CLI behavior).
+func NamedStrategy(name string, seed int64, bound int) (func(*target.Program, *coverage.Tracker) Strategy, error) {
+	switch name {
+	case "", "compi":
+		return nil, nil
+	case "bounded-dfs":
+		if bound == 0 {
+			bound = Unbounded
+		}
+		b := bound
+		return func(*target.Program, *coverage.Tracker) Strategy { return NewBoundedDFS(b) }, nil
+	case "random-branch":
+		return func(*target.Program, *coverage.Tracker) Strategy { return NewRandomBranch(seed) }, nil
+	case "uniform-random":
+		return func(*target.Program, *coverage.Tracker) Strategy { return NewUniformRandom(seed) }, nil
+	case "cfg":
+		return func(p *target.Program, cov *coverage.Tracker) Strategy { return NewCFG(p, cov) }, nil
+	}
+	return nil, fmt.Errorf("unknown strategy %q (want compi, bounded-dfs, random-branch, uniform-random, or cfg)", name)
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sched"
+	"repro/internal/spec"
 	"repro/internal/store"
 	"repro/internal/target"
 	_ "repro/internal/targets/hpl"
@@ -192,6 +193,29 @@ func campaignCfg(tn tuning, s Scale, seed int64, mutate func(*core.Config)) core
 		mutate(&cfg)
 	}
 	return cfg
+}
+
+// campaignSpec is campaignCfg in sched.Spec form: the same standard tuning
+// expressed as a data-only campaign for drivers that fan out through
+// sched.Run.
+func campaignSpec(label string, tn tuning, s Scale, seed int64, mutate func(*spec.Campaign)) sched.Spec {
+	c := spec.Campaign{
+		Label:      label,
+		Target:     tn.name,
+		Iterations: s.Iters,
+		TimeBudget: s.Budget,
+		Reduction:  true,
+		Framework:  true,
+		Seed:       seed,
+		DFSPhase:   tn.dfsPhase,
+		DepthBound: tn.bound,
+		RunTimeout: s.RunTimeout,
+		Params:     tn.params,
+	}
+	if mutate != nil {
+		mutate(&c)
+	}
+	return sched.Spec{Campaign: c}
 }
 
 // campaign runs one COMPI campaign with the standard configuration.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sched"
+	"repro/internal/spec"
 	"repro/internal/targets/hpl"
 	"repro/internal/targets/imb"
 	"repro/internal/targets/susy"
@@ -48,14 +49,11 @@ func Fig8(s Scale) *Table {
 		for _, cap := range st.caps {
 			params := core.MergeParams(st.tn.params, st.capOf(cap))
 			for rep := 0; rep < s.Reps; rep++ {
-				cfg := campaignCfg(st.tn, s, int64(100*rep+7), func(c *core.Config) {
+				label := fmt.Sprintf("%s/cap%d/r%d", st.tn.name, cap, rep)
+				specs = append(specs, campaignSpec(label, st.tn, s, int64(100*rep+7), func(c *spec.Campaign) {
 					c.Iterations = st.iters
 					c.Params = params
-				})
-				specs = append(specs, sched.Spec{
-					Label:  fmt.Sprintf("%s/cap%d/r%d", st.tn.name, cap, rep),
-					Config: cfg,
-				})
+				}))
 			}
 		}
 	}

@@ -4,8 +4,8 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/sched"
+	"repro/internal/spec"
 )
 
 // fixedResult summarizes one fixed-input execution.
@@ -27,24 +27,22 @@ type fixedResult struct {
 // Figure 6) collect these specs and run them through one sched.Run.
 func fixedSpec(label, progName string, inputs map[string]int64, nprocs, focus int,
 	oneWay bool, params map[string]int64, timeout time.Duration) sched.Spec {
-	return sched.Spec{
-		Label:  label,
-		Target: progName,
-		Config: core.Config{
-			Inputs:       inputs,
-			Iterations:   1,
-			PureRandom:   true, // one execution; no concolic step afterwards
-			Reduction:    true,
-			Framework:    true,
-			OneWay:       oneWay,
-			InitialProcs: nprocs,
-			InitialFocus: focus,
-			Seed:         9,
-			RunTimeout:   timeout,
-			MaxTicks:     200_000_000,
-			Params:       params,
-		},
-	}
+	return sched.Spec{Campaign: spec.Campaign{
+		Label:        label,
+		Target:       progName,
+		Inputs:       inputs,
+		Iterations:   1,
+		PureRandom:   true, // one execution; no concolic step afterwards
+		Reduction:    true,
+		Framework:    true,
+		OneWay:       oneWay,
+		InitialProcs: nprocs,
+		InitialFocus: focus,
+		Seed:         9,
+		RunTimeout:   timeout,
+		MaxTicks:     200_000_000,
+		Params:       params,
+	}}
 }
 
 // fixedResultOf extracts the single execution's statistics from a scheduled

@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/sched"
+	"repro/internal/spec"
 )
 
 // TableIII reproduces Table III: the complexity of the target programs —
@@ -25,12 +25,9 @@ func TableIII(s Scale) *Table {
 	tns := tunings()
 	specs := make([]sched.Spec, len(tns))
 	for i, tn := range tns {
-		specs[i] = sched.Spec{
-			Label: tn.name,
-			Config: campaignCfg(tn, s, 1, func(c *core.Config) {
-				c.Iterations = s.Iters / 2
-			}),
-		}
+		specs[i] = campaignSpec(tn.name, tn, s, 1, func(c *spec.Campaign) {
+			c.Iterations = s.Iters / 2
+		})
 	}
 	rep := sched.Run(specs, s.schedOptions())
 	for i, tn := range tns {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/sched"
+	"repro/internal/spec"
 	"repro/internal/store"
 )
 
@@ -87,8 +88,8 @@ type shardState struct {
 type Coordinator struct {
 	opt   Options
 	specs []sched.Spec
-	wire  []WireSpec
-	keys  []string // sched.SetupKey per spec; "" = not persistable
+	wire  []spec.Campaign // portable form of each spec, shipped in leases
+	keys  []string        // sched.SetupKey per spec; "" = not persistable
 
 	prof *binstat.Profiler // fleet-wide rollup of worker-shipped reports
 
@@ -116,7 +117,7 @@ type session struct {
 }
 
 // NewCoordinator prepares a fleet over specs. Specs that cannot be
-// dispatched (live strategy objects and the like — see SpecToWire) fail
+// dispatched (live strategy objects and the like — see spec.Portable) fail
 // their shard immediately; everything else starts pending.
 func NewCoordinator(specs []sched.Spec, opt Options) *Coordinator {
 	if opt.TTL <= 0 {
@@ -132,7 +133,7 @@ func NewCoordinator(specs []sched.Spec, opt Options) *Coordinator {
 		opt:      opt,
 		prof:     binstat.New(),
 		specs:    specs,
-		wire:     make([]WireSpec, len(specs)),
+		wire:     make([]spec.Campaign, len(specs)),
 		keys:     make([]string, len(specs)),
 		shards:   make([]shardState, len(specs)),
 		sessions: map[int]*session{},
@@ -145,9 +146,9 @@ func NewCoordinator(specs []sched.Spec, opt Options) *Coordinator {
 		c.shards[i].camp.Spec = sp
 		c.shards[i].camp.Label = sp.DisplayLabel()
 		c.shards[i].camp.Target = sp.TargetName()
-		w, err := SpecToWire(sp)
+		w, err := sp.Portable()
 		if err != nil {
-			c.failShardLocked(i, err)
+			c.failShardLocked(i, fmt.Errorf("fleet: %w", err))
 			continue
 		}
 		c.wire[i] = w
@@ -162,28 +163,11 @@ func NewCoordinator(specs []sched.Spec, opt Options) *Coordinator {
 	return c
 }
 
-// openBatch creates (or reloads) the store batch manifest, mirroring
-// sched.Run's batch bookkeeping so a fleet store and a sched store are
-// interchangeable.
+// openBatch creates (or reloads) the store batch manifest through
+// sched.PrepareBatch — the same path sched.Run takes — so a fleet store and
+// a sched store are interchangeable.
 func (c *Coordinator) openBatch() {
-	id := c.opt.BatchID
-	if id == "" {
-		id = sched.DeriveBatchID(c.specs)
-	}
-	man, err := c.opt.Store.LoadBatch(id)
-	if err != nil || man == nil || len(man.Entries) != len(c.specs) {
-		man = &store.BatchManifest{ID: id, Entries: make([]store.BatchEntry, len(c.specs))}
-	}
-	for i, sp := range c.specs {
-		e := &man.Entries[i]
-		e.Label = sp.DisplayLabel()
-		e.Key = c.keys[i]
-		if e.Status == "" || e.Status == store.StatusRunning {
-			e.Status = store.StatusPending
-		}
-	}
-	c.man = man
-	c.opt.Store.SaveBatch(man)
+	c.man, c.keys = sched.PrepareBatch(c.opt.Store, c.opt.BatchID, c.specs)
 }
 
 // BatchID returns the store batch ID ("" without a store).
@@ -470,7 +454,7 @@ func (c *Coordinator) grant(s *session) Frame {
 		if sh.resume == nil && c.opt.Store != nil && c.keys[i] != "" {
 			if rec, ok := c.opt.Store.Explored(c.keys[i]); ok {
 				if snap, err := c.opt.Store.LoadCampaign(rec.Campaign); err == nil {
-					if c.specs[i].Config.TimeBudget == 0 && snap.Iters >= sched.WantedIters(c.specs[i].Config) {
+					if c.specs[i].TimeBudget == 0 && snap.Iters >= sched.WantedIters(c.specs[i].Iterations) {
 						c.reuseShardLocked(i, rec.Campaign, snap)
 						continue
 					}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/sched"
 	"repro/internal/solver"
+	"repro/internal/spec"
 	"repro/internal/store"
 	"repro/internal/targets/stencil"
 	"repro/internal/targets/susy"
@@ -28,20 +29,22 @@ import (
 // an unfixed SUSY campaign whose seeded bug produces error records — so the
 // equality checks cover coverage, iteration history, and error dedup alike.
 func fleetSpecs(iters int) []sched.Spec {
-	mk := func(target string, seed int64, cfg core.Config) sched.Spec {
-		cfg.Iterations = iters
-		cfg.Reduction = true
-		cfg.Framework = true
-		if cfg.RunTimeout == 0 {
-			cfg.RunTimeout = 10 * time.Second
+	mk := func(target string, seed int64, c spec.Campaign) sched.Spec {
+		c.Target = target
+		c.Seed = seed
+		c.Iterations = iters
+		c.Reduction = true
+		c.Framework = true
+		if c.RunTimeout == 0 {
+			c.RunTimeout = 10 * time.Second
 		}
-		return sched.Spec{Target: target, Seed: seed, Config: cfg}
+		return sched.Spec{Campaign: c}
 	}
 	return []sched.Spec{
-		mk("skeleton", 3, core.Config{}),
-		mk("skeleton", 4, core.Config{}),
-		mk("stencil", 11, core.Config{Params: stencil.FixAll(), DFSPhase: 10, MaxTicks: 3_000_000}),
-		mk("susy-hmc", 21, core.Config{Params: susy.UnfixAll(), Inputs: susy.DefaultInputs()}),
+		mk("skeleton", 3, spec.Campaign{}),
+		mk("skeleton", 4, spec.Campaign{}),
+		mk("stencil", 11, spec.Campaign{Params: stencil.FixAll(), DFSPhase: 10, MaxTicks: 3_000_000}),
+		mk("susy-hmc", 21, spec.Campaign{Params: susy.UnfixAll(), Inputs: susy.DefaultInputs()}),
 	}
 }
 
@@ -356,7 +359,7 @@ func TestFleetUndispatchableSpecFails(t *testing.T) {
 	}
 	specs := fleetSpecs(5)[:2]
 	specs[1].Label = "live"
-	specs[1].Config.Solver = dummySolver{}
+	specs[1].Overrides.Solver = dummySolver{}
 	c, addr := startFleet(t, specs, fleet.Options{})
 	workInProcess(t, addr, 1)
 	rep := c.Wait()

@@ -47,12 +47,15 @@ import (
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/proto"
+	"repro/internal/spec"
 )
 
 // Version is the campaign-dispatch protocol version, independent of the
 // target protocol's. The coordinator refuses a worker speaking a different
-// version; the frame schema is pinned by a golden-bytes test.
-const Version = 1
+// version; the frame schema is pinned by a golden-bytes test. Version 2
+// replaced the lease frame's bespoke wire spec with the canonical
+// spec.Campaign schema.
+const Version = 2
 
 // FrameType discriminates the dispatch protocol's frames.
 type FrameType string
@@ -154,8 +157,10 @@ type Lease struct {
 	ID string `json:"id,omitempty"`
 	// Shard is the spec index in the coordinator's batch.
 	Shard int `json:"shard,omitempty"`
-	// Spec is the campaign to run.
-	Spec *WireSpec `json:"spec,omitempty"`
+	// Spec is the campaign to run: the canonical data-only schema
+	// (internal/spec). Specs carrying live objects never reach the wire —
+	// the coordinator refuses them at batch build (spec.Portable).
+	Spec *spec.Campaign `json:"spec,omitempty"`
 	// Snapshot, when non-nil, is the shard's resume point: the store's (or a
 	// reclaimed predecessor's) last checkpoint. The worker restores it
 	// before running, making re-leased work continue instead of restart.

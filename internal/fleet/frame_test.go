@@ -13,6 +13,7 @@ import (
 	"repro/internal/coverage"
 	"repro/internal/fleet"
 	"repro/internal/sched"
+	"repro/internal/spec"
 	"repro/internal/target"
 )
 
@@ -21,8 +22,8 @@ import (
 // handshake. Changing either golden constant means the protocol changed and
 // Version must be bumped.
 const (
-	helloGolden   = `{"type":"hello","hello":{"proto":1,"name":"w1"}}`
-	welcomeGolden = `{"type":"welcome","welcome":{"proto":1,"worker":3,"batch":"batch-0abc","ttl_ms":10000,"retry_ms":200,"snapshot_every":8}}`
+	helloGolden   = `{"type":"hello","hello":{"proto":2,"name":"w1"}}`
+	welcomeGolden = `{"type":"welcome","welcome":{"proto":2,"worker":3,"batch":"batch-0abc","ttl_ms":10000,"retry_ms":200,"snapshot_every":8}}`
 )
 
 func TestHandshakeGolden(t *testing.T) {
@@ -47,9 +48,9 @@ func TestHandshakeGolden(t *testing.T) {
 			t.Fatalf("round trip changed type: %q", back.Type)
 		}
 	}
-	pin(fleet.Frame{Type: fleet.FrameHello, Hello: &fleet.Hello{Proto: 1, Name: "w1"}}, helloGolden)
+	pin(fleet.Frame{Type: fleet.FrameHello, Hello: &fleet.Hello{Proto: 2, Name: "w1"}}, helloGolden)
 	pin(fleet.Frame{Type: fleet.FrameWelcome, Welcome: &fleet.Welcome{
-		Proto: 1, Worker: 3, Batch: "batch-0abc", TTLMS: 10000, RetryMS: 200, SnapshotEvery: 8,
+		Proto: 2, Worker: 3, Batch: "batch-0abc", TTLMS: 10000, RetryMS: 200, SnapshotEvery: 8,
 	}}, welcomeGolden)
 }
 
@@ -78,69 +79,61 @@ func TestFrameValidation(t *testing.T) {
 	}
 }
 
-func TestWireSpecRoundTrip(t *testing.T) {
-	sp := sched.Spec{
+// TestLeaseSpecRoundTrip pins the v2 wire contract: leases ship the
+// canonical spec.Campaign verbatim, so a portable spec must survive JSON
+// unchanged, and a spec carrying a live object must be refused naming the
+// offending field with the same text the old wire layer used.
+func TestLeaseSpecRoundTrip(t *testing.T) {
+	sp := sched.Spec{Campaign: spec.Campaign{
 		Label:  "shard-3",
 		Target: "skeleton",
 		Seed:   7,
 		Group:  "grid",
-		External: &sched.External{
+		External: &spec.External{
 			Bin: "/usr/bin/compi-target", Args: []string{"-t", "x"}, Env: []string{"A=1"},
 		},
-		Config: core.Config{
-			Params:       map[string]int64{"cap": 9},
-			Inputs:       map[string]int64{"x": 4},
-			Iterations:   55,
-			TimeBudget:   1500 * time.Millisecond,
-			InitialProcs: 8, InitialFocus: 1, MaxProcs: 16,
-			Reduction: true, DepthBound: 6, DFSPhase: 10,
-			OneWay: true, Framework: true, PureRandom: true,
-			Schedules: true,
-			Seed:      3, RunTimeout: 5 * time.Second, MaxTicks: 1 << 20,
-			SolverMaxNodes: 4096,
-		},
-	}
-	w, err := fleet.SpecToWire(sp)
+		Params:       map[string]int64{"cap": 9},
+		Inputs:       map[string]int64{"x": 4},
+		Iterations:   55,
+		TimeBudget:   1500 * time.Millisecond,
+		InitialProcs: 8, InitialFocus: 1, MaxProcs: 16,
+		Reduction: true, DepthBound: 6, DFSPhase: 10,
+		OneWay: true, Framework: true, PureRandom: true,
+		Schedules:  true,
+		RunTimeout: 5 * time.Second, MaxTicks: 1 << 20,
+		SolverMaxNodes: 4096,
+	}}
+	w, err := sp.Portable()
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The wire form must survive JSON (that is its whole job).
+	// The portable form must survive JSON (that is its whole job).
 	b, err := json.Marshal(w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var w2 fleet.WireSpec
+	var w2 spec.Campaign
 	if err := json.Unmarshal(b, &w2); err != nil {
 		t.Fatal(err)
 	}
-	got := fleet.SpecFromWire(w2)
-	if !specEqual(got, sp) {
-		t.Fatalf("round trip changed the spec:\n got  %+v\n want %+v", got, sp)
+	b2, _ := json.Marshal(w2)
+	if string(b) != string(b2) {
+		t.Fatalf("round trip changed the spec:\n got  %s\n want %s", b2, b)
+	}
+	if w.Canonical() != w2.Canonical() {
+		t.Fatal("round trip changed the canonical setup key")
 	}
 
-	// Live objects are refused, naming the field.
+	// Live objects are refused, naming the field — same error text the old
+	// bespoke wire layer produced.
 	live := sp
 	live.External = nil
-	live.Config.NewStrategy = func(p *target.Program, c *coverage.Tracker) core.Strategy { return nil }
-	if _, err := fleet.SpecToWire(live); err == nil ||
-		!strings.Contains(err.Error(), "Config.NewStrategy") {
+	live.Overrides.NewStrategy = func(p *target.Program, c *coverage.Tracker) core.Strategy { return nil }
+	if _, err := live.Portable(); err == nil ||
+		!strings.Contains(err.Error(), "Config.NewStrategy") ||
+		!strings.Contains(err.Error(), "cannot be dispatched") {
 		t.Fatalf("live strategy factory: %v", err)
 	}
-}
-
-// specEqual compares specs field-by-field (Config contains maps, so no ==).
-func specEqual(a, b sched.Spec) bool {
-	ab, _ := json.Marshal(mustWire(a))
-	bb, _ := json.Marshal(mustWire(b))
-	return a.Label == b.Label && string(ab) == string(bb)
-}
-
-func mustWire(sp sched.Spec) fleet.WireSpec {
-	w, err := fleet.SpecToWire(sp)
-	if err != nil {
-		panic(err)
-	}
-	return w
 }
 
 // TestMergeFrameIsONewBranches pins the merge-frame size property at the

@@ -13,6 +13,7 @@ import (
 	"repro/internal/binstat"
 	"repro/internal/core"
 	"repro/internal/proto"
+	"repro/internal/sched"
 	"repro/internal/target"
 )
 
@@ -192,16 +193,20 @@ func (t *errorTail) drain() []core.ErrorRecord {
 // are reported as error frames; transport failures are simply dropped — the
 // coordinator's lease deadline handles a worker that can no longer speak.
 func runLease(write func(Frame) error, lease *Lease, ttl time.Duration, snapshotEvery int, profile bool, logf func(string, ...any)) {
-	sp := SpecFromWire(*lease.Spec)
-	cfg := sp.Config
+	sp := sched.Spec{Campaign: *lease.Spec}
+	fail := func(err error) {
+		logf("fleet: lease %s: %v", lease.ID, err)
+		write(Frame{Type: FrameError, Error: &ErrorReport{Lease: lease.ID, Msg: err.Error()}})
+	}
+	cfg, err := sp.Config()
+	if err != nil {
+		fail(fmt.Errorf("sched: spec %q: %w", sp.DisplayLabel(), err))
+		return
+	}
 	if profile && cfg.Profiler == nil {
 		// One profiler per lease: the complete frame then carries exactly
 		// this shard's bins, and the coordinator does the fleet-wide rollup.
 		cfg.Profiler = binstat.New()
-	}
-	fail := func(err error) {
-		logf("fleet: lease %s: %v", lease.ID, err)
-		write(Frame{Type: FrameError, Error: &ErrorReport{Lease: lease.ID, Msg: err.Error()}})
 	}
 	if sp.External != nil {
 		drv, err := proto.Start(sp.External.Bin, proto.Options{Args: sp.External.Args, Env: sp.External.Env})
@@ -227,9 +232,6 @@ func runLease(write func(Frame) error, lease *Lease, ttl time.Duration, snapshot
 			return
 		}
 		cfg.Program = prog
-	}
-	if sp.Seed != 0 {
-		cfg.Seed = sp.Seed
 	}
 
 	// Per-iteration callbacks. The engine is built after the closures, so

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/proto"
 	"repro/internal/sched"
+	"repro/internal/spec"
 	"repro/internal/target"
 
 	_ "repro/internal/targets/hpl"
@@ -104,6 +105,25 @@ func conformanceConfig() core.Config {
 		RunTimeout:   20 * time.Second,
 		MaxTicks:     300_000,
 	}
+}
+
+// conformanceSpec is conformanceConfig lifted into a scheduler spec; ext nil
+// means in-process.
+func conformanceSpec(label, name string, ext *spec.External) sched.Spec {
+	return sched.Spec{Campaign: spec.Campaign{
+		Label:        label,
+		Target:       name,
+		External:     ext,
+		Iterations:   10,
+		InitialProcs: 4,
+		MaxProcs:     8,
+		Reduction:    true,
+		Framework:    true,
+		DFSPhase:     4,
+		Seed:         11,
+		RunTimeout:   20 * time.Second,
+		MaxTicks:     300_000,
+	}}
 }
 
 // assertConformant fails the test unless the two campaign results are
@@ -265,9 +285,9 @@ func TestSchedMixedConformance(t *testing.T) {
 	specs := make([]sched.Spec, 0, 2*len(names))
 	for _, name := range names {
 		specs = append(specs,
-			sched.Spec{Label: name + "/inproc", Target: name, Config: conformanceConfig()},
-			sched.Spec{Label: name + "/piped", Target: name, Config: conformanceConfig(),
-				External: &sched.External{Bin: bin, Args: []string{"-target", name}}},
+			conformanceSpec(name+"/inproc", name, nil),
+			conformanceSpec(name+"/piped", name,
+				&spec.External{Bin: bin, Args: []string{"-target", name}}),
 		)
 	}
 
@@ -316,9 +336,9 @@ func TestSchedShardedServiceConformance(t *testing.T) {
 	mkSpecs := func() []sched.Spec {
 		var specs []sched.Spec
 		for _, name := range names {
-			in := sched.Spec{Label: name + "/in", Target: name, Config: conformanceConfig()}
-			piped := sched.Spec{Label: name + "/piped", Target: name, Config: conformanceConfig(),
-				External: &sched.External{Bin: bin, Args: []string{"-target", name}}}
+			in := conformanceSpec(name+"/in", name, nil)
+			piped := conformanceSpec(name+"/piped", name,
+				&spec.External{Bin: bin, Args: []string{"-target", name}})
 			specs = append(specs, sched.Shard(in, nShards)...)
 			specs = append(specs, sched.Shard(piped, nShards)...)
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/proto"
 	"repro/internal/sched"
+	"repro/internal/spec"
 )
 
 // startFault re-execs this test binary as a misbehaving protocol target (see
@@ -109,21 +110,19 @@ func TestDriverTargetStopsResponding(t *testing.T) {
 // the scheduler next to nothing else: the batch must complete (no worker
 // hang) with the campaign reporting its single deduplicated error.
 func TestSchedSurvivesDeadExternalTarget(t *testing.T) {
-	rep := sched.Run([]sched.Spec{{
+	rep := sched.Run([]sched.Spec{{Campaign: spec.Campaign{
 		Label: "fault/exit-mid",
-		External: &sched.External{
+		External: &spec.External{
 			Bin: os.Args[0],
 			Env: []string{"COMPI_PROTO_FAULT=exit-mid"},
 		},
-		Config: core.Config{
-			Iterations:   4,
-			InitialProcs: 2,
-			MaxProcs:     4,
-			Framework:    true,
-			Seed:         1,
-			RunTimeout:   time.Second,
-		},
-	}}, sched.Options{Workers: 2})
+		Iterations:   4,
+		InitialProcs: 2,
+		MaxProcs:     4,
+		Framework:    true,
+		Seed:         1,
+		RunTimeout:   time.Second,
+	}}}, sched.Options{Workers: 2})
 
 	c := rep.Campaigns[0]
 	if c.Err != nil {

@@ -2,13 +2,11 @@ package sched
 
 import (
 	"crypto/sha256"
-	"encoding/json"
 	"fmt"
-	"path/filepath"
+	"strings"
 	"sync"
-	"time"
 
-	"repro/internal/core"
+	"repro/internal/spec"
 	"repro/internal/store"
 )
 
@@ -33,82 +31,32 @@ import (
 // the same batch and every finished campaign reattaches instantly, every
 // interrupted one continues where its last checkpoint left off.
 
-// setupKeyState is the canonical initial state a campaign's exploration is
-// determined by. Iterations and TimeBudget are deliberately excluded: they
-// say how *long* to explore, not *what* — a 50-iteration run is a prefix of
-// the 100-iteration run of the same state, which is exactly what lets a
-// later batch resume or reuse it. SnapshotVersion is included so snapshots
-// from an incompatible schema never collide with current keys.
-type setupKeyState struct {
-	Target       string           `json:"target"`
-	External     string           `json:"external,omitempty"`
-	Snapshot     int              `json:"snapshot"`
-	Seed         int64            `json:"seed"`
-	InitialProcs int              `json:"initialProcs"`
-	InitialFocus int              `json:"initialFocus"`
-	MaxProcs     int              `json:"maxProcs"`
-	Reduction    bool             `json:"reduction"`
-	DepthBound   int              `json:"depthBound"`
-	DFSPhase     int              `json:"dfsPhase"`
-	OneWay       bool             `json:"oneWay"`
-	Framework    bool             `json:"framework"`
-	PureRandom   bool             `json:"pureRandom"`
-	Schedules    bool             `json:"schedules,omitempty"`
-	RunTimeout   time.Duration    `json:"runTimeout"`
-	MaxTicks     int64            `json:"maxTicks"`
-	MaxNodes     int              `json:"maxNodes"`
-	Params       map[string]int64 `json:"params,omitempty"`
-	Inputs       map[string]int64 `json:"inputs,omitempty"`
-}
-
 // SetupKey returns the canonical setup key of a spec, or ok=false when the
-// spec is not persistable: a Config carrying live objects the key cannot
-// name (a custom Strategy or strategy factory, a caller-owned Backend)
-// explores a trajectory the store cannot promise to reproduce. The fleet
-// coordinator keys its shard store entries with the same function, so a
-// fleet store and a sched store dedup against each other.
-func SetupKey(spec Spec) (string, bool) {
-	cfg := spec.Config
-	if cfg.Strategy != nil || cfg.NewStrategy != nil || cfg.Backend != nil {
+// spec is not persistable: live Overrides the key cannot name (a custom
+// Strategy or strategy factory, a caller-owned Backend) explore a trajectory
+// the store cannot promise to reproduce. The key itself is
+// spec.Campaign.Canonical — one definition shared by the store index, the
+// batch manifests, and the fleet coordinator, so a fleet store and a sched
+// store dedup against each other.
+func SetupKey(sp Spec) (string, bool) {
+	o := sp.Overrides
+	if o.Strategy != nil || o.NewStrategy != nil || o.Backend != nil {
 		return "", false
 	}
-	st := setupKeyState{
-		Target:       spec.targetName(),
-		Snapshot:     core.SnapshotVersion,
-		Seed:         spec.seed(),
-		InitialProcs: cfg.InitialProcs,
-		InitialFocus: cfg.InitialFocus,
-		MaxProcs:     cfg.MaxProcs,
-		Reduction:    cfg.Reduction,
-		DepthBound:   cfg.DepthBound,
-		DFSPhase:     cfg.DFSPhase,
-		OneWay:       cfg.OneWay,
-		Framework:    cfg.Framework,
-		PureRandom:   cfg.PureRandom,
-		Schedules:    cfg.Schedules,
-		RunTimeout:   cfg.RunTimeout,
-		MaxTicks:     cfg.MaxTicks,
-		MaxNodes:     cfg.SolverMaxNodes,
-		Params:       cfg.Params,
-		Inputs:       cfg.Inputs,
+	c := sp.Campaign
+	if o.Program != nil {
+		c.Target = o.Program.Name
 	}
-	if spec.External != nil {
-		st.External = filepath.Base(spec.External.Bin) + " " + fmt.Sprint(spec.External.Args)
-	}
-	b, err := json.Marshal(st) // map keys sort, so the encoding is canonical
-	if err != nil {
-		return "", false
-	}
-	return fmt.Sprintf("%x", sha256.Sum256(b))[:24], true
+	return c.Canonical(), true
 }
 
-// WantedIters is the iteration budget a Config asks for, with the engine's
+// WantedIters is the iteration budget a campaign asks for, with the engine's
 // default applied (core.Config.withDefaults uses 100).
-func WantedIters(cfg core.Config) int {
-	if cfg.Iterations == 0 {
+func WantedIters(iterations int) int {
+	if iterations == 0 {
 		return 100
 	}
-	return cfg.Iterations
+	return iterations
 }
 
 // DeriveBatchID names a batch from its specs when the caller didn't: a
@@ -131,6 +79,51 @@ func deriveBatchID(specs []Spec, keys []string) string {
 	return fmt.Sprintf("batch-%x", h.Sum(nil))[:18]
 }
 
+// PrepareBatch computes the per-spec setup keys and creates (or reloads) the
+// batch manifest, stamping each entry with its portable campaign spec. Both
+// the in-process scheduler and the fleet coordinator open their batches
+// through here, which is what keeps their manifests interchangeable.
+//
+// A reloaded entry whose stored key no longer matches the spec (someone
+// edited the campaign between runs) is reset to pending and annotated with
+// the field-level diff, so the stale result is re-run rather than silently
+// reattached.
+func PrepareBatch(st *store.Store, batchID string, specs []Spec) (*store.BatchManifest, []string) {
+	keys := make([]string, len(specs))
+	for i, sp := range specs {
+		keys[i], _ = SetupKey(sp)
+	}
+	if batchID == "" {
+		batchID = deriveBatchID(specs, keys)
+	}
+	man, err := st.LoadBatch(batchID)
+	if err != nil || man == nil || len(man.Entries) != len(specs) {
+		man = &store.BatchManifest{ID: batchID, Entries: make([]store.BatchEntry, len(specs))}
+	}
+	for i, sp := range specs {
+		e := &man.Entries[i]
+		portable, perr := sp.Portable()
+		if prev := e.Spec; prev != nil && e.Key != "" && e.Key != keys[i] {
+			e.Status = store.StatusPending
+			e.Campaign = ""
+			e.Iters = 0
+			e.Error = "spec changed: " + strings.Join(spec.Diff(*prev, portable), "; ")
+		}
+		e.Label = sp.label()
+		e.Key = keys[i]
+		if perr == nil {
+			e.Spec = &portable
+		}
+		if e.Status == "" || e.Status == store.StatusRunning {
+			// Fresh entry, or one left mid-flight by a killed batch — the
+			// campaign snapshot (if any) carries the real progress.
+			e.Status = store.StatusPending
+		}
+	}
+	st.SaveBatch(man)
+	return man, keys
+}
+
 // batchPersist carries one run's store wiring: the open store, the batch
 // manifest, and the per-spec setup keys. Workers mutate manifest entries
 // concurrently, so all updates go through the mutex.
@@ -141,38 +134,15 @@ type batchPersist struct {
 	man  *store.BatchManifest
 }
 
-// newBatchPersist computes the spec keys and creates (or reloads) the batch
-// manifest.
+// newBatchPersist opens the batch through PrepareBatch.
 func newBatchPersist(st *store.Store, batchID string, specs []Spec) *batchPersist {
-	bp := &batchPersist{st: st, keys: make([]string, len(specs))}
-	for i, sp := range specs {
-		bp.keys[i], _ = SetupKey(sp)
-	}
-	if batchID == "" {
-		batchID = deriveBatchID(specs, bp.keys)
-	}
-	man, err := st.LoadBatch(batchID)
-	if err != nil || man == nil || len(man.Entries) != len(specs) {
-		man = &store.BatchManifest{ID: batchID, Entries: make([]store.BatchEntry, len(specs))}
-	}
-	for i, sp := range specs {
-		e := &man.Entries[i]
-		e.Label = sp.label()
-		e.Key = bp.keys[i]
-		if e.Status == "" || e.Status == store.StatusRunning {
-			// Fresh entry, or one left mid-flight by a killed batch — the
-			// campaign snapshot (if any) carries the real progress.
-			e.Status = store.StatusPending
-		}
-	}
-	bp.man = man
-	st.SaveBatch(man)
-	return bp
+	man, keys := PrepareBatch(st, batchID, specs)
+	return &batchPersist{st: st, keys: keys, man: man}
 }
 
 // campaignName is the campaign file a spec persists under.
-func (bp *batchPersist) campaignName(i int, spec Spec) string {
-	return store.CampaignName(spec.label(), bp.keys[i])
+func (bp *batchPersist) campaignName(i int, sp Spec) string {
+	return store.CampaignName(sp.label(), bp.keys[i])
 }
 
 // update applies fn to entry i under the lock and writes the manifest.

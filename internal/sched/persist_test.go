@@ -8,24 +8,43 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/coverage"
+	"repro/internal/spec"
 	"repro/internal/store"
 	"repro/internal/target"
 	"repro/internal/targets/stencil"
+	"repro/internal/targets/susy"
 )
 
 func storeSpecs(iters int) []Spec {
-	stSpec := Spec{
+	stSpec := Spec{Campaign: spec.Campaign{
 		Target: "stencil",
 		Seed:   11,
-		Config: core.Config{
-			Iterations: iters, Reduction: true, Framework: true,
-			Params: stencil.FixAll(), DFSPhase: 10,
-			RunTimeout: 5 * time.Second,
-		},
-	}
+		Iterations: iters, Reduction: true, Framework: true,
+		Params: stencil.FixAll(), DFSPhase: 10,
+		RunTimeout: 5 * time.Second,
+	}}
 	sk := skeletonSpec(3)
-	sk.Config.Iterations = iters
+	sk.Iterations = iters
 	return []Spec{sk, stSpec}
+}
+
+// TestDeriveBatchIDGolden pins the derived batch ID for the grid the old CLI
+// built from `compi sched -targets skeleton -seeds 3,4 -iters 60`: batch IDs
+// are store filenames, so a changed derivation would strand every existing
+// batch manifest. Captured from the pre-spec implementation.
+func TestDeriveBatchIDGolden(t *testing.T) {
+	grid := core.MergeParams(susy.FixAll(), stencil.FixAll())
+	mk := func(seed int64) Spec {
+		return Spec{Campaign: spec.Campaign{
+			Target: "skeleton", Seed: seed, Params: grid,
+			Iterations: 60, InitialProcs: 8, MaxProcs: 16,
+			Reduction: true, Framework: true, DFSPhase: 50,
+			RunTimeout: 30 * time.Second,
+		}}
+	}
+	if got := DeriveBatchID([]Spec{mk(3), mk(4)}); got != "batch-2ce6a0ac773d" {
+		t.Fatalf("DeriveBatchID = %q, want legacy batch-2ce6a0ac773d", got)
+	}
 }
 
 func openStore(t *testing.T) *store.Store {
@@ -40,8 +59,8 @@ func openStore(t *testing.T) *store.Store {
 func TestSetupKeyContract(t *testing.T) {
 	a := skeletonSpec(1)
 	b := skeletonSpec(1)
-	b.Config.Iterations = a.Config.Iterations * 3
-	b.Config.TimeBudget = time.Hour
+	b.Iterations = a.Iterations * 3
+	b.TimeBudget = time.Hour
 	ka, ok := SetupKey(a)
 	if !ok {
 		t.Fatal("plain spec not persistable")
@@ -54,12 +73,12 @@ func TestSetupKeyContract(t *testing.T) {
 		t.Fatal("different seeds share a setup key")
 	}
 	s := skeletonSpec(1)
-	s.Config.Schedules = true
+	s.Schedules = true
 	if ks, _ := SetupKey(s); ks == ka {
 		t.Fatal("schedule-space exploration did not change the setup key")
 	}
 	d := skeletonSpec(1)
-	d.Config.NewStrategy = func(*target.Program, *coverage.Tracker) core.Strategy { return core.NewBoundedDFS(4) }
+	d.Overrides.NewStrategy = func(*target.Program, *coverage.Tracker) core.Strategy { return core.NewBoundedDFS(4) }
 	if _, ok := SetupKey(d); ok {
 		t.Fatal("spec with a live strategy factory reported persistable")
 	}
@@ -163,16 +182,16 @@ func TestStoreWarmCacheDoesNotPerturb(t *testing.T) {
 	}
 	mkSpecs := func() []Spec {
 		a := skeletonSpec(21)
-		a.Config.Iterations = 30
+		a.Iterations = 30
 		b := skeletonSpec(22)
-		b.Config.Iterations = 30
+		b.Iterations = 30
 		return []Spec{a, b}
 	}
 	cold := fingerprintOf(Run(mkSpecs(), Options{Workers: 2}))
 
 	st := openStore(t)
 	seedSpecs := []Spec{skeletonSpec(7)}
-	seedSpecs[0].Config.Iterations = 40
+	seedSpecs[0].Iterations = 40
 	rep0 := Run(seedSpecs, Options{Workers: 1, Store: st})
 	if rep0.Solver.Misses == 0 {
 		t.Fatal("seeding batch never solved")
@@ -196,10 +215,10 @@ func TestStoreSkipsNonPersistableSpecs(t *testing.T) {
 	st := openStore(t)
 	free := skeletonSpec(5)
 	free.Label = "free"
-	free.Config.Iterations = 10
-	free.Config.NewStrategy = func(*target.Program, *coverage.Tracker) core.Strategy { return core.NewBoundedDFS(6) }
+	free.Iterations = 10
+	free.Overrides.NewStrategy = func(*target.Program, *coverage.Tracker) core.Strategy { return core.NewBoundedDFS(6) }
 	kept := skeletonSpec(6)
-	kept.Config.Iterations = 10
+	kept.Iterations = 10
 	specs := []Spec{free, kept}
 
 	rep := Run(specs, Options{Workers: 2, Store: st})

@@ -19,7 +19,6 @@ package sched
 import (
 	"fmt"
 	"io"
-	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -30,76 +29,50 @@ import (
 	"repro/internal/coverage"
 	"repro/internal/proto"
 	"repro/internal/solver"
+	"repro/internal/spec"
 	"repro/internal/store"
 	"repro/internal/target"
 )
 
-// Spec describes one campaign: which program, under which Config, with
-// which seed. Specs are values; running the same Spec twice yields the same
-// Result.
+// Spec describes one campaign the scheduler runs: the canonical data-only
+// spec.Campaign plus the live, in-process overrides (custom strategies,
+// backends, callbacks) that never serialize. Specs are values; running the
+// same Spec twice yields the same Result.
+//
+// External campaigns (Campaign.External set) run against an out-of-process
+// target: the scheduler starts one fresh instance of the binary for the
+// campaign, drives it over the pipe protocol, and closes it when the
+// campaign ends. The program model comes from the registry (when Target or
+// Overrides.Program is set) or from the target's handshake manifest; either
+// way the campaign flows through the same engine, so external and
+// in-process specs mix freely in one batch and the determinism contract
+// holds for both.
 type Spec struct {
-	// Label identifies the campaign in reports; defaults to
-	// "<target>/seed<seed>".
-	Label string
+	spec.Campaign
 
-	// Target names a program in the registry; used when Config.Program is
-	// nil. Exactly one of Target and Config.Program must be set.
-	Target string
-
-	// Seed, when non-zero, overrides Config.Seed.
-	Seed int64
-
-	// Group, when non-empty, marks this campaign as one shard of a larger
-	// search: the report merges all campaigns sharing a Group into one
-	// rollup (union coverage, deduped errors) alongside the per-campaign
-	// rows. Shard sets it; hand-built specs may too.
-	Group string
-
-	// External, when non-nil, runs the campaign against an out-of-process
-	// target: the scheduler starts one fresh instance of the binary for
-	// this campaign, drives it over the pipe protocol, and closes it when
-	// the campaign ends. The program model comes from the registry (when
-	// Target or Config.Program is set) or from the target's handshake
-	// manifest; either way the campaign flows through the same engine, so
-	// external and in-process specs mix freely in one batch and the
-	// determinism contract holds for both.
-	External *External
-
-	Config core.Config
+	// Overrides carries the live objects this process runs the campaign
+	// with. A spec with live Overrides (beyond Program/Solver wiring) is
+	// not portable: it cannot be leased to a fleet worker or keyed into
+	// the store — see Portable and SetupKey.
+	Overrides spec.Overrides
 }
 
-// External identifies an out-of-process target binary for a Spec.
-type External struct {
-	// Bin is the target binary path; Args and Env are passed through to
-	// the process.
-	Bin  string
-	Args []string
-	Env  []string
-}
+// External is the out-of-process target descriptor, re-exported so callers
+// build specs from one package.
+type External = spec.External
 
 func (s Spec) label() string {
 	if s.Label != "" {
 		return s.Label
 	}
-	return fmt.Sprintf("%s/seed%d", s.targetName(), s.seed())
+	return fmt.Sprintf("%s/seed%d", s.targetName(), s.Seed)
 }
 
 func (s Spec) targetName() string {
-	if s.Config.Program != nil {
-		return s.Config.Program.Name
+	if s.Overrides.Program != nil {
+		return s.Overrides.Program.Name
 	}
-	if s.Target == "" && s.External != nil {
-		// Resolved from the handshake manifest once the target starts.
-		return filepath.Base(s.External.Bin)
-	}
-	return s.Target
-}
-
-func (s Spec) seed() int64 {
-	if s.Seed != 0 {
-		return s.Seed
-	}
-	return s.Config.Seed
+	return s.Campaign.TargetName()
 }
 
 // DisplayLabel is the campaign label a spec reports under — the explicit
@@ -109,6 +82,26 @@ func (s Spec) DisplayLabel() string { return s.label() }
 
 // TargetName is the target a spec's results are attributed to.
 func (s Spec) TargetName() string { return s.targetName() }
+
+// Portable returns the data-only campaign this spec ships as — in a fleet
+// lease frame or a store batch manifest. Specs carrying live objects are
+// refused with an error naming the field (spec.Portable is the check); a
+// Program override dispatches by registry name.
+func (s Spec) Portable() (spec.Campaign, error) {
+	return spec.Portable(s.Campaign, s.Overrides, s.label())
+}
+
+// Config lowers the spec to the engine config this process would run:
+// the campaign's data fields plus the live overrides. It fails only when
+// the campaign names an unknown strategy.
+func (s Spec) Config() (core.Config, error) {
+	cfg, err := s.Campaign.EngineConfig()
+	if err != nil {
+		return core.Config{}, err
+	}
+	s.Overrides.Apply(&cfg)
+	return cfg, nil
+}
 
 // Campaign is one scheduled campaign and its outcome.
 type Campaign struct {
@@ -412,10 +405,10 @@ func (r *Report) mergeCampaigns() {
 }
 
 // runOne executes a single campaign in the calling worker goroutine.
-func runOne(c *Campaign, spec Spec, shared core.SolverService, prof *binstat.Profiler, trace func(string, core.IterationStat), traceMu *sync.Mutex, bp *batchPersist, idx int, every int) {
-	c.Spec = spec
-	c.Label = spec.label()
-	c.Target = spec.targetName()
+func runOne(c *Campaign, sp Spec, shared core.SolverService, prof *binstat.Profiler, trace func(string, core.IterationStat), traceMu *sync.Mutex, bp *batchPersist, idx int, every int) {
+	c.Spec = sp
+	c.Label = sp.label()
+	c.Target = sp.targetName()
 
 	// Store consultation happens before anything is started (in particular
 	// before an external target process is spawned): a reused campaign
@@ -433,10 +426,10 @@ func runOne(c *Campaign, spec Spec, shared core.SolverService, prof *binstat.Pro
 		}()
 	}
 	if persisted {
-		wanted := WantedIters(spec.Config)
+		wanted := WantedIters(sp.Iterations)
 		if rec, ok := bp.st.Explored(bp.keys[idx]); ok {
 			if snap, err := bp.st.LoadCampaign(rec.Campaign); err == nil {
-				if spec.Config.TimeBudget == 0 && snap.Iters >= wanted {
+				if sp.TimeBudget == 0 && snap.Iters >= wanted {
 					c.Result = snap.Result()
 					c.Reused = true
 					bp.update(idx, func(e *store.BatchEntry) {
@@ -451,17 +444,21 @@ func runOne(c *Campaign, spec Spec, shared core.SolverService, prof *binstat.Pro
 		}
 	}
 
-	cfg := spec.Config
+	cfg, err := sp.Config()
+	if err != nil {
+		c.Err = fmt.Errorf("sched: spec %q: %w", c.Label, err)
+		return
+	}
 	if cfg.Solver == nil {
 		cfg.Solver = shared
 	}
 	if cfg.Profiler == nil {
 		cfg.Profiler = prof
 	}
-	if spec.External != nil {
-		drv, err := proto.Start(spec.External.Bin, proto.Options{
-			Args: spec.External.Args,
-			Env:  spec.External.Env,
+	if sp.External != nil {
+		drv, err := proto.Start(sp.External.Bin, proto.Options{
+			Args: sp.External.Args,
+			Env:  sp.External.Env,
 		})
 		if err != nil {
 			c.Err = fmt.Errorf("sched: external target for %q: %w", c.Label, err)
@@ -469,7 +466,7 @@ func runOne(c *Campaign, spec Spec, shared core.SolverService, prof *binstat.Pro
 		}
 		defer drv.Close()
 		cfg.Backend = drv
-		if cfg.Program == nil && spec.Target == "" {
+		if cfg.Program == nil && sp.Target == "" {
 			prog, err := drv.Program()
 			if err != nil {
 				c.Err = fmt.Errorf("sched: external target for %q: %w", c.Label, err)
@@ -480,15 +477,12 @@ func runOne(c *Campaign, spec Spec, shared core.SolverService, prof *binstat.Pro
 		}
 	}
 	if cfg.Program == nil {
-		prog, ok := target.Lookup(spec.Target)
+		prog, ok := target.Lookup(sp.Target)
 		if !ok {
-			c.Err = fmt.Errorf("sched: unknown target %q", spec.Target)
+			c.Err = fmt.Errorf("sched: unknown target %q", sp.Target)
 			return
 		}
 		cfg.Program = prog
-	}
-	if spec.Seed != 0 {
-		cfg.Seed = spec.Seed
 	}
 	if trace != nil {
 		label := c.Label
@@ -503,7 +497,7 @@ func runOne(c *Campaign, spec Spec, shared core.SolverService, prof *binstat.Pro
 		}
 	}
 	if persisted {
-		name := bp.campaignName(idx, spec)
+		name := bp.campaignName(idx, sp)
 		bp.update(idx, func(e *store.BatchEntry) {
 			e.Status = store.StatusRunning
 			e.Campaign = name

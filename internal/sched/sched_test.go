@@ -11,22 +11,21 @@ import (
 	"repro/internal/binstat"
 	"repro/internal/conc"
 	"repro/internal/core"
+	"repro/internal/spec"
 	_ "repro/internal/targets/skeleton"
 	"repro/internal/targets/stencil"
 	"repro/internal/targets/susy"
 )
 
 func skeletonSpec(seed int64) Spec {
-	return Spec{
-		Target: "skeleton",
-		Seed:   seed,
-		Config: core.Config{
-			Iterations: 40,
-			Reduction:  true,
-			Framework:  true,
-			RunTimeout: 5 * time.Second,
-		},
-	}
+	return Spec{Campaign: spec.Campaign{
+		Target:     "skeleton",
+		Seed:       seed,
+		Iterations: 40,
+		Reduction:  true,
+		Framework:  true,
+		RunTimeout: 5 * time.Second,
+	}}
 }
 
 // fingerprint reduces a report to the parts the determinism contract covers:
@@ -76,18 +75,16 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 		// Two stencil campaigns share a target, so the merged tracker sees
 		// concurrent Merge calls from distinct campaigns.
 		for _, seed := range []int64{11, 12} {
-			specs = append(specs, Spec{
-				Target: "stencil",
-				Seed:   seed,
-				Config: core.Config{
-					Params:     stencil.FixAll(),
-					Iterations: 25,
-					Reduction:  true,
-					Framework:  true,
-					RunTimeout: 5 * time.Second,
-					MaxTicks:   3_000_000,
-				},
-			})
+			specs = append(specs, Spec{Campaign: spec.Campaign{
+				Target:     "stencil",
+				Seed:       seed,
+				Params:     stencil.FixAll(),
+				Iterations: 25,
+				Reduction:  true,
+				Framework:  true,
+				RunTimeout: 5 * time.Second,
+				MaxTicks:   3_000_000,
+			}})
 		}
 		return specs
 	}
@@ -119,26 +116,25 @@ func TestCrossCampaignIsolation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign test")
 	}
-	mk := func(params map[string]int64, seed int64) Spec {
-		return Spec{
+	mk := func(label string, params map[string]int64, seed int64) Spec {
+		return Spec{Campaign: spec.Campaign{
+			Label:  label,
 			Target: "susy-hmc",
 			Seed:   seed,
-			Config: core.Config{
-				Params: params,
-				// Seed the known-good inputs so iteration 0 gets past the
-				// sanity chain; the RHMC bug then fires on any successful
-				// setup in the unfixed campaign.
-				Inputs:     susy.DefaultInputs(),
-				Iterations: 30,
-				Reduction:  true,
-				Framework:  true,
-				RunTimeout: 15 * time.Second,
-			},
-		}
+			Params: params,
+			// Seed the known-good inputs so iteration 0 gets past the
+			// sanity chain; the RHMC bug then fires on any successful
+			// setup in the unfixed campaign.
+			Inputs:     susy.DefaultInputs(),
+			Iterations: 30,
+			Reduction:  true,
+			Framework:  true,
+			RunTimeout: 15 * time.Second,
+		}}
 	}
 	rep := Run([]Spec{
-		{Label: "fixed", Config: mk(susy.FixAll(), 21).Config, Target: "susy-hmc", Seed: 21},
-		{Label: "unfixed", Config: mk(susy.UnfixAll(), 21).Config, Target: "susy-hmc", Seed: 21},
+		mk("fixed", susy.FixAll(), 21),
+		mk("unfixed", susy.UnfixAll(), 21),
 	}, Options{Workers: 2})
 
 	var fixed, unfixed *Campaign
@@ -171,7 +167,7 @@ func TestCrossCampaignIsolation(t *testing.T) {
 
 func TestUnknownTargetIsSpecError(t *testing.T) {
 	rep := Run([]Spec{
-		{Target: "no-such-program"},
+		{Campaign: spec.Campaign{Target: "no-such-program"}},
 		skeletonSpec(1),
 	}, Options{Workers: 2})
 	if rep.Campaigns[0].Err == nil ||

@@ -1,82 +1,24 @@
 package sched
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/coverage"
+	"repro/internal/spec"
 )
 
 // Shard partitions one campaign's search space into n campaigns by the test
 // setup the engine starts from — the (initial process count, initial focus)
-// pair. The engine explores outward from its initial setup (the framework
-// only moves nprocs/focus when a solved constraint demands it), so different
-// starting points explore different regions of the tree while the shared
-// solver service collides their overlapping constraint sets.
-//
-// Shard 0 is the base spec itself (same seed, same initial setup), so the
-// shard set strictly extends the unsharded campaign; the remaining shards
-// rotate the initial focus through the other ranks and then vary the
-// initial process count. All shards carry Group = the base spec's label,
-// which the Report rolls up into one merged entry.
+// pair; spec.Shard holds the data logic. Every shard inherits the base
+// spec's live Overrides, so an in-process custom backend or trace callback
+// shards the same way a plain campaign does. All shards carry Group = the
+// base spec's label, which the Report rolls up into one merged entry.
 func Shard(base Spec, n int) []Spec {
-	if n <= 1 {
-		return []Spec{base}
-	}
-	procs := base.Config.InitialProcs
-	if procs <= 0 {
-		procs = 8 // core.Config.withDefaults
-	}
-	maxProcs := base.Config.MaxProcs
-	if maxProcs <= 0 {
-		maxProcs = 16
-	}
-	focus := base.Config.InitialFocus
-	if focus < 0 || focus >= procs {
-		focus = 0
-	}
-
-	// Enumerate distinct (nprocs, focus) setups: the base setup first, then
-	// the other focus ranks at the base process count, then alternating
-	// smaller/larger process counts with focus 0.
-	type setup struct{ np, f int }
-	setups := []setup{{procs, focus}}
-	for f := 0; f < procs && len(setups) < n; f++ {
-		if f != focus {
-			setups = append(setups, setup{procs, f})
-		}
-	}
-	lo, hi := procs-1, procs+1
-	for len(setups) < n && (lo >= 1 || hi <= maxProcs) {
-		if lo >= 1 {
-			setups = append(setups, setup{lo, 0})
-			lo--
-		}
-		if len(setups) < n && hi <= maxProcs {
-			setups = append(setups, setup{hi, 0})
-			hi++
-		}
-	}
-
-	group := base.label()
-	out := make([]Spec, 0, n)
-	for i := 0; i < n; i++ {
-		s := base
-		s.Group = group
-		s.Label = fmt.Sprintf("%s/shard%d.%d", group, i, n)
-		// More shards than distinct setups: wrap around, but perturb the
-		// seed so the extra shards explore different random restarts.
-		st := setups[i%len(setups)]
-		if i >= len(setups) {
-			s.Seed = s.seed() + int64(i/len(setups))*1_000_003
-		}
-		s.Config.InitialProcs = st.np
-		s.Config.InitialFocus = st.f
-		if s.Config.MaxProcs <= 0 {
-			s.Config.MaxProcs = maxProcs
-		}
-		out = append(out, s)
+	campaigns := spec.Shard(base.Campaign, n)
+	out := make([]Spec, 0, len(campaigns))
+	for _, c := range campaigns {
+		out = append(out, Spec{Campaign: c, Overrides: base.Overrides})
 	}
 	return out
 }

@@ -14,9 +14,9 @@ import (
 // perturbed seed, and every shard carries the group label.
 func TestShardPartition(t *testing.T) {
 	base := skeletonSpec(7)
-	base.Config.InitialProcs = 4
-	base.Config.MaxProcs = 8
-	base.Config.InitialFocus = 2
+	base.InitialProcs = 4
+	base.MaxProcs = 8
+	base.InitialFocus = 2
 
 	if got := Shard(base, 1); len(got) != 1 || !reflect.DeepEqual(got[0], base) {
 		t.Fatalf("Shard(n=1) must return the base spec unchanged: %+v", got)
@@ -27,9 +27,9 @@ func TestShardPartition(t *testing.T) {
 	if len(shards) != n {
 		t.Fatalf("want %d shards, got %d", n, len(shards))
 	}
-	if shards[0].Config.InitialProcs != 4 || shards[0].Config.InitialFocus != 2 {
+	if shards[0].InitialProcs != 4 || shards[0].InitialFocus != 2 {
 		t.Fatalf("shard 0 must keep the base setup, got procs=%d focus=%d",
-			shards[0].Config.InitialProcs, shards[0].Config.InitialFocus)
+			shards[0].InitialProcs, shards[0].InitialFocus)
 	}
 	type setup struct{ np, f int }
 	seen := map[setup]int{}
@@ -40,13 +40,13 @@ func TestShardPartition(t *testing.T) {
 		if !strings.Contains(s.Label, "/shard") {
 			t.Fatalf("shard %d label = %q", i, s.Label)
 		}
-		if s.Config.InitialProcs < 1 || s.Config.InitialProcs > 8 {
-			t.Fatalf("shard %d procs = %d out of range", i, s.Config.InitialProcs)
+		if s.InitialProcs < 1 || s.InitialProcs > 8 {
+			t.Fatalf("shard %d procs = %d out of range", i, s.InitialProcs)
 		}
-		if s.Config.InitialFocus < 0 || s.Config.InitialFocus >= s.Config.InitialProcs {
-			t.Fatalf("shard %d focus = %d for %d procs", i, s.Config.InitialFocus, s.Config.InitialProcs)
+		if s.InitialFocus < 0 || s.InitialFocus >= s.InitialProcs {
+			t.Fatalf("shard %d focus = %d for %d procs", i, s.InitialFocus, s.InitialProcs)
 		}
-		seen[setup{s.Config.InitialProcs, s.Config.InitialFocus}]++
+		seen[setup{s.InitialProcs, s.InitialFocus}]++
 	}
 	if len(seen) != n {
 		t.Fatalf("expected %d distinct setups, got %d: %v", n, len(seen), seen)
@@ -55,19 +55,19 @@ func TestShardPartition(t *testing.T) {
 
 func TestShardWrapPerturbsSeed(t *testing.T) {
 	base := skeletonSpec(7)
-	base.Config.InitialProcs = 2
-	base.Config.MaxProcs = 2
+	base.InitialProcs = 2
+	base.MaxProcs = 2
 	// Setups available: (2,0), (2,1), (1,0) — ask for 5 so two shards wrap.
 	shards := Shard(base, 5)
 	if len(shards) != 5 {
 		t.Fatalf("want 5 shards, got %d", len(shards))
 	}
 	for i := 3; i < 5; i++ {
-		if shards[i].Seed == base.seed() {
+		if shards[i].Seed == base.Seed {
 			t.Fatalf("wrapped shard %d kept the base seed; it would duplicate shard %d exactly", i, i-3)
 		}
-		if shards[i].Config.InitialProcs != shards[i-3].Config.InitialProcs ||
-			shards[i].Config.InitialFocus != shards[i-3].Config.InitialFocus {
+		if shards[i].InitialProcs != shards[i-3].InitialProcs ||
+			shards[i].InitialFocus != shards[i-3].InitialFocus {
 			t.Fatalf("wrapped shard %d should reuse shard %d's setup", i, i-3)
 		}
 	}
@@ -84,9 +84,9 @@ func TestShardedRunDeterministicAndMerged(t *testing.T) {
 	}
 	mkSpecs := func() []Spec {
 		base := skeletonSpec(3)
-		base.Config.Iterations = 30
-		base.Config.InitialProcs = 4
-		base.Config.MaxProcs = 8
+		base.Iterations = 30
+		base.InitialProcs = 4
+		base.MaxProcs = 8
 		return Shard(base, 4)
 	}
 
@@ -185,7 +185,7 @@ func TestWriteSummaryShardGroups(t *testing.T) {
 		t.Skip("campaign test")
 	}
 	base := skeletonSpec(3)
-	base.Config.Iterations = 10
+	base.Iterations = 10
 	rep := Run(Shard(base, 2), Options{Workers: 2})
 	var b strings.Builder
 	rep.WriteSummary(&b)

@@ -1,0 +1,161 @@
+package spec_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	_ "repro/internal/targets/mworder"
+	_ "repro/internal/targets/relay"
+	_ "repro/internal/targets/skeleton"
+	"repro/internal/targets/stencil"
+	"repro/internal/targets/susy"
+)
+
+// The keys below were produced by the pre-spec sched.SetupKey implementation
+// (setupKeyState hashed over the same campaigns). They are the compatibility
+// contract with every -state-dir a user already has: Canonical() must keep
+// resolving them, so existing stores resume instead of re-exploring from
+// scratch. Do not regenerate these constants to make the test pass — a
+// mismatch means the canonical encoding changed, which orphans stores.
+func TestCanonicalGolden(t *testing.T) {
+	grid := core.MergeParams(susy.FixAll(), stencil.FixAll())
+	cases := []struct {
+		name string
+		c    spec.Campaign
+		want string
+	}{
+		{
+			name: "sched grid skeleton seed3",
+			c: spec.Campaign{
+				Target: "skeleton", Seed: 3, Params: grid,
+				Iterations: 60, InitialProcs: 8, MaxProcs: 16,
+				Reduction: true, Framework: true, DFSPhase: 50,
+				RunTimeout: 30 * time.Second,
+			},
+			want: "c121691ce19f7807057416a9",
+		},
+		{
+			name: "sched grid skeleton seed4",
+			c: spec.Campaign{
+				Target: "skeleton", Seed: 4, Params: grid,
+				Iterations: 60, InitialProcs: 8, MaxProcs: 16,
+				Reduction: true, Framework: true, DFSPhase: 50,
+				RunTimeout: 30 * time.Second,
+			},
+			want: "18a7cc21c8c853eb29222945",
+		},
+		{
+			name: "schedule-space mworder",
+			c: spec.Campaign{
+				Target: "mworder", Seed: 7, Params: grid,
+				Iterations: 40, InitialProcs: 3, MaxProcs: 3,
+				Reduction: true, Framework: true, DFSPhase: 50,
+				Schedules: true, RunTimeout: 30 * time.Second,
+			},
+			want: "4d9ef3969e280555a1483ac8",
+		},
+		{
+			name: "bare skeleton",
+			c: spec.Campaign{
+				Target: "skeleton", Seed: 11, Iterations: 40,
+				Reduction: true, Framework: true, RunTimeout: 5 * time.Second,
+			},
+			want: "1e19e243f6198252616162fc",
+		},
+		{
+			name: "external target",
+			c: spec.Campaign{
+				Seed: 9,
+				External: &spec.External{
+					Bin:  "/opt/bin/compi-target",
+					Args: []string{"-target", "stencil"},
+				},
+				Params: grid, Iterations: 60, InitialProcs: 8, MaxProcs: 16,
+				Reduction: true, Framework: true, DFSPhase: 50,
+				RunTimeout: 30 * time.Second,
+			},
+			want: "2e7d8c9546a358e7cef26261",
+		},
+		{
+			name: "every dimension set",
+			c: spec.Campaign{
+				Label: "ks/shard1.2", Target: "stencil", Seed: 5, Group: "ks",
+				Params: map[string]int64{"cap": 9}, Inputs: map[string]int64{"x": 4},
+				Iterations: 55, InitialProcs: 4, InitialFocus: 2, MaxProcs: 8,
+				DepthBound: 6, DFSPhase: 10, OneWay: true, PureRandom: true,
+				RunTimeout: 5 * time.Second, MaxTicks: 1 << 20, SolverMaxNodes: 4096,
+			},
+			want: "c658bfec6fe28d829fa74b05",
+		},
+		{
+			name: "relay",
+			c: spec.Campaign{
+				Target: "relay", Seed: 21, Iterations: 40,
+				Reduction: true, Framework: true, RunTimeout: 5 * time.Second,
+			},
+			want: "5af94b01a1fa42021d0d9e37",
+		},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Canonical(); got != tc.want {
+			t.Errorf("%s: Canonical() = %q, want legacy key %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestCanonicalContract pins the key's semantic rules independently of the
+// goldens: budget fields are excluded (prefix-resume), the default strategy's
+// two spellings collapse, and the new appended dimensions perturb the key
+// only when actually used.
+func TestCanonicalContract(t *testing.T) {
+	base := spec.Campaign{
+		Target: "skeleton", Seed: 3, Iterations: 60,
+		Reduction: true, Framework: true, RunTimeout: 30 * time.Second,
+	}
+	key := base.Canonical()
+
+	longer := base
+	longer.Iterations = 600
+	longer.TimeBudget = time.Hour
+	if longer.Canonical() != key {
+		t.Error("iterations/time budget changed the setup key; prefix-resume is broken")
+	}
+
+	spelled := base
+	spelled.Strategy = "compi"
+	if spelled.Canonical() != key {
+		t.Error(`Strategy "compi" and "" produced different keys`)
+	}
+
+	versioned := base
+	versioned.Version = spec.Version
+	if versioned.Canonical() != key {
+		t.Error("spec schema version leaked into the setup key")
+	}
+
+	labeled := base
+	labeled.Label, labeled.Group = "x/shard0.1", "x"
+	if labeled.Canonical() != key {
+		t.Error("label/group leaked into the setup key")
+	}
+
+	named := base
+	named.Strategy = "random-branch"
+	if named.Canonical() == key {
+		t.Error("non-default strategy did not change the setup key")
+	}
+
+	steered := base
+	steered.MatchOrder = [][]int{{1, 0}}
+	if steered.Canonical() == key {
+		t.Error("match-order directive did not change the setup key")
+	}
+
+	reseeded := base
+	reseeded.Seed = 4
+	if reseeded.Canonical() == key {
+		t.Error("different seeds share a setup key")
+	}
+}

@@ -1,0 +1,294 @@
+package spec
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/target"
+)
+
+// CampaignFlagNames is the canonical campaign-shaping flag set: every
+// campaign-running CLI mode must either bind each of these (the FlagBinder
+// does it in one place) or exclude it with a reason string. The mode
+// registry test walks this list, which is what keeps "-schedules exists on
+// sched but not drive"-style drift from ever coming back.
+func CampaignFlagNames() []string {
+	return []string{
+		"target", "targets", "seed", "seeds",
+		"iters", "budget", "timeout",
+		"np", "max-np",
+		"strategy", "bound", "dfs-phase",
+		"no-reduction", "one-way", "no-framework", "random",
+		"schedules", "bugs", "shard", "profile",
+	}
+}
+
+// FlagBinder binds the campaign flag set onto a FlagSet once and expands
+// the parsed values into canonical Campaigns. Single-campaign modes bind
+// -target/-seed; grid modes bind -targets/-seeds (one campaign per target
+// per seed). Everything else is shared verbatim, so a knob added here
+// appears on every campaign mode at once.
+type FlagBinder struct {
+	grid     bool
+	excluded map[string]string
+
+	targetF  *string
+	seedF    *int64
+	targetsF *string
+	seedsF   *string
+
+	iters    *int
+	budget   *time.Duration
+	timeout  *time.Duration
+	procs    *int
+	maxProcs *int
+	strategy *string
+	bound    *int
+	dfsPhase *int
+	noRed    *bool
+	oneWay   *bool
+	noFwk    *bool
+	random   *bool
+	scheds   *bool
+	bugs     *bool
+	shard    *int
+	profile  *bool
+}
+
+// Bind registers the campaign flags on fs. grid selects the -targets/-seeds
+// layout; exclude maps flag names to the reason a mode deliberately leaves
+// them out (the parity test requires every hole to be explained). The
+// binder adds the grid/single layout exclusions itself.
+func Bind(fs *flag.FlagSet, grid bool, exclude map[string]string) *FlagBinder {
+	b := &FlagBinder{grid: grid, excluded: map[string]string{}}
+	if grid {
+		b.excluded["target"] = "grid modes take -targets"
+		b.excluded["seed"] = "grid modes take -seeds"
+	} else {
+		b.excluded["targets"] = "single-campaign mode takes -target"
+		b.excluded["seeds"] = "single-campaign mode takes -seed"
+	}
+	for name, reason := range exclude {
+		b.excluded[name] = reason
+	}
+	skip := func(name string) bool { _, ok := b.excluded[name]; return ok }
+
+	if !skip("target") {
+		b.targetF = fs.String("target", "skeleton", "program under test")
+	}
+	if !skip("seed") {
+		b.seedF = fs.Int64("seed", 1, "campaign seed")
+	}
+	if !skip("targets") {
+		b.targetsF = fs.String("targets", "", "comma-separated target list (default: all registered)")
+	}
+	if !skip("seeds") {
+		b.seedsF = fs.String("seeds", "1", "comma-separated campaign seeds (one campaign per target per seed)")
+	}
+	if !skip("iters") {
+		b.iters = fs.Int("iters", 200, "test iterations per campaign (program executions)")
+	}
+	if !skip("budget") {
+		b.budget = fs.Duration("budget", 0, "per-campaign wall-clock budget (0 = none)")
+	}
+	if !skip("timeout") {
+		b.timeout = fs.Duration("timeout", 30*time.Second, "per-execution watchdog")
+	}
+	if !skip("np") {
+		b.procs = fs.Int("np", 8, "initial number of processes")
+	}
+	if !skip("max-np") {
+		b.maxProcs = fs.Int("max-np", 16, "process-count cap")
+	}
+	if !skip("strategy") {
+		b.strategy = fs.String("strategy", "compi", "compi | bounded-dfs | random-branch | uniform-random | cfg")
+	}
+	if !skip("bound") {
+		b.bound = fs.Int("bound", 0, "explicit DFS depth bound (0 = derive)")
+	}
+	if !skip("dfs-phase") {
+		b.dfsPhase = fs.Int("dfs-phase", 50, "pure-DFS executions before BoundedDFS")
+	}
+	if !skip("no-reduction") {
+		b.noRed = fs.Bool("no-reduction", false, "disable constraint set reduction")
+	}
+	if !skip("one-way") {
+		b.oneWay = fs.Bool("one-way", false, "disable two-way instrumentation")
+	}
+	if !skip("no-framework") {
+		b.noFwk = fs.Bool("no-framework", false, "disable the MPI framework")
+	}
+	if !skip("random") {
+		b.random = fs.Bool("random", false, "pure random testing baseline")
+	}
+	if !skip("schedules") {
+		b.scheds = fs.Bool("schedules", false, "explore wildcard-receive match orders (schedule-space testing with deadlock detection)")
+	}
+	if !skip("bugs") {
+		b.bugs = fs.Bool("bugs", false, "leave the seeded bugs live")
+	}
+	if !skip("shard") {
+		b.shard = fs.Int("shard", 1, "split every campaign into N shards by initial setup (reported merged)")
+	}
+	if !skip("profile") {
+		b.profile = fs.Bool("profile", false, "measure the iteration loop's phase bins and print the table after the summary")
+	}
+	return b
+}
+
+// Excluded returns the flags this binder deliberately left unbound, with
+// their reasons.
+func (b *FlagBinder) Excluded() map[string]string { return b.excluded }
+
+func sval(p *string, d string) string {
+	if p == nil {
+		return d
+	}
+	return *p
+}
+
+func ival(p *int, d int) int {
+	if p == nil {
+		return d
+	}
+	return *p
+}
+
+func bval(p *bool) bool { return p != nil && *p }
+
+// Bugs reports whether -bugs asked to leave the seeded bugs live (the
+// caller then withholds the fix parameter bags).
+func (b *FlagBinder) Bugs() bool { return bval(b.bugs) }
+
+// Profile reports whether -profile asked for phase profiling.
+func (b *FlagBinder) Profile() bool { return bval(b.profile) }
+
+// ShardCount is the parsed -shard value.
+func (b *FlagBinder) ShardCount() int { return ival(b.shard, 1) }
+
+// base builds the campaign the shared flags describe, before target/seed
+// assignment.
+func (b *FlagBinder) base(params map[string]int64) Campaign {
+	var budget, timeout time.Duration = 0, 30 * time.Second
+	if b.budget != nil {
+		budget = *b.budget
+	}
+	if b.timeout != nil {
+		timeout = *b.timeout
+	}
+	return Campaign{
+		Strategy:     normStrategy(sval(b.strategy, "compi")),
+		Iterations:   ival(b.iters, 200),
+		TimeBudget:   budget,
+		InitialProcs: ival(b.procs, 8),
+		MaxProcs:     ival(b.maxProcs, 16),
+		Reduction:    !bval(b.noRed),
+		DepthBound:   ival(b.bound, 0),
+		DFSPhase:     ival(b.dfsPhase, 50),
+		OneWay:       bval(b.oneWay),
+		Framework:    !bval(b.noFwk),
+		PureRandom:   bval(b.random),
+		Schedules:    bval(b.scheds),
+		RunTimeout:   timeout,
+		Params:       params,
+	}
+}
+
+// BaseCampaign returns the campaign the shared flags describe with no
+// target assigned and no validation — for modes that resolve the program
+// another way (compi drive's handshake manifest) and fill in Target or
+// External themselves.
+func (b *FlagBinder) BaseCampaign(fixParams map[string]int64) Campaign {
+	params := map[string]int64{}
+	if !b.Bugs() {
+		params = fixParams
+	}
+	c := b.base(params)
+	if b.seedF != nil {
+		c.Seed = *b.seedF
+	} else {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Campaign expands the parsed flags into the single campaign a
+// single-campaign mode runs (no shard expansion — the caller decides how to
+// shard, if at all). fixParams is the seeded-bug fix parameter bag, applied
+// unless -bugs.
+func (b *FlagBinder) Campaign(fixParams map[string]int64) (Campaign, error) {
+	params := map[string]int64{}
+	if !b.Bugs() {
+		params = fixParams
+	}
+	c := b.base(params)
+	c.Target = sval(b.targetF, "skeleton")
+	if b.seedF != nil {
+		c.Seed = *b.seedF
+	} else {
+		c.Seed = 1
+	}
+	if err := c.Validate(); err != nil {
+		return Campaign{}, targetHint(err, c.Target)
+	}
+	return c, nil
+}
+
+// Campaigns expands the parsed grid flags into the campaign list: every
+// requested target × every seed, shard-expanded. fixParams is the
+// seeded-bug fix parameter bag, applied unless -bugs.
+func (b *FlagBinder) Campaigns(fixParams map[string]int64) ([]Campaign, error) {
+	params := map[string]int64{}
+	if !b.Bugs() {
+		params = fixParams
+	}
+	names := target.Names()
+	if ts := sval(b.targetsF, ""); ts != "" {
+		names = strings.Split(ts, ",")
+	}
+	var seeds []int64
+	for _, sv := range strings.Split(sval(b.seedsF, "1"), ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(sv), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -seeds entry %q: %v", sv, err)
+		}
+		seeds = append(seeds, n)
+	}
+
+	var out []Campaign
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		for _, sd := range seeds {
+			c := b.base(params)
+			c.Target = n
+			c.Seed = sd
+			if err := c.Validate(); err != nil {
+				return nil, targetHint(err, n)
+			}
+			out = append(out, c)
+		}
+	}
+	if sh := b.ShardCount(); sh > 1 {
+		sharded := make([]Campaign, 0, len(out)*sh)
+		for _, c := range out {
+			sharded = append(sharded, Shard(c, sh)...)
+		}
+		out = sharded
+	}
+	return out, nil
+}
+
+// targetHint appends the available-target list to unknown-target errors,
+// matching the CLI's historical usage message.
+func targetHint(err error, name string) error {
+	if _, ok := target.Lookup(name); !ok && name != "" {
+		names := target.Names()
+		sort.Strings(names)
+		return fmt.Errorf("unknown target %q; available: %s", name, strings.Join(names, ", "))
+	}
+	return err
+}

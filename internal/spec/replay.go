@@ -1,0 +1,41 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// FromErrorRecord lifts a campaign error record (the JSON lines the engine's
+// ErrorLog writes) into a replay campaign against the named target:
+// "reproduce exactly this failure" becomes one serializable blob. The
+// inverse is Campaign.ErrorRecord.
+func FromErrorRecord(targetName string, rec core.ErrorRecord) Campaign {
+	return Campaign{
+		Version:      Version,
+		Label:        fmt.Sprintf("%s/replay", targetName),
+		Target:       targetName,
+		Iterations:   1,
+		InitialProcs: rec.NProcs,
+		InitialFocus: rec.Focus,
+		Inputs:       rec.Inputs,
+		Params:       rec.Params,
+		Schedules:    rec.Schedules,
+		MatchOrder:   rec.MatchOrder,
+	}
+}
+
+// ErrorRecord lowers a replay campaign back to the error-record shape
+// core.Replay consumes: same process count, same focus, same inputs and
+// parameter bag, and — for schedule-space bugs — the match-order directive
+// prefix that steers the runtime to the recorded schedule.
+func (c Campaign) ErrorRecord() core.ErrorRecord {
+	return core.ErrorRecord{
+		NProcs:     c.InitialProcs,
+		Focus:      c.InitialFocus,
+		Inputs:     c.Inputs,
+		Params:     c.Params,
+		Schedules:  c.Schedules,
+		MatchOrder: c.MatchOrder,
+	}
+}

@@ -1,0 +1,37 @@
+package spec_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// TestErrorRecordRoundTrip: error record → replay campaign → error record is
+// the identity, and the campaign is a valid serializable spec — the contract
+// behind `compi replay -spec` and `compi run -replay` sharing one shape.
+func TestErrorRecordRoundTrip(t *testing.T) {
+	rec := core.ErrorRecord{
+		NProcs:     4,
+		Focus:      2,
+		Inputs:     map[string]int64{"x": 100, "y": 50},
+		Params:     map[string]int64{"cap": 9},
+		Schedules:  true,
+		MatchOrder: [][]int{{1, 0}},
+	}
+	c := spec.FromErrorRecord("skeleton", rec)
+	if c.Target != "skeleton" || c.Label != "skeleton/replay" || c.Iterations != 1 {
+		t.Fatalf("replay campaign shape: %+v", c)
+	}
+	if c.Version != spec.Version {
+		t.Fatalf("replay campaign not version-stamped: %d", c.Version)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("replay campaign invalid: %v", err)
+	}
+	got := c.ErrorRecord()
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("round trip changed the record:\n got  %+v\n want %+v", got, rec)
+	}
+}

@@ -1,0 +1,169 @@
+package spec_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+	_ "repro/internal/targets/skeleton"
+	_ "repro/internal/targets/stencil"
+)
+
+// fullCampaign exercises every serializable field.
+func fullCampaign() spec.Campaign {
+	return spec.Campaign{
+		Version: spec.Version,
+		Label:   "grid/shard0.3",
+		Target:  "skeleton",
+		Seed:    7,
+		Group:   "grid",
+		External: &spec.External{
+			Bin: "/usr/bin/compi-target", Args: []string{"-t", "x"}, Env: []string{"A=1"},
+		},
+		Strategy:   "bounded-dfs",
+		Iterations: 55, TimeBudget: 90 * time.Second,
+		InitialProcs: 8, InitialFocus: 1, MaxProcs: 16,
+		Reduction: true, DepthBound: 6, DFSPhase: 10,
+		OneWay: true, Framework: true, PureRandom: true, Schedules: true,
+		RunTimeout: 5 * time.Second, MaxTicks: 1 << 20, SolverMaxNodes: 4096,
+		Params:     map[string]int64{"cap": 9},
+		Inputs:     map[string]int64{"x": 4},
+		MatchOrder: [][]int{{1, 0}, {0, 1}},
+	}
+}
+
+func TestCampaignJSONRoundTrip(t *testing.T) {
+	want := fullCampaign()
+	b, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := spec.Decode(strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatalf("Decode of our own Marshal: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed the campaign:\n got  %+v\n want %+v", got, want)
+	}
+	if got.Canonical() != want.Canonical() {
+		t.Fatal("round trip changed the canonical setup key")
+	}
+
+	// The zero value marshals to the empty object — every field is omitempty,
+	// so serialized specs stay diffable by eye.
+	if b, _ := json.Marshal(spec.Campaign{}); string(b) != "{}" {
+		t.Fatalf("zero campaign marshals to %s, want {}", b)
+	}
+}
+
+func TestDecodeStrictness(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"unknown field", `{"target":"skeleton","itres":50}`, "itres"},
+		{"duplicate key", `{"target":"skeleton","seed":1,"seed":2}`, `duplicate key "seed"`},
+		{"nested duplicate key", `{"target":"skeleton","external":{"bin":"/x","bin":"/y"}}`, `duplicate key "bin"`},
+		{"newer schema", `{"version":99,"target":"skeleton"}`, "newer than this build"},
+		{"no target", `{"seed":3}`, "names no target"},
+		{"unknown target", `{"target":"no-such-program"}`, `unknown target "no-such-program"`},
+		{"external without bin", `{"external":{"args":["-t","x"]}}`, "without a binary path"},
+		{"unknown strategy", `{"target":"skeleton","strategy":"astar"}`, `unknown strategy "astar"`},
+		{"negative iterations", `{"target":"skeleton","iterations":-5}`, "negative iterations"},
+		{"negative timeout", `{"target":"skeleton","runTimeout":-1}`, "negative runTimeout"},
+		{"empty param name", `{"target":"skeleton","params":{"":3}}`, "empty parameter name"},
+		{"empty input name", `{"target":"skeleton","inputs":{"":3}}`, "empty input name"},
+		{"not an object", `[1,2]`, "cannot unmarshal"},
+	}
+	for _, tc := range cases {
+		_, err := spec.Decode(strings.NewReader(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: Decode(%s) error = %v, want substring %q", tc.name, tc.in, err, tc.wantErr)
+		}
+	}
+
+	// A well-formed minimal blob decodes.
+	c, err := spec.Decode(strings.NewReader(`{"target":"skeleton","seed":3,"iterations":40}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Target != "skeleton" || c.Seed != 3 || c.Iterations != 40 {
+		t.Fatalf("minimal blob decoded to %+v", c)
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes through the strict decoder: it must
+// never panic, and whatever it accepts must validate and re-serialize to an
+// equivalent campaign (Decode(Marshal(c)) == c).
+func FuzzDecode(f *testing.F) {
+	f.Add(`{"target":"skeleton","seed":3}`)
+	f.Add(`{"target":"no-such-program"}`)
+	f.Add(`{"target":"skeleton","iterations":-5}`)
+	f.Add(`{"target":"skeleton","seed":1,"seed":2}`)
+	f.Add(`{"version":99,"target":"skeleton"}`)
+	f.Add(`{"params":{"":1}}`)
+	f.Add(`{"external":{"bin":"/x","args":["a"]},"matchOrder":[[1,0]]}`)
+	f.Add(`[{"target":"skeleton"}]`)
+	f.Add(`nonsense`)
+	f.Fuzz(func(t *testing.T, in string) {
+		c, err := spec.Decode(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Decode accepted a campaign Validate rejects: %v", err)
+		}
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("accepted campaign does not re-marshal: %v", err)
+		}
+		c2, err := spec.Decode(strings.NewReader(string(b)))
+		if err != nil {
+			t.Fatalf("accepted campaign does not re-decode: %v\n%s", err, b)
+		}
+		if !reflect.DeepEqual(c, c2) {
+			t.Fatalf("decode/marshal/decode changed the campaign:\n%+v\n%+v", c, c2)
+		}
+	})
+}
+
+func TestDiff(t *testing.T) {
+	a := fullCampaign()
+	b := a
+	if d := spec.Diff(a, b); len(d) != 0 {
+		t.Fatalf("identical campaigns diff: %v", d)
+	}
+	b.Seed = 8
+	b.Strategy = ""
+	b.MaxTicks = 0
+	d := spec.Diff(a, b)
+	joined := strings.Join(d, "; ")
+	for _, want := range []string{"seed: 7 != 8", `strategy: "bounded-dfs" != (unset)`, "maxTicks: 1048576 != (unset)"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Diff missing %q in %q", want, joined)
+		}
+	}
+	if len(d) != 3 {
+		t.Errorf("Diff reported %d fields, want 3: %v", len(d), d)
+	}
+}
+
+func TestDisplayLabelAndTargetName(t *testing.T) {
+	c := spec.Campaign{Target: "skeleton", Seed: 7}
+	if got := c.DisplayLabel(); got != "skeleton/seed7" {
+		t.Errorf("DisplayLabel = %q", got)
+	}
+	c.Label = "custom"
+	if got := c.DisplayLabel(); got != "custom" {
+		t.Errorf("DisplayLabel = %q", got)
+	}
+	ext := spec.Campaign{External: &spec.External{Bin: "/opt/bin/compi-target"}, Seed: 9}
+	if got := ext.TargetName(); got != "compi-target" {
+		t.Errorf("external TargetName = %q", got)
+	}
+	if got := ext.DisplayLabel(); got != "compi-target/seed9" {
+		t.Errorf("external DisplayLabel = %q", got)
+	}
+}

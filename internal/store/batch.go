@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/spec"
 )
 
 // Batch entry statuses. A batch whose process was killed leaves entries in
@@ -30,6 +32,14 @@ type BatchEntry struct {
 	Campaign string `json:"campaign,omitempty"` // campaign file name (no .json)
 	Iters    int    `json:"iters,omitempty"`
 	Error    string `json:"error,omitempty"`
+
+	// Spec is the portable campaign this entry ran, stamped by
+	// sched.PrepareBatch so a manifest is self-describing: `compi store`
+	// can show what a batch actually asked for, and a reloaded batch whose
+	// spec drifted from the stored one is detected (and diffed) instead of
+	// silently reattached. Nil for entries written before the spec layer
+	// existed or for non-portable specs.
+	Spec *spec.Campaign `json:"spec,omitempty"`
 }
 
 // BatchManifest records a scheduler batch: which campaigns it contains and

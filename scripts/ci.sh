@@ -24,6 +24,24 @@ echo "== go build compi =="
 # Built once here; the kill-and-resume and fleet steps below all drive it.
 go build -o "$BIN_DIR/compi" ./cmd/compi
 
+echo "== CLI mode registry smoke (every mode's -h exits 0 and names the mode) =="
+# main.go is dispatch only — mode logic lives in per-mode files. The line
+# guard keeps it from silently re-accreting.
+MAIN_LINES="$(wc -l < cmd/compi/main.go)"
+if [ "$MAIN_LINES" -gt 150 ]; then
+  echo "cmd/compi/main.go is $MAIN_LINES lines (max 150); move mode logic into per-mode files" >&2
+  exit 1
+fi
+for m in $("$BIN_DIR/compi" help -names); do
+  USAGE="$("$BIN_DIR/compi" "$m" -h 2>&1)" || {
+    echo "compi $m -h exited non-zero" >&2; exit 1; }
+  echo "$USAGE" | grep -qi -- "$m" || {
+    echo "compi $m -h usage does not mention the mode:" >&2
+    echo "$USAGE" >&2
+    exit 1
+  }
+done
+
 echo "== go test ./... =="
 go test ./...
 
