@@ -8,6 +8,7 @@ package repro
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"reflect"
 	"runtime"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/expr"
 	"repro/internal/fleet"
+	"repro/internal/mpi"
 	"repro/internal/sched"
 	"repro/internal/solver"
 	"repro/internal/spec"
@@ -317,6 +319,102 @@ func BenchmarkWarmResume(b *testing.B) {
 		}
 		b.ReportMetric(float64(hits)/float64(b.N), "unsathit/run")
 	})
+}
+
+// benchQueryStore builds a store with synthetic indexed campaigns spread
+// over a handful of targets, a third of them carrying a deadlock error.
+func benchQueryStore(b *testing.B, campaigns int) *store.Store {
+	b.Helper()
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < campaigns; i++ {
+		var bits []conc.BranchBit
+		for j := 0; j < 200+i; j++ {
+			bits = append(bits, conc.BranchBit(j))
+		}
+		snap := &core.Snapshot{
+			Version: core.SnapshotVersion, Program: fmt.Sprintf("target-%d", i%6),
+			Iters: 100 + i, Covered: bits, Funcs: []string{"main", "compute"},
+		}
+		if i%3 == 0 {
+			snap.Errors = []core.ErrorRecord{{
+				Status: mpi.StatusDeadlock,
+				Msg:    fmt.Sprintf("deadlock: wait-for cycle 0->%d->0", i%4+1),
+			}}
+		}
+		name := fmt.Sprintf("camp-%03d", i)
+		if err := st.SaveCampaign(name, snap); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.MarkExplored(fmt.Sprintf("key-%03d", i),
+			store.SetupRecord{Campaign: name, Iters: snap.Iters, Batch: "bench"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := st.Reindex(); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkStoreQuery measures the `compi report` read path: load and verify
+// the campaign index, answer the which-setups-found-error-X query and the
+// coverage-by-target rollup — all without touching a snapshot.
+func BenchmarkStoreQuery(b *testing.B) {
+	st := benchQueryStore(b, 120)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entries, err := st.Index()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if hits := store.SetupsWithError(entries, "wait-for cycle"); len(hits) == 0 {
+			b.Fatal("error query found nothing")
+		}
+		if ts := store.ByTarget(entries); len(ts) != 6 {
+			b.Fatalf("target rollup found %d targets", len(ts))
+		}
+	}
+}
+
+// BenchmarkMinimize measures a corpus-minimization pass over a store of
+// campaigns whose per-setup coverage sets are nested prefixes (the heavy-
+// subsumption shape). The first iteration rewrites snapshots; steady state
+// is snapshot loading plus the greedy set cover.
+func BenchmarkMinimize(b *testing.B) {
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for c := 0; c < 12; c++ {
+		snap := &core.Snapshot{
+			Version: core.SnapshotVersion, Program: "bench", Iters: 50,
+			Corpus:    map[string]map[string]int64{},
+			CorpusCov: map[string][]conc.BranchBit{},
+		}
+		for s := 0; s < 24; s++ {
+			key := fmt.Sprintf("%d/%d", 4+s%4, s)
+			snap.Corpus[key] = map[string]int64{"x": int64(s)}
+			var bits []conc.BranchBit
+			for j := 0; j <= s*8; j++ {
+				bits = append(bits, conc.BranchBit(c*1000+j))
+			}
+			snap.CorpusCov[key] = bits
+		}
+		if err := st.SaveCampaign(fmt.Sprintf("camp-%02d", c), snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Minimize(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFleetMergeDelta measures the fleet's streaming-merge encoding on

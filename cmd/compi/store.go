@@ -10,9 +10,11 @@ import (
 	"repro/internal/store"
 )
 
-// storeMode inspects and maintains a campaign store directory: the default
-// action prints an inventory; `compi store compact` drops superseded
-// campaign snapshots.
+// storeMode maintains a campaign store directory: the default action prints
+// an inventory; `compi store compact` drops superseded campaign snapshots,
+// `compi store minimize` drops corpus entries whose coverage is subsumed,
+// and `compi store reindex` rebuilds the campaign index from the snapshots.
+// Cross-campaign queries live in `compi report`.
 type storeMode struct {
 	fs *flag.FlagSet
 
@@ -30,7 +32,7 @@ func newStoreMode() *storeMode {
 
 func (m *storeMode) Name() string { return "store" }
 func (m *storeMode) Synopsis() string {
-	return "inspect a campaign store; `store compact` drops superseded snapshots"
+	return "maintain a campaign store: inventory, compact, minimize, reindex"
 }
 func (m *storeMode) Flags() *flag.FlagSet { return m.fs }
 
@@ -52,8 +54,15 @@ func storeDir(fs *flag.FlagSet, dir *string, what string) string {
 }
 
 func (m *storeMode) Run(args []string) int {
-	if len(args) > 0 && args[0] == "compact" {
-		return m.runCompact(args[1:])
+	if len(args) > 0 {
+		switch args[0] {
+		case "compact":
+			return m.runCompact(args[1:])
+		case "minimize":
+			return m.runMinimize(args[1:])
+		case "reindex":
+			return m.runReindex(args[1:])
+		}
 	}
 	m.fs.Parse(args)
 	storeDir(m.fs, m.dir, "compi store")
@@ -169,5 +178,49 @@ func (m *storeMode) runCompact(args []string) int {
 	for _, name := range stats.Removed {
 		fmt.Printf("  removed %s\n", name)
 	}
+	return 0
+}
+
+// runMinimize implements `compi store minimize`: drop corpus entries whose
+// branch sets are subsumed by the retained ones (greedy set cover over the
+// snapshots' per-setup coverage). Resume behaviour is unchanged — the engine
+// never reads the corpus back into the exploration.
+func (m *storeMode) runMinimize(args []string) int {
+	fs := newFlagSet("store minimize")
+	dir := fs.String("dir", "", "campaign store directory (required)")
+	fs.Parse(args)
+	storeDir(fs, dir, "compi store minimize")
+	st, err := store.Open(*dir)
+	if err != nil {
+		return fatalf("compi store minimize: %v", err)
+	}
+	defer st.Close()
+	stats, err := st.Minimize()
+	if err != nil {
+		return fatalf("compi store minimize: %v", err)
+	}
+	fmt.Printf("minimized %s: dropped %d subsumed corpus entries, kept %d, rewrote %d campaigns\n",
+		st.Dir(), stats.Dropped, stats.Kept, stats.Campaigns)
+	return 0
+}
+
+// runReindex implements `compi store reindex`: rebuild index.json from the
+// setup index and the campaign snapshots — the recovery path for a corrupted
+// index and the upgrade path for stores written before the index existed.
+func (m *storeMode) runReindex(args []string) int {
+	fs := newFlagSet("store reindex")
+	dir := fs.String("dir", "", "campaign store directory (required)")
+	fs.Parse(args)
+	storeDir(fs, dir, "compi store reindex")
+	st, err := store.Open(*dir)
+	if err != nil {
+		return fatalf("compi store reindex: %v", err)
+	}
+	defer st.Close()
+	n, err := st.Reindex()
+	if err != nil {
+		return fatalf("compi store reindex: %v", err)
+	}
+	fmt.Printf("reindexed %s: %d campaign entries\n", st.Dir(), n)
 	return 0
 }

@@ -326,6 +326,14 @@ type Engine struct {
 	// corpora a snapshot carries so future strategies can reseed from them.
 	corpus map[setup]map[string]int64
 
+	// setupCov records, per setup, every branch its executions touched —
+	// not just branches first discovered under it. Store.Minimize runs a
+	// set cover over these sets to drop corpus entries whose coverage is
+	// subsumed by the retained ones, so the sets must be the full
+	// per-setup coverage, and they are snapshotted (CorpusCov) alongside
+	// the corpus they justify.
+	setupCov map[setup]map[conc.BranchBit]struct{}
+
 	// Schedule-frontier state (Config.Schedules). schedPend is the LIFO
 	// stack of pending directed runs (pop from the end = deepest choice
 	// point first, the DFS order); schedSeen holds the serialized key of
@@ -358,6 +366,7 @@ func NewEngine(cfg Config) *Engine {
 		cur:       setup{nprocs: cfg.InitialProcs, focus: cfg.InitialFocus},
 		refuted:   map[expr.Key]struct{}{},
 		corpus:    map[setup]map[string]int64{},
+		setupCov:  map[setup]map[conc.BranchBit]struct{}{},
 		schedSeen: map[string]struct{}{},
 	}
 	e.backend = cfg.Backend
@@ -467,6 +476,7 @@ func (e *Engine) iterate(it int) IterationStat {
 		}
 		if e.cfg.Framework || rr.Rank == e.cur.focus {
 			e.cov.AddLog(rr.Log)
+			e.noteSetupCov(e.cur, rr.Log)
 		}
 		stat.LogBytes += rr.LogBytes
 		if rr.Rank == e.cur.focus {
@@ -597,6 +607,20 @@ func (e *Engine) iterate(it int) IterationStat {
 		e.strategy.Accept()
 		e.apply(focusLog, sol)
 		return stat
+	}
+}
+
+// noteSetupCov attributes a merged log's covered branches to the setup that
+// executed it. Mirrors the AddLog condition exactly, so per-setup sets union
+// to precisely the tracker's branch set.
+func (e *Engine) noteSetupCov(st setup, log *conc.Log) {
+	m := e.setupCov[st]
+	if m == nil {
+		m = make(map[conc.BranchBit]struct{}, len(log.Covered))
+		e.setupCov[st] = m
+	}
+	for _, b := range log.Covered {
+		m[b] = struct{}{}
 	}
 }
 

@@ -32,3 +32,8 @@ func (p *prng) Int63n(n int64) int64 {
 func (p *prng) Intn(n int) int {
 	return int(p.Int63n(int64(n)))
 }
+
+// Float64 returns a value in [0, 1) with 53 bits of precision.
+func (p *prng) Float64() float64 {
+	return float64(p.next()>>11) / (1 << 53)
+}

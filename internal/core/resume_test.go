@@ -7,6 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/coverage"
+	"repro/internal/target"
 	"repro/internal/targets/stencil"
 	_ "repro/internal/targets/stencil"
 )
@@ -119,6 +121,52 @@ func TestResumeDeterminism(t *testing.T) {
 	}
 }
 
+// TestRandomStrategyResumeDeterminism pins resume-at-k == uninterrupted-n
+// for the random baselines: random-branch and uniform-random draw from the
+// engine-owned splitmix64 prng and serialize its stream position plus their
+// per-path progress, so an interrupted campaign continues the exact
+// trajectory an uninterrupted one would have taken.
+func TestRandomStrategyResumeDeterminism(t *testing.T) {
+	const k, n = 15, 40
+	for name, mk := range map[string]func() Strategy{
+		"random-branch":  func() Strategy { return NewRandomBranch(9) },
+		"uniform-random": func() Strategy { return NewUniformRandom(9) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			base := Config{
+				Program: skeletonProg(t), Reduction: true, Framework: true,
+				Seed: 5, RunTimeout: 5 * time.Second,
+				NewStrategy: func(*target.Program, *coverage.Tracker) Strategy { return mk() },
+			}
+			full := base
+			full.Iterations = n
+			want := NewEngine(full).Run()
+
+			head := base
+			head.Iterations = k
+			e1 := NewEngine(head)
+			e1.Run()
+			var buf bytes.Buffer
+			if err := e1.Snapshot().Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			snap, err := LoadSnapshot(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Strategy == nil {
+				t.Fatalf("%s produced no serialized strategy state", name)
+			}
+
+			e2 := NewEngine(full)
+			if err := e2.Restore(snap); err != nil {
+				t.Fatal(err)
+			}
+			assertSameCampaign(t, e2.Run(), want)
+		})
+	}
+}
+
 // TestCheckpointResumeDeterminism exercises the store's actual write path: a
 // mid-campaign checkpoint (taken by the Checkpoint hook, not after Run
 // returns) must restore to the same trajectory.
@@ -222,6 +270,8 @@ func TestStrategyStateRoundTrip(t *testing.T) {
 	for _, mk := range []func() Strategy{
 		func() Strategy { return NewBoundedDFS(4) },
 		func() Strategy { return NewTwoPhase(4, 6) },
+		func() Strategy { return NewRandomBranch(3) },
+		func() Strategy { return NewUniformRandom(3) },
 	} {
 		s := mk().(PersistentStrategy)
 		s.Observe(mkPath(3, 0))

@@ -163,6 +163,7 @@ func (e *Engine) iterateScheduled(it int) IterationStat {
 		}
 		if e.cfg.Framework || rr.Rank == sr.Focus {
 			e.cov.AddLog(rr.Log)
+			e.noteSetupCov(setup{nprocs: sr.NProcs, focus: sr.Focus}, rr.Log)
 		}
 		stat.LogBytes += rr.LogBytes
 		if rr.Rank == sr.Focus {

@@ -82,6 +82,13 @@ type Snapshot struct {
 	// recently executed under that setup.
 	Corpus map[string]map[string]int64 `json:"corpus,omitempty"`
 
+	// CorpusCov maps the same setup keys to the sorted set of every branch
+	// the setup's executions touched. Store.Minimize runs a greedy set
+	// cover over these sets to drop corpus entries whose coverage is
+	// subsumed. Additive to schema v3: absent in older snapshots, which
+	// simply makes them ineligible for minimization.
+	CorpusCov map[string][]conc.BranchBit `json:"corpusCov,omitempty"`
+
 	// v3 fields: the schedule frontier (Config.Schedules campaigns).
 
 	// SchedPend is the LIFO stack of pending directed match-order runs, and
@@ -157,6 +164,17 @@ func (e *Engine) Snapshot() *Snapshot {
 		s.Corpus = map[string]map[string]int64{}
 		for st, inputs := range e.corpus {
 			s.Corpus[fmt.Sprintf("%d/%d", st.nprocs, st.focus)] = cloneInputs(inputs)
+		}
+	}
+	if len(e.setupCov) > 0 {
+		s.CorpusCov = map[string][]conc.BranchBit{}
+		for st, set := range e.setupCov {
+			bits := make([]conc.BranchBit, 0, len(set))
+			for b := range set {
+				bits = append(bits, b)
+			}
+			sort.Slice(bits, func(i, j int) bool { return bits[i] < bits[j] })
+			s.CorpusCov[fmt.Sprintf("%d/%d", st.nprocs, st.focus)] = bits
 		}
 	}
 	s.SchedPend = append([]schedRun(nil), e.schedPend...)
@@ -285,6 +303,16 @@ func (e *Engine) Restore(s *Snapshot) error {
 		var np, f int
 		if _, err := fmt.Sscanf(key, "%d/%d", &np, &f); err == nil && strings.Count(key, "/") == 1 {
 			e.corpus[setup{nprocs: np, focus: f}] = cloneInputs(inputs)
+		}
+	}
+	for key, bits := range s.CorpusCov {
+		var np, f int
+		if _, err := fmt.Sscanf(key, "%d/%d", &np, &f); err == nil && strings.Count(key, "/") == 1 {
+			set := make(map[conc.BranchBit]struct{}, len(bits))
+			for _, b := range bits {
+				set[b] = struct{}{}
+			}
+			e.setupCov[setup{nprocs: np, focus: f}] = set
 		}
 	}
 	e.schedPend = append([]schedRun(nil), s.SchedPend...)

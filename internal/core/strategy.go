@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/conc"
 	"repro/internal/coverage"
@@ -143,16 +142,19 @@ func (s *boundedDFS) Reset() {
 }
 
 // randomBranch is CREST's random branch search: pick a uniformly random
-// constraint of the last path and negate it.
+// constraint of the last path and negate it. Its random source is the
+// engine's splitmix64 prng, whose entire state is one uint64, so the
+// strategy's position (stream state + path + tried set) snapshots and
+// resumes exactly — see strategy_persist.go.
 type randomBranch struct {
-	rng   *rand.Rand
+	rng   *prng
 	path  []conc.PathEntry
 	tried map[int]struct{}
 }
 
 // NewRandomBranch returns the random branch search strategy.
 func NewRandomBranch(seed int64) Strategy {
-	return &randomBranch{rng: rand.New(rand.NewSource(seed)), tried: map[int]struct{}{}}
+	return &randomBranch{rng: newPRNG(seed), tried: map[int]struct{}{}}
 }
 
 func (s *randomBranch) Name() string { return "random-branch" }
@@ -186,7 +188,7 @@ func (s *randomBranch) Reset()  { s.path = nil; s.tried = map[int]struct{}{} }
 // inputs frequently, which is what makes it unable to pass deep sanity
 // chains.
 type uniformRandom struct {
-	rng     *rand.Rand
+	rng     *prng
 	path    []conc.PathEntry
 	tries   int
 	maxTry  int
@@ -195,7 +197,7 @@ type uniformRandom struct {
 
 // NewUniformRandom returns the uniform random search strategy.
 func NewUniformRandom(seed int64) Strategy {
-	return &uniformRandom{rng: rand.New(rand.NewSource(seed)), maxTry: 8, restart: 0.2}
+	return &uniformRandom{rng: newPRNG(seed), maxTry: 8, restart: 0.2}
 }
 
 func (s *uniformRandom) Name() string { return "uniform-random" }

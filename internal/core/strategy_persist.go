@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"repro/internal/conc"
 )
@@ -16,9 +17,11 @@ import (
 // gracefully on resume: exploration restarts from the saved inputs, as the
 // v1 snapshot format always did.
 //
-// COMPI's default search (two-phase DFS) and BoundedDFS are persistent; the
-// random and CFG baselines are not (their value lies in per-run randomness
-// or live coverage, not a resumable position).
+// COMPI's default search (two-phase DFS), BoundedDFS, and the random
+// baselines (random-branch, uniform-random — their splitmix64 stream state
+// is a single uint64) are persistent; only the CFG baseline is not, because
+// its position is derived from live coverage each Observe and carries
+// nothing worth resuming.
 type PersistentStrategy interface {
 	Strategy
 	MarshalState() ([]byte, error)
@@ -134,4 +137,89 @@ func (s *twoPhase) UnmarshalState(b []byte) error {
 		s.inner = NewBoundedDFS(s.Bound())
 	}
 	return s.inner.(*boundedDFS).UnmarshalState(st.Inner)
+}
+
+// randomBranchState is the serialized random-branch position: the splitmix64
+// stream state, the observed path (wire format — proposals from a restored
+// strategy must carry the exact predicate trees), and the already-tried
+// indices of that path.
+type randomBranchState struct {
+	RNG   uint64 `json:"rng"`
+	Path  []byte `json:"path,omitempty"`
+	Tried []int  `json:"tried,omitempty"`
+}
+
+func (s *randomBranch) MarshalState() ([]byte, error) {
+	st := randomBranchState{RNG: s.rng.state}
+	if len(s.path) > 0 {
+		st.Path = conc.EncodePath(s.path)
+	}
+	for i := range s.tried {
+		st.Tried = append(st.Tried, i)
+	}
+	sort.Ints(st.Tried)
+	return json.Marshal(st)
+}
+
+func (s *randomBranch) UnmarshalState(b []byte) error {
+	var st randomBranchState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return fmt.Errorf("core: random-branch state: %w", err)
+	}
+	var path []conc.PathEntry
+	if len(st.Path) > 0 {
+		var err error
+		if path, err = conc.DecodePath(st.Path); err != nil {
+			return fmt.Errorf("core: random-branch state: %w", err)
+		}
+	}
+	tried := make(map[int]struct{}, len(st.Tried))
+	for _, i := range st.Tried {
+		if i < 0 || i >= len(path) {
+			return fmt.Errorf("core: random-branch state: tried index %d out of range for path of %d", i, len(path))
+		}
+		tried[i] = struct{}{}
+	}
+	s.rng = &prng{state: st.RNG}
+	s.path = path
+	s.tried = tried
+	return nil
+}
+
+// uniformRandomState is the serialized uniform-random position. maxTry and
+// the restart probability are construction parameters (like twoPhase's
+// phase1), not campaign state.
+type uniformRandomState struct {
+	RNG   uint64 `json:"rng"`
+	Path  []byte `json:"path,omitempty"`
+	Tries int    `json:"tries,omitempty"`
+}
+
+func (s *uniformRandom) MarshalState() ([]byte, error) {
+	st := uniformRandomState{RNG: s.rng.state, Tries: s.tries}
+	if len(s.path) > 0 {
+		st.Path = conc.EncodePath(s.path)
+	}
+	return json.Marshal(st)
+}
+
+func (s *uniformRandom) UnmarshalState(b []byte) error {
+	var st uniformRandomState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return fmt.Errorf("core: uniform-random state: %w", err)
+	}
+	if st.Tries < 0 {
+		return fmt.Errorf("core: uniform-random state: negative tries %d", st.Tries)
+	}
+	var path []conc.PathEntry
+	if len(st.Path) > 0 {
+		var err error
+		if path, err = conc.DecodePath(st.Path); err != nil {
+			return fmt.Errorf("core: uniform-random state: %w", err)
+		}
+	}
+	s.rng = &prng{state: st.RNG}
+	s.path = path
+	s.tries = st.Tries
+	return nil
 }

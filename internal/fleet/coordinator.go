@@ -231,9 +231,9 @@ func (c *Coordinator) completeShardLocked(i int, snap *core.Snapshot) {
 			name = store.CampaignName(c.specs[i].DisplayLabel(), c.keys[i])
 		}
 		c.opt.Store.SaveCampaign(name, snap)
-		c.opt.Store.MarkExplored(c.keys[i], store.SetupRecord{
-			Campaign: name, Iters: snap.Iters, Batch: c.man.ID,
-		})
+		rec := store.SetupRecord{Campaign: name, Iters: snap.Iters, Batch: c.man.ID}
+		c.opt.Store.MarkExplored(c.keys[i], rec)
+		c.opt.Store.IndexCampaign(c.keys[i], rec, snap)
 		c.updateEntryLocked(i, func(e *store.BatchEntry) {
 			e.Status = store.StatusDone
 			e.Campaign = name
@@ -246,7 +246,7 @@ func (c *Coordinator) completeShardLocked(i int, snap *core.Snapshot) {
 }
 
 // reuseShardLocked resolves shard i from the store without leasing it.
-func (c *Coordinator) reuseShardLocked(i int, campName string, snap *core.Snapshot) {
+func (c *Coordinator) reuseShardLocked(i int, rec store.SetupRecord, snap *core.Snapshot) {
 	sh := &c.shards[i]
 	sh.state = shardDone
 	sh.iters = snap.Iters
@@ -254,9 +254,12 @@ func (c *Coordinator) reuseShardLocked(i int, campName string, snap *core.Snapsh
 	sh.camp.Reused = true
 	sh.errCount = len(snap.Errors)
 	c.mergeSnapshotCovLocked(sh.camp.Target, snap)
+	// Same idempotent index upsert as sched.runOne's reuse path: pre-index
+	// stores heal as they are read.
+	c.opt.Store.IndexCampaign(c.keys[i], rec, snap)
 	c.updateEntryLocked(i, func(e *store.BatchEntry) {
 		e.Status = store.StatusReused
-		e.Campaign = campName
+		e.Campaign = rec.Campaign
 		e.Iters = snap.Iters
 	})
 	c.logf("fleet: shard %d (%s) reused from store (%d iterations)", i, sh.camp.Label, snap.Iters)
@@ -455,7 +458,7 @@ func (c *Coordinator) grant(s *session) Frame {
 			if rec, ok := c.opt.Store.Explored(c.keys[i]); ok {
 				if snap, err := c.opt.Store.LoadCampaign(rec.Campaign); err == nil {
 					if c.specs[i].TimeBudget == 0 && snap.Iters >= sched.WantedIters(c.specs[i].Iterations) {
-						c.reuseShardLocked(i, rec.Campaign, snap)
+						c.reuseShardLocked(i, rec, snap)
 						continue
 					}
 					sh.resume = snap

@@ -260,12 +260,14 @@ type Options struct {
 
 	// Store, when non-nil, makes the batch durable: campaign snapshots are
 	// checkpointed into the store as they run, a batch manifest tracks
-	// progress, the shared solver service starts warm from the store's
-	// persisted UNSAT cache (and writes it back at the end), and specs
-	// whose canonical setup a prior batch already explored are resumed or
-	// reattached instead of re-run (see persist.go). Determinism is
-	// unaffected: resumed and reattached results are identical to freshly
-	// computed ones.
+	// progress, the shared solver service starts warm from the store-wide
+	// UNSAT cache (and merges its new refutations back at the end — the
+	// cache is keyed on target-independent canonical forms, so batches on
+	// different targets warm each other), campaign index entries are
+	// written at each completion, and specs whose canonical setup a prior
+	// batch already explored are resumed or reattached instead of re-run
+	// (see persist.go). Determinism is unaffected: resumed and reattached
+	// results are identical to freshly computed ones.
 	Store *store.Store
 
 	// BatchID names this run's batch manifest in the store; empty derives
@@ -432,6 +434,11 @@ func runOne(c *Campaign, sp Spec, shared core.SolverService, prof *binstat.Profi
 				if sp.TimeBudget == 0 && snap.Iters >= wanted {
 					c.Result = snap.Result()
 					c.Reused = true
+					// Upsert the campaign index even on reuse: it heals
+					// stores written before the index existed without a
+					// manual Reindex, and is idempotent otherwise (the
+					// entry derives from the same snapshot).
+					bp.st.IndexCampaign(bp.keys[idx], rec, snap)
 					bp.update(idx, func(e *store.BatchEntry) {
 						e.Status = store.StatusReused
 						e.Campaign = rec.Campaign
@@ -522,9 +529,9 @@ func runOne(c *Campaign, sp Spec, shared core.SolverService, prof *binstat.Profi
 		c.Result = eng.Run()
 		final := eng.Snapshot()
 		bp.st.SaveCampaign(name, final)
-		bp.st.MarkExplored(bp.keys[idx], store.SetupRecord{
-			Campaign: name, Iters: final.Iters, Batch: bp.man.ID,
-		})
+		rec := store.SetupRecord{Campaign: name, Iters: final.Iters, Batch: bp.man.ID}
+		bp.st.MarkExplored(bp.keys[idx], rec)
+		bp.st.IndexCampaign(bp.keys[idx], rec, final)
 		bp.update(idx, func(e *store.BatchEntry) {
 			e.Status = store.StatusDone
 			e.Iters = final.Iters

@@ -1,0 +1,332 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/conc"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/mpi"
+	"repro/internal/solver"
+)
+
+// indexedStore builds a store with two campaigns on different targets (one
+// with a deadlock error) indexed incrementally, the way sched and the fleet
+// coordinator do it at campaign completion.
+func indexedStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapA := &core.Snapshot{
+		Version: core.SnapshotVersion, Program: "stencil", Iters: 40,
+		Covered: []conc.BranchBit{3, 1, 7}, Funcs: []string{"main", "halo"},
+		Errors: []core.ErrorRecord{
+			{Status: mpi.StatusCrash, Msg: "assert: halo mismatch"},
+			{Status: mpi.StatusCrash, Msg: "assert: halo mismatch"}, // dup key
+		},
+		Refuted: []string{"r1", "r2"}, RefutedSkips: 5,
+	}
+	snapB := &core.Snapshot{
+		Version: core.SnapshotVersion, Program: "mworder", Iters: 25,
+		Covered: []conc.BranchBit{2, 9},
+		Errors: []core.ErrorRecord{
+			{Status: mpi.StatusDeadlock, Msg: "deadlock: wait-for cycle 0->2->0"},
+		},
+	}
+	for name, snap := range map[string]*core.Snapshot{"camp-a": snapA, "camp-b": snapB} {
+		if err := s.SaveCampaign(name, snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recA := SetupRecord{Campaign: "camp-a", Iters: 40, Batch: "batch-1"}
+	recB := SetupRecord{Campaign: "camp-b", Iters: 25, Batch: "batch-1"}
+	if err := s.MarkExplored("key-a", recA); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkExplored("key-b", recB); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.IndexCampaign("key-a", recA, snapA); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.IndexCampaign("key-b", recB, snapB); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestIndexCampaignAndQueries(t *testing.T) {
+	s := indexedStore(t)
+	entries, err := s.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Key != "key-a" || entries[1].Key != "key-b" {
+		t.Fatalf("entries %+v", entries)
+	}
+	a := entries[0]
+	if a.Target != "stencil" || a.Iters != 40 || a.Branches != 3 ||
+		a.UnsatContrib != 2 || a.RefutedSkips != 5 {
+		t.Fatalf("entry a %+v", a)
+	}
+	if len(a.Errors) != 1 {
+		t.Fatalf("duplicate error keys not collapsed: %+v", a.Errors)
+	}
+	if a.CoverageFP != CoverageFingerprint([]conc.BranchBit{1, 3, 7}, []string{"halo", "main"}) {
+		t.Fatal("fingerprint not order-invariant")
+	}
+
+	// "Which setups found error X."
+	hits := SetupsWithError(entries, "wait-for cycle")
+	if len(hits) != 1 || hits[0].Key != "key-b" {
+		t.Fatalf("error query %+v", hits)
+	}
+	if all := SetupsWithError(entries, ""); len(all) != 2 {
+		t.Fatalf("empty substring should match any erroring setup: %+v", all)
+	}
+
+	// "Coverage by target."
+	byTarget := ByTarget(entries)
+	if len(byTarget) != 2 || byTarget[0].Target != "mworder" || byTarget[1].Target != "stencil" {
+		t.Fatalf("targets %+v", byTarget)
+	}
+	if byTarget[0].Deadlocks != 1 || byTarget[0].BestBranches != 2 {
+		t.Fatalf("mworder summary %+v", byTarget[0])
+	}
+	if byTarget[1].UnsatContrib != 2 || byTarget[1].RefutedSkips != 5 {
+		t.Fatalf("stencil cache economics %+v", byTarget[1])
+	}
+}
+
+// TestIndexIncrementalEqualsRebuilt pins the derivation contract: the
+// incrementally maintained index and a from-scratch Reindex produce
+// byte-identical files.
+func TestIndexIncrementalEqualsRebuilt(t *testing.T) {
+	s := indexedStore(t)
+	path := s.indexPath()
+	incremental, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Reindex()
+	if err != nil || n != 2 {
+		t.Fatalf("reindex: n=%d err=%v", n, err)
+	}
+	rebuilt, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(incremental) != string(rebuilt) {
+		t.Fatalf("incremental and rebuilt indexes differ:\n%s\nvs\n%s", incremental, rebuilt)
+	}
+}
+
+// TestIndexCorruptionDetectedAndRecovered pins verification-on-load: a
+// truncated or garbage index.json is a descriptive error pointing at
+// Reindex, and Reindex recovers the exact previous bytes.
+func TestIndexCorruptionDetectedAndRecovered(t *testing.T) {
+	s := indexedStore(t)
+	path := s.indexPath()
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, bytes := range map[string][]byte{
+		"truncated": orig[:len(orig)/2],
+		"garbage":   []byte("}{ not json"),
+		"tampered":  []byte(strings.Replace(string(orig), `"iters": 40`, `"iters": 41`, 1)),
+	} {
+		if err := os.WriteFile(path, bytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := s.Index()
+		if err == nil {
+			t.Fatalf("%s index served", name)
+		}
+		if !strings.Contains(err.Error(), "Reindex") {
+			t.Fatalf("%s error does not point at recovery: %v", name, err)
+		}
+	}
+
+	if n, err := s.Reindex(); err != nil || n != 2 {
+		t.Fatalf("reindex: n=%d err=%v", n, err)
+	}
+	recovered, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(recovered) != string(orig) {
+		t.Fatal("reindex did not recover the exact index")
+	}
+
+	// The incremental writer self-heals too: an upsert over a corrupt index
+	// rebuilds instead of patching.
+	os.WriteFile(path, []byte("garbage"), 0o644)
+	snap, err := s.LoadCampaign("camp-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := s.Explored("key-a")
+	if err := s.IndexCampaign("key-a", rec, snap); err != nil {
+		t.Fatal(err)
+	}
+	healed, _ := os.ReadFile(path)
+	if string(healed) != string(orig) {
+		t.Fatal("incremental writer did not heal the corrupt index")
+	}
+}
+
+// TestSolverCacheMergeOnSave pins the store-wide cache semantics: saving a
+// second service's cache unions with what solver.json already holds instead
+// of overwriting it, so one batch can never erase another's refutations.
+func TestSolverCacheMergeOnSave(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveSolverCache(warmService(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// The second service overlaps the first (entries 0..5 vs 0..3): the
+	// merged cache must hold the union, not either side alone.
+	if err := s.SaveSolverCache(warmService(t, 6)); err != nil {
+		t.Fatal(err)
+	}
+	svc := solver.NewService(solver.ServiceConfig{})
+	if n, err := s.LoadSolverCacheInto(svc); err != nil || n != 6 {
+		t.Fatalf("merged cache: n=%d err=%v", n, err)
+	}
+	// Saving a service with nothing new keeps the cache intact.
+	if err := s.SaveSolverCache(solver.NewService(solver.ServiceConfig{})); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.LoadSolverCacheInto(solver.NewService(solver.ServiceConfig{})); err != nil || n != 6 {
+		t.Fatalf("empty save erased entries: n=%d err=%v", n, err)
+	}
+	// A corrupt existing file is healed, not merged with.
+	path := filepath.Join(s.Dir(), "solver.json")
+	os.WriteFile(path, []byte("}{"), 0o644)
+	if err := s.SaveSolverCache(warmService(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.LoadSolverCacheInto(solver.NewService(solver.ServiceConfig{})); err != nil || n != 2 {
+		t.Fatalf("post-heal cache: n=%d err=%v", n, err)
+	}
+}
+
+// TestUnsatCacheSharesAcrossTargets pins the cross-target mechanism: a
+// refutation proven under one target answers the same constraint shape from
+// another target — different variable IDs, different conjunct order — as a
+// cache hit, because entries are keyed by the rename/reorder-invariant
+// expr.CanonicalKey.
+func TestUnsatCacheSharesAcrossTargets(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target one proves x0 <= 3 ∧ x0 >= 4 UNSAT and persists the cache.
+	one := solver.NewService(solver.ServiceConfig{})
+	if _, ok := one.SolveIncremental([]expr.Pred{
+		expr.Compare(expr.VarRef(0), expr.Const(3), expr.LE),
+		expr.Compare(expr.VarRef(0), expr.Const(4), expr.GE),
+	}, nil, solver.Options{Seed: 1}); ok {
+		t.Fatal("conjunction unexpectedly SAT")
+	}
+	if err := s.SaveSolverCache(one); err != nil {
+		t.Fatal(err)
+	}
+
+	// Target two derives the same shape over its own variable space:
+	// different variable ID, conjuncts in the opposite order.
+	two := solver.NewService(solver.ServiceConfig{})
+	if n, err := s.LoadSolverCacheInto(two); err != nil || n == 0 {
+		t.Fatalf("warm load: n=%d err=%v", n, err)
+	}
+	res, ok := two.SolveIncremental([]expr.Pred{
+		expr.Compare(expr.VarRef(7), expr.Const(4), expr.GE),
+		expr.Compare(expr.VarRef(7), expr.Const(3), expr.LE),
+	}, nil, solver.Options{Seed: 9})
+	if ok {
+		t.Fatalf("renamed conjunction SAT: %+v", res)
+	}
+	if st := two.Stats(); st.UnsatHits != 1 || st.Misses != 0 {
+		t.Fatalf("expected a pure cache hit, stats %+v", st)
+	}
+}
+
+func TestMinimizeDropsSubsumedCorpus(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &core.Snapshot{
+		Version: core.SnapshotVersion, Program: "stencil", Iters: 10,
+		Corpus: map[string]map[string]int64{
+			"4/0": {"x": 1}, // covers {1,2,3} — retained (biggest set)
+			"4/1": {"x": 2}, // covers {1,2} — subsumed by 4/0
+			"4/2": {"x": 3}, // covers {9} — retained (unique branch)
+			"4/3": {"x": 4}, // no attribution — kept
+		},
+		CorpusCov: map[string][]conc.BranchBit{
+			"4/0": {1, 2, 3},
+			"4/1": {1, 2},
+			"4/2": {9},
+		},
+	}
+	if err := s.SaveCampaign("camp", snap); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Campaigns != 1 || stats.Dropped != 1 || stats.Kept != 3 {
+		t.Fatalf("stats %+v", stats)
+	}
+	got, err := s.LoadCampaign("camp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := map[string]bool{"4/0": true, "4/2": true, "4/3": true}
+	for k := range got.Corpus {
+		if !wantKeys[k] {
+			t.Fatalf("kept subsumed entry %q", k)
+		}
+		delete(wantKeys, k)
+	}
+	if len(wantKeys) != 0 {
+		t.Fatalf("minimize dropped needed entries, missing %v", wantKeys)
+	}
+	if _, stale := got.CorpusCov["4/1"]; stale {
+		t.Fatal("dropped entry's attribution survived")
+	}
+	// Idempotent: a second pass drops nothing.
+	if stats, err := s.Minimize(); err != nil || stats.Dropped != 0 {
+		t.Fatalf("second pass: %+v err=%v", stats, err)
+	}
+}
+
+func TestCoverRetainedGreedy(t *testing.T) {
+	// Greedy picks a (gain 4) first; b is then fully subsumed, and c and d
+	// both gain exactly {5} — the lexicographic tie-break keeps c.
+	retained := coverRetained(map[string][]conc.BranchBit{
+		"a": {1, 2, 3, 4},
+		"b": {1, 2},
+		"c": {5},
+		"d": {3, 4, 5},
+	})
+	want := map[string]struct{}{"a": {}, "c": {}}
+	if !reflect.DeepEqual(retained, want) {
+		t.Fatalf("retained %v, want %v", retained, want)
+	}
+	if got := coverRetained(nil); len(got) != 0 {
+		t.Fatalf("empty cover retained %v", got)
+	}
+}

@@ -1,0 +1,137 @@
+package store
+
+import (
+	"sort"
+
+	"repro/internal/conc"
+	"repro/internal/core"
+)
+
+// MinimizeStats summarizes one Minimize pass.
+type MinimizeStats struct {
+	// Campaigns is the number of campaign snapshots rewritten (those with
+	// at least one corpus entry dropped).
+	Campaigns int
+	// Dropped and Kept count corpus entries across all campaigns.
+	Dropped int
+	Kept    int
+}
+
+// Minimize drops, per campaign snapshot, the corpus entries whose branch
+// sets are subsumed by the retained ones: a greedy set cover over the
+// snapshot's per-setup coverage sets (CorpusCov) keeps the smallest
+// easy-to-compute family of setups that still covers every branch the
+// corpus ever touched, and everything outside it — setups whose every
+// branch some retained setup also reaches — is deleted from Corpus and
+// CorpusCov.
+//
+// Minimization is trajectory-safe by construction: the engine writes the
+// corpus into snapshots but never reads it back into the exploration (the
+// next inputs come from Snapshot.Inputs and the strategy position), so a
+// resumed campaign's coverage and errors are identical with or without a
+// Minimize between stop and resume — the pin the sched test suite holds.
+// Snapshots without CorpusCov data (written before it existed) are left
+// untouched: without attribution there is no subsumption proof.
+func (s *Store) Minimize() (MinimizeStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st MinimizeStats
+	names, err := s.Campaigns()
+	if err != nil {
+		return st, err
+	}
+	for _, name := range names {
+		snap, err := s.LoadCampaign(name)
+		if err != nil {
+			continue // unreadable snapshots are Compact/Reindex business
+		}
+		dropped, kept := minimizeSnapshot(snap)
+		st.Dropped += dropped
+		st.Kept += kept
+		if dropped == 0 {
+			continue
+		}
+		if err := s.saveCampaignLocked(name, snap); err != nil {
+			return st, err
+		}
+		st.Campaigns++
+	}
+	return st, nil
+}
+
+// minimizeSnapshot rewrites snap's corpus in place and reports how many
+// corpus entries were dropped and kept. Exported logic kept separate from
+// the store walk so benchmarks can drive it on in-memory snapshots.
+func minimizeSnapshot(snap *core.Snapshot) (dropped, kept int) {
+	if len(snap.CorpusCov) == 0 {
+		return 0, len(snap.Corpus)
+	}
+	retained := coverRetained(snap.CorpusCov)
+	for key := range snap.Corpus {
+		if _, keep := retained[key]; keep {
+			kept++
+			continue
+		}
+		if _, known := snap.CorpusCov[key]; !known {
+			kept++ // no attribution, no subsumption proof
+			continue
+		}
+		delete(snap.Corpus, key)
+		dropped++
+	}
+	for key := range snap.CorpusCov {
+		if _, keep := retained[key]; !keep {
+			delete(snap.CorpusCov, key)
+		}
+	}
+	return dropped, kept
+}
+
+// coverRetained greedily picks setups until their branch sets cover the
+// union of all sets: each round takes the setup covering the most
+// still-uncovered branches, ties broken by the lexicographically smallest
+// setup key, so the retained family is deterministic in the input.
+func coverRetained(cov map[string][]conc.BranchBit) map[string]struct{} {
+	uncovered := map[conc.BranchBit]struct{}{}
+	for _, bits := range cov {
+		for _, b := range bits {
+			uncovered[b] = struct{}{}
+		}
+	}
+	keys := make([]string, 0, len(cov))
+	for k := range cov {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	retained := map[string]struct{}{}
+	for len(uncovered) > 0 {
+		best, bestGain := "", 0
+		for _, k := range keys {
+			if _, done := retained[k]; done {
+				continue
+			}
+			gain := 0
+			for _, b := range cov[k] {
+				if _, miss := uncovered[b]; miss {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = k, gain
+			}
+		}
+		if bestGain == 0 {
+			break // remaining sets add nothing (cannot happen, but terminate)
+		}
+		retained[best] = struct{}{}
+		for _, b := range cov[best] {
+			delete(uncovered, b)
+		}
+	}
+	return retained
+}
+
+// saveCampaignLocked is SaveCampaign for callers already holding s.mu.
+func (s *Store) saveCampaignLocked(name string, snap *core.Snapshot) error {
+	return WriteAtomic(s.campaignPath(name), snap.Save)
+}

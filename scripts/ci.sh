@@ -89,6 +89,50 @@ fi
 go test ./internal/sched -run 'TestStoreBatchResumeEqualsFresh|TestStoreCrossBatchReuse' -count=1
 rm -rf "$STATE_DIR"
 
+echo "== corpus minimization preserves resume (store minimize between batches) =="
+# Minimizing the corpus between a short batch and its longer resume must not
+# change the resumed trajectory: the engine writes the corpus but never reads
+# it back into the exploration.
+MIN_DIR="$(mktemp -d)"
+"$BIN_DIR/compi" sched -targets skeleton -seeds 3,4 -iters 40 -state-dir "$MIN_DIR/store" > /dev/null
+"$BIN_DIR/compi" store minimize -dir "$MIN_DIR/store" | grep -q '^minimized' || {
+  echo "compi store minimize reported nothing" >&2; exit 1; }
+"$BIN_DIR/compi" sched -targets skeleton -seeds 3,4 -iters 80 -state-dir "$MIN_DIR/store" > "$MIN_DIR/resumed.out"
+"$BIN_DIR/compi" sched -targets skeleton -seeds 3,4 -iters 80 > "$MIN_DIR/fresh.out"
+if ! diff <(grep -E 'branches covered|^  \[' "$MIN_DIR/resumed.out") \
+          <(grep -E 'branches covered|^  \[' "$MIN_DIR/fresh.out"); then
+  echo "resume after store minimize diverged from the storeless run" >&2
+  exit 1
+fi
+rm -rf "$MIN_DIR"
+
+echo "== compi report smoke (index queries on a two-target -schedules batch) =="
+# The campaign index must answer "which setups found error X" and "coverage
+# by target" without replaying: a batch spanning mworder and relay (both
+# deadlocking in schedule space) feeds compi report, whose answers must name
+# both targets; store reindex must restore the index after deletion.
+REP_DIR="$(mktemp -d)"
+"$BIN_DIR/compi" sched -targets mworder,relay -seeds 7 -iters 40 -np 3 -max-np 3 \
+  -schedules -j 2 -state-dir "$REP_DIR/store" > /dev/null
+"$BIN_DIR/compi" report -dir "$REP_DIR/store" > "$REP_DIR/report.out"
+grep -q 'coverage by target' "$REP_DIR/report.out" || {
+  echo "compi report printed no per-target rollup" >&2; exit 1; }
+for tgt in mworder relay; do
+  grep -q "$tgt" "$REP_DIR/report.out" || {
+    echo "compi report missed target $tgt" >&2; exit 1; }
+done
+"$BIN_DIR/compi" report -dir "$REP_DIR/store" -error 'wait-for cycle' > "$REP_DIR/errors.out"
+for tgt in mworder relay; do
+  grep -q "$tgt" "$REP_DIR/errors.out" || {
+    echo "compi report -error did not attribute the deadlock to $tgt" >&2; exit 1; }
+done
+rm "$REP_DIR/store/index.json"
+"$BIN_DIR/compi" store reindex -dir "$REP_DIR/store" | grep -q '^reindexed' || {
+  echo "compi store reindex failed on a deleted index" >&2; exit 1; }
+"$BIN_DIR/compi" report -dir "$REP_DIR/store" -error 'wait-for cycle' | grep -q mworder || {
+  echo "compi report broken after reindex" >&2; exit 1; }
+rm -rf "$REP_DIR"
+
 echo "== profiling determinism (compi drive -bin with and without -profile) =="
 # Measurement must never perturb the campaign: a profiled drive of an
 # out-of-process target must report the same iterations/coverage/solver/error
@@ -197,5 +241,12 @@ go build -o "$BIN_DIR/compi-bench" ./cmd/compi-bench
 go test -run '^$' -bench 'BenchmarkEngine' -benchtime 5x . \
   | "$BIN_DIR/compi-bench" -out BENCH_engine.json
 echo "wrote BENCH_engine.json"
+
+echo "== store service trajectory (BENCH_store.json) =="
+# Index query latency (the compi report read path) and corpus-minimization
+# throughput, tracked run-over-run like the engine numbers.
+go test -run '^$' -bench 'BenchmarkStoreQuery|BenchmarkMinimize' -benchtime 5x . \
+  | "$BIN_DIR/compi-bench" -out BENCH_store.json
+echo "wrote BENCH_store.json"
 
 echo "CI green."
